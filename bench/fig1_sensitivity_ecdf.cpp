@@ -1,0 +1,41 @@
+// Fig. 1: "The sensitivity of Aptos to failures as the difference in
+// latency distributions between a baseline environment without failure and
+// the altered environment with failures."
+//
+// Reproduces the paper's opening figure: the two eCDFs of Aptos latencies
+// (baseline vs f = t crashes) and the between-areas sensitivity score.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace stabl;
+
+void fig1(benchmark::State& state) {
+  bench::run_pair_benchmark(state, core::ChainKind::kAptos,
+                            core::FaultType::kCrash);
+}
+BENCHMARK(fig1)->Iterations(1)->Unit(benchmark::kSecond);
+
+void print_figure() {
+  const core::SensitivityRun& run = bench::cached_run(
+      core::ChainKind::kAptos, core::FaultType::kCrash);
+  std::printf("\n=== Fig. 1: sensitivity of Aptos to f=t crashes ===\n");
+  const core::Ecdf baseline(run.baseline.latencies);
+  const core::Ecdf altered(run.altered.latencies);
+  std::printf("%s\n",
+              core::render_ecdf_pair(baseline, altered).c_str());
+  std::printf("baseline: n=%zu mean=%.2fs p99=%.2fs (area S1=%.2f)\n",
+              baseline.count(), baseline.mean(),
+              run.baseline.p99_latency_s, run.score.baseline_area);
+  std::printf("altered : n=%zu mean=%.2fs p99=%.2fs (area S2=%.2f)\n",
+              altered.count(), altered.mean(), run.altered.p99_latency_s,
+              run.score.altered_area);
+  std::printf("sensitivity |S1-S2| = %s\n",
+              core::format_score(run.score).c_str());
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_figure)

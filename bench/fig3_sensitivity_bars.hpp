@@ -1,0 +1,40 @@
+// Shared implementation for the four Fig. 3 panels: the sensitivity bars
+// of the 5 chains under one fault type.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace stabl::bench {
+
+inline void print_fig3_panel(core::FaultType fault, const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  core::Table table({"chain", "f", "t", "sensitivity", "benefits",
+                     "recovery(s)", "committed", "live"});
+  for (const core::ChainKind chain : core::kAllChains) {
+    const core::SensitivityRun& run = cached_run(chain, fault);
+    const std::size_t t = core::fault_tolerance(chain, 10);
+    std::size_t f = 0;
+    if (fault == core::FaultType::kCrash) f = t;
+    if (fault == core::FaultType::kTransient ||
+        fault == core::FaultType::kPartition ||
+        fault == core::FaultType::kDelay) {
+      f = t + 1;
+    }
+    table.add_row(
+        {core::to_string(chain), std::to_string(f), std::to_string(t),
+         core::format_score(run.score),
+         run.score.benefits ? "yes (striped)" : "-",
+         run.altered.recovery_seconds >= 0.0
+             ? core::Table::num(run.altered.recovery_seconds, 1)
+             : "-",
+         std::to_string(run.altered.committed) + "/" +
+             std::to_string(run.altered.submitted),
+         run.altered.live_at_end ? "yes" : "NO (inf)"});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace stabl::bench

@@ -1,0 +1,37 @@
+// Fig. 3c — sensitivity to a transient partition of f=t+1 nodes (§6)
+// One benchmark per chain; the panel's bar values print afterwards.
+#include "fig3_sensitivity_bars.hpp"
+
+namespace {
+
+using namespace stabl;
+constexpr core::FaultType kFault = core::FaultType::kPartition;
+
+void algorand(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kAlgorand, kFault);
+}
+void aptos(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kAptos, kFault);
+}
+void avalanche(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kAvalanche, kFault);
+}
+void redbelly(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kRedbelly, kFault);
+}
+void solana(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kSolana, kFault);
+}
+BENCHMARK(algorand)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(aptos)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(avalanche)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(redbelly)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(solana)->Iterations(1)->Unit(benchmark::kSecond);
+
+void print_figure() {
+  bench::print_fig3_panel(kFault, "Fig. 3c — sensitivity to a transient partition of f=t+1 nodes (§6)");
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_figure)

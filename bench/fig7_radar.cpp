@@ -1,0 +1,73 @@
+// Fig. 7: "The sensitivity of the tested blockchains to partition, crash,
+// transient failures and to the mechanism that copes with Byzantine
+// nodes" — the radar chart over all four dimensions for all five chains.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "core/radar.hpp"
+
+namespace {
+
+using namespace stabl;
+
+constexpr core::FaultType kDims[] = {
+    core::FaultType::kCrash, core::FaultType::kTransient,
+    core::FaultType::kPartition, core::FaultType::kSecureClient};
+
+void radar_pair(benchmark::State& state, core::ChainKind chain,
+                core::FaultType fault) {
+  bench::run_pair_benchmark(state, chain, fault);
+}
+
+// Register all 20 chain x dimension pairs.
+#define RADAR_BENCH(chain_name, chain_enum)                                \
+  void chain_name##_crash(benchmark::State& s) {                          \
+    radar_pair(s, core::ChainKind::chain_enum, core::FaultType::kCrash);  \
+  }                                                                        \
+  void chain_name##_transient(benchmark::State& s) {                      \
+    radar_pair(s, core::ChainKind::chain_enum,                            \
+               core::FaultType::kTransient);                              \
+  }                                                                        \
+  void chain_name##_partition(benchmark::State& s) {                      \
+    radar_pair(s, core::ChainKind::chain_enum,                            \
+               core::FaultType::kPartition);                              \
+  }                                                                        \
+  void chain_name##_byzantine(benchmark::State& s) {                      \
+    radar_pair(s, core::ChainKind::chain_enum,                            \
+               core::FaultType::kSecureClient);                           \
+  }                                                                        \
+  BENCHMARK(chain_name##_crash)->Iterations(1)->Unit(benchmark::kSecond); \
+  BENCHMARK(chain_name##_transient)                                       \
+      ->Iterations(1)                                                      \
+      ->Unit(benchmark::kSecond);                                         \
+  BENCHMARK(chain_name##_partition)                                       \
+      ->Iterations(1)                                                      \
+      ->Unit(benchmark::kSecond);                                         \
+  BENCHMARK(chain_name##_byzantine)                                       \
+      ->Iterations(1)                                                      \
+      ->Unit(benchmark::kSecond)
+
+RADAR_BENCH(algorand, kAlgorand);
+RADAR_BENCH(aptos, kAptos);
+RADAR_BENCH(avalanche, kAvalanche);
+RADAR_BENCH(redbelly, kRedbelly);
+RADAR_BENCH(solana, kSolana);
+
+void print_figure() {
+  core::RadarSummary radar;
+  for (const core::ChainKind chain : core::kAllChains) {
+    for (const core::FaultType fault : kDims) {
+      radar.record(chain, fault, bench::cached_run(chain, fault).score);
+    }
+  }
+  std::printf("\n=== Fig. 7: sensitivity radar of the tested blockchains"
+              " ===\n%s",
+              radar.to_table().c_str());
+  std::printf("inf = liveness lost; trailing '*' = the altered environment"
+              " improved latency\n");
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_figure)

@@ -1,0 +1,45 @@
+// Shared implementation for Figs. 4-6: throughput-over-time of the five
+// chains in the baseline and altered conditions, with the fault markers.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace stabl::bench {
+
+inline void print_throughput_figure(core::FaultType fault,
+                                    const char* title) {
+  const long duration = bench_duration_s();
+  std::printf("\n=== %s ===\n", title);
+  std::printf("fault injected at %lds", duration / 3);
+  if (fault != core::FaultType::kCrash) {
+    std::printf(", cleared at %lds", 2 * duration / 3);
+  }
+  std::printf(" (marked by the bucket boundaries below)\n");
+  for (const core::ChainKind chain : core::kAllChains) {
+    const core::SensitivityRun& run = cached_run(chain, fault);
+    std::printf("\n--- %s (altered: %s) ---\n",
+                core::to_string(chain).c_str(),
+                core::to_string(fault).c_str());
+    std::printf("%s", core::render_timeseries(run.altered.throughput,
+                                              static_cast<double>(
+                                                  duration / 40),
+                                              /*max_scale=*/0.0)
+                          .c_str());
+    std::printf("baseline average: %.1f tps; altered committed %llu/%llu"
+                "%s\n",
+                core::Ecdf(run.baseline.throughput).mean(),
+                static_cast<unsigned long long>(run.altered.committed),
+                static_cast<unsigned long long>(run.altered.submitted),
+                run.altered.live_at_end ? "" : "  [LIVENESS LOST]");
+    // CSV series for plotting.
+    std::printf("csv,%s,altered_tps", core::to_string(chain).c_str());
+    for (const double tps : run.altered.throughput) {
+      std::printf(",%.0f", tps);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace stabl::bench

@@ -1,0 +1,56 @@
+// Ablation: secure-client fan-out sweep (1..4 endpoints) per chain — the
+// latency cost/benefit of Byzantine node tolerance as redundancy grows.
+// 4 = max(t_B)+1 is the paper's setting.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace stabl;
+
+core::ExperimentResult& result(core::ChainKind chain, int fanout) {
+  static std::map<std::pair<core::ChainKind, int>, core::ExperimentResult>
+      cache;
+  const auto key = std::make_pair(chain, fanout);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::ExperimentConfig config = bench::paper_config(
+        chain, core::FaultType::kSecureClient);
+    config.client_fanout = fanout;
+    it = cache.emplace(key, core::run_experiment(config)).first;
+  }
+  return it->second;
+}
+
+void sweep(benchmark::State& state) {
+  const auto chain = static_cast<core::ChainKind>(state.range(0));
+  const int fanout = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result(chain, fanout).mean_latency_s);
+  }
+}
+BENCHMARK(sweep)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 2, 3, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+void print_figure() {
+  std::printf("\n=== Ablation: mean latency (s) vs secure-client fan-out"
+              " ===\n");
+  core::Table table({"chain", "fanout 1", "fanout 2", "fanout 3",
+                     "fanout 4"});
+  for (const core::ChainKind chain : core::kAllChains) {
+    std::vector<std::string> row{core::to_string(chain)};
+    for (int fanout = 1; fanout <= 4; ++fanout) {
+      row.push_back(
+          core::Table::num(result(chain, fanout).mean_latency_s, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_figure)

@@ -1,0 +1,48 @@
+// Extension: sensitivity to transient communication *delays* (tc-netem
+// delay rather than loss). The paper observed that delays alone crash all
+// of Solana's validators and that Avalanche "stops working when some
+// messages arrive 2 minutes late"; this bench scores all five chains under
+// a 120 s delay injected on f = t+1 nodes for the middle third of the run.
+#include "fig3_sensitivity_bars.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace stabl;
+
+void algorand(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kAlgorand,
+                            core::FaultType::kDelay);
+}
+void aptos(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kAptos,
+                            core::FaultType::kDelay);
+}
+void avalanche(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kAvalanche,
+                            core::FaultType::kDelay);
+}
+void redbelly(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kRedbelly,
+                            core::FaultType::kDelay);
+}
+void solana(benchmark::State& s) {
+  bench::run_pair_benchmark(s, core::ChainKind::kSolana,
+                            core::FaultType::kDelay);
+}
+BENCHMARK(algorand)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(aptos)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(avalanche)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(redbelly)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(solana)->Iterations(1)->Unit(benchmark::kSecond);
+
+void print_figure() {
+  bench::print_fig3_panel(
+      core::FaultType::kDelay,
+      "Extension: sensitivity to 120s communication delays on f=t+1 nodes");
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_figure)

@@ -1,0 +1,62 @@
+// Extension (paper future work): "measure the sensitivity of blockchains
+// in larger networks, especially for probabilistic consensus protocols
+// that rely on the law of large numbers". Sweep the network size and
+// report crash sensitivity per chain.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace stabl;
+
+constexpr std::size_t kSizes[] = {7, 10, 16};
+
+core::SensitivityRun& result(core::ChainKind chain, std::size_t n) {
+  static std::map<std::pair<core::ChainKind, std::size_t>,
+                  core::SensitivityRun>
+      cache;
+  const auto key = std::make_pair(chain, n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::ExperimentConfig config =
+        bench::paper_config(chain, core::FaultType::kCrash);
+    config.n = n;
+    it = cache.emplace(key, core::run_sensitivity(config)).first;
+  }
+  return it->second;
+}
+
+void sweep(benchmark::State& state) {
+  const auto chain = static_cast<core::ChainKind>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result(chain, n).score.value);
+  }
+}
+BENCHMARK(sweep)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {7, 10, 16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+void print_figure() {
+  std::printf("\n=== Extension: crash sensitivity vs network size ===\n");
+  core::Table table({"chain", "n=7 (t, score)", "n=10 (t, score)",
+                     "n=16 (t, score)"});
+  for (const core::ChainKind chain : core::kAllChains) {
+    std::vector<std::string> row{core::to_string(chain)};
+    for (const std::size_t n : kSizes) {
+      const core::SensitivityRun& run = result(chain, n);
+      row.push_back("t=" +
+                    std::to_string(core::fault_tolerance(chain, n)) + ", " +
+                    core::format_score(run.score) +
+                    (run.altered.live_at_end ? "" : " DEAD"));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_figure)

@@ -1,0 +1,66 @@
+// Micro-benchmarks of the sensitivity metric itself: eCDF construction,
+// super-cumulative evaluation and full score computation at the sample
+// sizes a 400 s / 200 TPS campaign produces (~80k latencies).
+#include <benchmark/benchmark.h>
+
+#include "core/sensitivity.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace stabl;
+
+std::vector<double> synthetic_latencies(std::size_t n, double median,
+                                        std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.lognormal_median(median, 0.5));
+  }
+  return xs;
+}
+
+void ecdf_build(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = synthetic_latencies(n, 2.0, 3);
+  for (auto _ : state) {
+    auto copy = xs;
+    core::Ecdf ecdf(std::move(copy));
+    benchmark::DoNotOptimize(ecdf.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(ecdf_build)->Range(1 << 10, 1 << 17);
+
+void super_cumulative_eval(benchmark::State& state) {
+  const core::Ecdf ecdf(synthetic_latencies(80000, 2.0, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::super_cumulative(ecdf, ecdf.max(), 0.25));
+  }
+}
+BENCHMARK(super_cumulative_eval);
+
+void sensitivity_score_full(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto baseline = synthetic_latencies(n, 2.0, 3);
+  const auto altered = synthetic_latencies(n, 5.0, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sensitivity(baseline, altered));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(sensitivity_score_full)->Range(1 << 12, 1 << 17);
+
+void ecdf_integral_eval(benchmark::State& state) {
+  const core::Ecdf ecdf(synthetic_latencies(80000, 2.0, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ecdf_integral(ecdf, ecdf.max()));
+  }
+}
+BENCHMARK(ecdf_integral_eval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Micro-benchmarks of the simulation substrate: event queue, PRNG, timer
+// churn, network delivery and mempool operations. These bound how much
+// simulated traffic a STABL campaign can afford.
+#include <benchmark/benchmark.h>
+
+#include "chain/mempool.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace stabl;
+
+void event_queue_schedule_pop(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < count; ++i) {
+      queue.schedule(sim::us(static_cast<std::int64_t>((i * 7919) % 100000)),
+                     [] {});
+    }
+    sim::Time at{};
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop(at));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(count) *
+                          state.iterations());
+}
+BENCHMARK(event_queue_schedule_pop)->Range(1 << 10, 1 << 16);
+
+void rng_u64(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(rng_u64);
+
+void rng_sample_without_replacement(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.sample_without_replacement(10, 6));
+  }
+}
+BENCHMARK(rng_sample_without_replacement);
+
+void simulation_timer_churn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation simulation(1);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      simulation.schedule_after(sim::us(i % 997), [&] { ++fired; });
+    }
+    simulation.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(10000 * state.iterations());
+}
+BENCHMARK(simulation_timer_churn);
+
+struct NullEndpoint final : net::Endpoint {
+  void deliver(const net::Envelope&) override {}
+  [[nodiscard]] bool endpoint_alive() const override { return true; }
+};
+
+void network_delivery(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation simulation(1);
+    net::Network network(simulation, net::LatencyConfig{});
+    NullEndpoint sinks[10];
+    for (net::NodeId id = 0; id < 10; ++id) network.attach(id, &sinks[id]);
+    auto payload = std::make_shared<const net::ControlPayload>(
+        net::ControlPayload::Kind::kPing);
+    for (int i = 0; i < 10000; ++i) {
+      network.send(static_cast<net::NodeId>(i % 10),
+                   static_cast<net::NodeId>((i + 1) % 10), payload);
+    }
+    simulation.run();
+    benchmark::DoNotOptimize(network.stats().delivered);
+  }
+  state.SetItemsProcessed(10000 * state.iterations());
+}
+BENCHMARK(network_delivery);
+
+void mempool_add_collect_remove(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    chain::Mempool pool;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      chain::Transaction tx;
+      tx.id = i + 1;
+      tx.from = static_cast<chain::AccountId>(i % 5);
+      tx.nonce = i / 5;
+      pool.add(tx);
+    }
+    const auto batch = pool.collect_ready(
+        count, [](chain::AccountId) { return std::uint64_t{0}; });
+    pool.remove(batch);
+    benchmark::DoNotOptimize(pool.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(count) *
+                          state.iterations());
+}
+BENCHMARK(mempool_add_collect_remove)->Range(1 << 8, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Partition study: walk one chain through the paper's three-phase
+// partition experiment (§6) and watch detection, stall and recovery in the
+// throughput series — including the timeout-driven difference between
+// *passive* partition recovery and *active* crash-restart recovery.
+//
+// Usage: partition_study [chain] [duration_seconds]
+//   chain: algorand | aptos | avalanche | redbelly | solana  (default
+//          redbelly)
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+stabl::core::ChainKind parse_chain(const char* name) {
+  using stabl::core::ChainKind;
+  for (const ChainKind chain : stabl::core::kAllChains) {
+    if (stabl::core::to_string(chain) == name) return chain;
+  }
+  std::fprintf(stderr, "unknown chain '%s', using redbelly\n", name);
+  return ChainKind::kRedbelly;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stabl;
+  const core::ChainKind chain =
+      argc > 1 ? parse_chain(argv[1]) : core::ChainKind::kRedbelly;
+  const long duration = argc > 2 ? std::atol(argv[2]) : 400;
+
+  core::ExperimentConfig config;
+  config.chain = chain;
+  config.duration = sim::sec(duration);
+  config.inject_at = sim::sec(duration / 3);
+  config.recover_at = sim::sec(2 * duration / 3);
+
+  std::printf("=== %s: partition of f=t+1 nodes, %lds run ===\n",
+              core::to_string(chain).c_str(), duration);
+
+  config.fault = core::FaultType::kPartition;
+  const core::ExperimentResult partition = core::run_experiment(config);
+  std::printf("\nthroughput (partition %ld-%lds):\n%s\n", duration / 3,
+              2 * duration / 3,
+              core::render_timeseries(partition.throughput,
+                                      static_cast<double>(duration / 40))
+                  .c_str());
+
+  config.fault = core::FaultType::kTransient;
+  const core::ExperimentResult transient = core::run_experiment(config);
+
+  core::Table table({"condition", "recovery(s)", "committed", "live"});
+  table.add_row({"partition (passive recovery)",
+                 partition.recovery_seconds >= 0
+                     ? core::Table::num(partition.recovery_seconds, 1)
+                     : "never",
+                 std::to_string(partition.committed) + "/" +
+                     std::to_string(partition.submitted),
+                 partition.live_at_end ? "yes" : "NO"});
+  table.add_row({"transient crash+restart (active)",
+                 transient.recovery_seconds >= 0
+                     ? core::Table::num(transient.recovery_seconds, 1)
+                     : "never",
+                 std::to_string(transient.committed) + "/" +
+                     std::to_string(transient.submitted),
+                 transient.live_at_end ? "yes" : "NO"});
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nPassive recovery waits for reconnection timeouts (paper §6:"
+      " Algorand 9s->99s, Redbelly 7s->81s); active recovery re-dials"
+      " immediately after restart.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: run a short baseline experiment on every chain model and
+// print throughput/latency, then inject one crash fault on Redbelly and
+// show its sensitivity score.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace stabl;
+
+  std::printf("== STABL quickstart: 60s baseline on each chain ==\n\n");
+  core::Table table({"chain", "committed", "blocks", "avg tps", "mean lat",
+                     "p99 lat", "live"});
+  for (const core::ChainKind chain : core::kAllChains) {
+    core::ExperimentConfig config;
+    config.chain = chain;
+    config.duration = sim::sec(60);
+    config.seed = 7;
+    const core::ExperimentResult result = core::run_experiment(config);
+    double sum = 0.0;
+    for (const double tps : result.throughput) sum += tps;
+    table.add_row({core::to_string(chain),
+                   std::to_string(result.committed),
+                   std::to_string(result.blocks),
+                   core::Table::num(sum / 60.0, 1),
+                   core::Table::num(result.mean_latency_s, 2) + "s",
+                   core::Table::num(result.p99_latency_s, 2) + "s",
+                   result.live_at_end ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("== Sensitivity of Redbelly to f=t crashes (short run) ==\n");
+  core::ExperimentConfig altered;
+  altered.chain = core::ChainKind::kRedbelly;
+  altered.duration = sim::sec(120);
+  altered.inject_at = sim::sec(40);
+  altered.fault = core::FaultType::kCrash;
+  const core::SensitivityRun run = core::run_sensitivity(altered);
+  std::printf("baseline mean latency: %.2fs, altered: %.2fs\n",
+              run.baseline.mean_latency_s, run.altered.mean_latency_s);
+  std::printf("sensitivity score: %s\n",
+              core::format_score(run.score).c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// regression_gate — the CI use case the paper pitches STABL for: run the
+// fault-tolerance matrix on every build and fail the pipeline when a
+// chain's sensitivity regresses past the gate, or when a chain that used
+// to survive a condition stops doing so.
+//
+// Usage: regression_gate [duration_seconds] [seed]
+// Exit code 0 = gate passed, 1 = violations found.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stabl;
+  const long duration_s = argc > 1 ? std::atol(argv[1]) : 400;
+  const unsigned long seed =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 42;
+
+  core::CampaignConfig config;
+  config.base.seed = seed;
+  config.base.duration = sim::sec(duration_s);
+  config.base.inject_at = sim::sec(duration_s / 3);
+  config.base.recover_at = sim::sec(2 * duration_s / 3);
+  config.on_cell_done = [](core::ChainKind chain, core::FaultType fault,
+                           const core::SensitivityRun& run) {
+    std::printf("  %-9s %-13s -> %s\n", core::to_string(chain).c_str(),
+                core::to_string(fault).c_str(),
+                core::format_score(run.score).c_str());
+  };
+
+  std::printf("running the STABL matrix (%lds per run, seed %lu)...\n",
+              duration_s, seed);
+  const core::CampaignResult result = core::run_campaign(config);
+
+  // The gate encodes the paper's measured shape with headroom. The shape
+  // expectations (which chains lose liveness, the timeout arithmetic) are
+  // tied to the paper's 400 s / 133 s / 266 s geometry — e.g. Solana's EAH
+  // panic requires the fault to land inside a warm-up epoch. For shorter
+  // smoke runs the gate only checks coarse sanity.
+  core::CampaignGate gate;
+  if (duration_s >= 400) {
+    gate.max_score = {
+        {core::FaultType::kCrash, 40.0},
+        {core::FaultType::kTransient, 400.0},
+        {core::FaultType::kPartition, 600.0},
+        {core::FaultType::kSecureClient, 15.0},
+    };
+    gate.expected_infinite = {
+        {core::ChainKind::kAvalanche, core::FaultType::kTransient},
+        {core::ChainKind::kAvalanche, core::FaultType::kPartition},
+        {core::ChainKind::kSolana, core::FaultType::kTransient},
+        {core::ChainKind::kSolana, core::FaultType::kPartition},
+    };
+  } else {
+    std::printf("(short run: paper-shape expectations need >=400s;"
+                " applying coarse sanity bounds only)\n");
+    const double scale = static_cast<double>(duration_s) / 400.0;
+    gate.max_score = {
+        {core::FaultType::kCrash, 100.0 * scale},
+        {core::FaultType::kSecureClient, 60.0 * scale},
+    };
+    gate.flag_unexpected_liveness_loss = false;
+  }
+
+  const auto violations = core::check_gate(result, gate);
+  std::printf("\n%s\n", result.radar.to_table().c_str());
+  if (violations.empty()) {
+    std::printf("gate PASSED: all %zu cells within bounds\n",
+                result.runs.size());
+    return 0;
+  }
+  std::printf("gate FAILED (%zu violations):\n", violations.size());
+  for (const auto& violation : violations) {
+    std::printf("  - %s\n", violation.c_str());
+  }
+  return 1;
+}

@@ -1,0 +1,156 @@
+// stabl_cli — run a single STABL experiment pair from the command line and
+// emit human-readable or machine-readable results. The driver a downstream
+// user would wire into a CI pipeline.
+//
+// Usage:
+//   stabl_cli [--chain NAME] [--fault NAME] [--duration S] [--seed N]
+//             [--fanout K] [--matching K] [--workload constant|bursty|ramp]
+//             [--vcpus N] [--format text|csv|json]
+//             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
+//
+// Examples:
+//   stabl_cli --chain solana --fault transient
+//   stabl_cli --chain redbelly --fault partition --max-idle 30 --format json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/serialize.hpp"
+
+namespace {
+
+using namespace stabl;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--chain algorand|aptos|avalanche|redbelly|solana]\n"
+      "          [--fault none|crash|transient|partition|secure-client|"
+      "delay|churn]\n"
+      "          [--duration seconds] [--seed n] [--fanout k]\n"
+      "          [--matching k] [--workload constant|bursty|ramp]\n"
+      "          [--vcpus n] [--format text|csv|json]\n"
+      "          [--no-throttling] [--no-warmup-epochs] [--max-idle s]\n",
+      argv0);
+  std::exit(2);
+}
+
+core::ChainKind parse_chain(const std::string& name, const char* argv0) {
+  for (const core::ChainKind chain : core::kAllChains) {
+    if (core::to_string(chain) == name) return chain;
+  }
+  usage(argv0);
+}
+
+core::FaultType parse_fault(const std::string& name, const char* argv0) {
+  for (const core::FaultType fault :
+       {core::FaultType::kNone, core::FaultType::kCrash,
+        core::FaultType::kTransient, core::FaultType::kPartition,
+        core::FaultType::kSecureClient, core::FaultType::kDelay,
+        core::FaultType::kChurn}) {
+    if (core::to_string(fault) == name) return fault;
+  }
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config;
+  std::string format = "text";
+  long duration_s = 400;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--chain") {
+      config.chain = parse_chain(value(), argv[0]);
+    } else if (arg == "--fault") {
+      config.fault = parse_fault(value(), argv[0]);
+    } else if (arg == "--duration") {
+      duration_s = std::atol(value().c_str());
+      if (duration_s < 30) usage(argv[0]);
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--fanout") {
+      config.client_fanout = std::atoi(value().c_str());
+    } else if (arg == "--matching") {
+      config.client_matching =
+          static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (arg == "--vcpus") {
+      config.vcpus = std::atof(value().c_str());
+    } else if (arg == "--workload") {
+      const std::string shape = value();
+      if (shape == "bursty") {
+        config.workload.shape = core::WorkloadShape::kBursty;
+      } else if (shape == "ramp") {
+        config.workload.shape = core::WorkloadShape::kRamp;
+      } else if (shape != "constant") {
+        usage(argv[0]);
+      }
+    } else if (arg == "--format") {
+      format = value();
+    } else if (arg == "--no-throttling") {
+      config.tuning.avalanche_throttling = false;
+    } else if (arg == "--no-warmup-epochs") {
+      config.tuning.solana_warmup_epochs = false;
+    } else if (arg == "--max-idle") {
+      config.tuning.redbelly_max_idle_s = std::atof(value().c_str());
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  config.duration = sim::sec(duration_s);
+  config.inject_at = sim::sec(duration_s / 3);
+  config.recover_at = sim::sec(2 * duration_s / 3);
+  if (config.fault == core::FaultType::kSecureClient &&
+      config.client_fanout == 1) {
+    config.client_fanout = 4;
+    config.vcpus = 8.0;
+  }
+
+  const core::SensitivityRun run = core::run_sensitivity(config);
+
+  if (format == "json") {
+    std::printf("%s\n", core::to_json(config.chain, config.fault, run).c_str());
+    return 0;
+  }
+  if (format == "csv") {
+    std::printf("%s\n%s\n", core::summary_csv_header().c_str(),
+                core::summary_csv_row(config.chain, config.fault, run).c_str());
+    return 0;
+  }
+
+  std::printf("%s under %s\n", core::to_string(config.chain).c_str(),
+              core::to_string(config.fault).c_str());
+  core::Table table({"metric", "baseline", "altered"});
+  table.add_row({"committed", std::to_string(run.baseline.committed),
+                 std::to_string(run.altered.committed)});
+  table.add_row({"mean latency",
+                 core::Table::num(run.baseline.mean_latency_s, 3) + "s",
+                 core::Table::num(run.altered.mean_latency_s, 3) + "s"});
+  table.add_row({"p99 latency",
+                 core::Table::num(run.baseline.p99_latency_s, 3) + "s",
+                 core::Table::num(run.altered.p99_latency_s, 3) + "s"});
+  table.add_row({"live at end", run.baseline.live_at_end ? "yes" : "NO",
+                 run.altered.live_at_end ? "yes" : "NO"});
+  std::printf("%s", table.to_string().c_str());
+  std::printf("sensitivity score: %s\n",
+              core::format_score(run.score).c_str());
+  if (run.altered.recovery_seconds >= 0) {
+    std::printf("recovery: %.1fs after the fault cleared\n",
+                run.altered.recovery_seconds);
+  }
+  std::printf("\naltered throughput:\n%s",
+              core::render_timeseries(run.altered.throughput,
+                                      static_cast<double>(duration_s / 40))
+                  .c_str());
+  return 0;
+}

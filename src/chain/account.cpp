@@ -1,0 +1,40 @@
+#include "chain/account.hpp"
+
+namespace stabl::chain {
+
+const AccountState::Account& AccountState::get(AccountId account) const {
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) {
+    it = accounts_.emplace(account, Account{initial_balance_, 0}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t AccountState::next_nonce(AccountId account) const {
+  return get(account).nonce;
+}
+
+std::uint64_t AccountState::balance(AccountId account) const {
+  return get(account).balance;
+}
+
+bool AccountState::applicable(const Transaction& tx) const {
+  const Account& from = get(tx.from);
+  return tx.nonce == from.nonce && from.balance >= tx.amount;
+}
+
+bool AccountState::apply(const Transaction& tx) {
+  if (!applicable(tx)) return false;
+  get(tx.from);  // materialize
+  get(tx.to);
+  auto& from = accounts_[tx.from];
+  auto& to = accounts_[tx.to];
+  from.balance -= tx.amount;
+  from.nonce += 1;
+  to.balance += tx.amount;
+  return true;
+}
+
+void AccountState::clear() { accounts_.clear(); }
+
+}  // namespace stabl::chain

@@ -1,0 +1,45 @@
+// Account state: balances and nonces, rebuilt deterministically from the
+// ledger. One instance per node replica.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "chain/types.hpp"
+
+namespace stabl::chain {
+
+class AccountState {
+ public:
+  /// Every account starts with `initial_balance` (the genesis allocation;
+  /// large enough that the constant-rate transfer workload never runs dry).
+  explicit AccountState(std::uint64_t initial_balance = 1'000'000'000'000ull)
+      : initial_balance_(initial_balance) {}
+
+  /// Sequence number the next transaction from `account` must carry.
+  [[nodiscard]] std::uint64_t next_nonce(AccountId account) const;
+
+  [[nodiscard]] std::uint64_t balance(AccountId account) const;
+
+  /// Apply a transfer. Returns false (state unchanged) when the nonce is
+  /// out of order or funds are insufficient.
+  bool apply(const Transaction& tx);
+
+  /// Would apply() succeed right now?
+  [[nodiscard]] bool applicable(const Transaction& tx) const;
+
+  void clear();
+
+ private:
+  struct Account {
+    std::uint64_t balance = 0;
+    std::uint64_t nonce = 0;
+  };
+
+  const Account& get(AccountId account) const;
+
+  std::uint64_t initial_balance_;
+  mutable std::unordered_map<AccountId, Account> accounts_;
+};
+
+}  // namespace stabl::chain

@@ -1,0 +1,69 @@
+#include "chain/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace stabl::chain {
+
+void DecayingMeter::decay_to(sim::Time now) const {
+  if (now <= last_) return;
+  const double dt = sim::to_seconds(now - last_);
+  level_ *= std::exp(-dt / tau_s_);
+  last_ = now;
+}
+
+void DecayingMeter::add(sim::Time now, double amount) {
+  decay_to(now);
+  level_ += amount;
+}
+
+double DecayingMeter::rate(sim::Time now) const {
+  decay_to(now);
+  // A constant input of r per second settles at level = r * tau.
+  return level_ / tau_s_;
+}
+
+void DecayingMeter::reset() {
+  level_ = 0.0;
+  last_ = sim::Time{0};
+}
+
+CpuModel::CpuModel(sim::Process& host, double cores)
+    : host_(host),
+      cores_(cores),
+      core_free_at_(static_cast<std::size_t>(std::max(1.0, cores)),
+                    sim::Time{0}),
+      usage_(sim::sec(5)) {
+  assert(cores > 0);
+}
+
+void CpuModel::submit(sim::Duration cost, std::function<void()> done) {
+  const sim::Time now = host_.now();
+  auto earliest =
+      std::min_element(core_free_at_.begin(), core_free_at_.end());
+  const sim::Time start = std::max(now, *earliest);
+  const sim::Time end = start + cost;
+  *earliest = end;
+  usage_.add(now, sim::to_seconds(cost));
+  host_.set_timer(end - now, std::move(done));
+}
+
+double CpuModel::utilization() const {
+  return usage_.rate(host_.now()) / cores_;
+}
+
+sim::Duration CpuModel::queue_delay() const {
+  const sim::Time now = host_.now();
+  const sim::Time earliest =
+      *std::min_element(core_free_at_.begin(), core_free_at_.end());
+  return earliest > now ? earliest - now : sim::Duration::zero();
+}
+
+void CpuModel::reset() {
+  std::fill(core_free_at_.begin(), core_free_at_.end(), sim::Time{0});
+  usage_.reset();
+}
+
+}  // namespace stabl::chain

@@ -1,0 +1,72 @@
+// Per-node CPU capacity model.
+//
+// Two mechanisms in the paper are CPU-bound, not network-bound:
+//  * Aptos Block-STM speculative execution — duplicated transactions from
+//    the secure client are re-executed and add CPU load, which is why the
+//    paper had to move from 4-vCPU to 8-vCPU VMs for the §7 experiment;
+//  * Avalanche message throttling — the cpuThrottler blocks inbound message
+//    processing when the tracked CPU usage exceeds its target.
+//
+// CpuModel is a multi-server deterministic-service queue: work items are
+// serviced in submission order by `cores` servers; completion callbacks run
+// when the work finishes. DecayingMeter tracks a recent-usage rate the way
+// Avalanche's resource tracker does (exponentially decayed window).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::chain {
+
+/// Exponentially decaying rate meter: add(amount) events are smoothed over
+/// a time constant tau; rate() returns amount-per-second.
+class DecayingMeter {
+ public:
+  explicit DecayingMeter(sim::Duration tau) : tau_s_(sim::to_seconds(tau)) {}
+
+  void add(sim::Time now, double amount);
+  [[nodiscard]] double rate(sim::Time now) const;
+  void reset();
+
+ private:
+  void decay_to(sim::Time now) const;
+
+  double tau_s_;
+  mutable double level_ = 0.0;  // integrated amount, decayed
+  mutable sim::Time last_{0};
+};
+
+class CpuModel {
+ public:
+  /// `host` anchors completion timers to the process lifetime (killing the
+  /// process abandons in-flight work). `cores` is the vCPU count.
+  CpuModel(sim::Process& host, double cores);
+
+  /// Enqueue `cost` seconds of CPU work; `done` runs at completion (never
+  /// if the process dies first).
+  void submit(sim::Duration cost, std::function<void()> done);
+
+  /// Recent utilization in [0, ~1]: smoothed busy-seconds per second per
+  /// core.
+  [[nodiscard]] double utilization() const;
+
+  /// How long a work item submitted now would wait before starting.
+  [[nodiscard]] sim::Duration queue_delay() const;
+
+  /// Forget all queued work and usage history (process restart).
+  void reset();
+
+  [[nodiscard]] double cores() const { return cores_; }
+
+ private:
+  sim::Process& host_;
+  double cores_;
+  std::vector<sim::Time> core_free_at_;
+  DecayingMeter usage_;
+};
+
+}  // namespace stabl::chain

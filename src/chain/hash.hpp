@@ -1,0 +1,23 @@
+// Small deterministic hashing helpers used in place of cryptographic hashes
+// and VRFs. Collision resistance is irrelevant for the simulation; what
+// matters is that every node computes the same values from the same inputs.
+#pragma once
+
+#include <cstdint>
+
+namespace stabl::chain {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace stabl::chain

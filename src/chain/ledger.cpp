@@ -1,0 +1,38 @@
+#include "chain/ledger.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace stabl::chain {
+
+const Block& Ledger::append(Block block) {
+  assert(block.height == blocks_.size() && "out-of-order block append");
+  assert(block.committed_at >= last_commit_time());
+  for (const Transaction& tx : block.txs) {
+    assert(!tx_records_.contains(tx.id) && "transaction committed twice");
+    tx_records_.emplace(tx.id,
+                        TxRecord{block.committed_at, blocks_.size()});
+  }
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+bool Ledger::is_committed(TxId id) const { return tx_records_.contains(id); }
+
+sim::Time Ledger::commit_time(TxId id) const {
+  const auto it = tx_records_.find(id);
+  assert(it != tx_records_.end());
+  return it->second.committed_at;
+}
+
+std::size_t Ledger::block_index(TxId id) const {
+  const auto it = tx_records_.find(id);
+  assert(it != tx_records_.end());
+  return it->second.block_index;
+}
+
+sim::Time Ledger::last_commit_time() const {
+  return blocks_.empty() ? sim::Time{0} : blocks_.back().committed_at;
+}
+
+}  // namespace stabl::chain

@@ -1,0 +1,49 @@
+// The committed chain of blocks, one replica per node.
+//
+// The ledger survives crash/restart cycles (it models on-disk storage);
+// protocol state and mempools do not.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/types.hpp"
+
+namespace stabl::chain {
+
+class Ledger {
+ public:
+  /// Append a block. The block's height must equal height(); committed_at
+  /// must be monotonically non-decreasing. Returns the stored block.
+  const Block& append(Block block);
+
+  [[nodiscard]] bool is_committed(TxId id) const;
+
+  /// Commit time of a transaction; requires is_committed(id).
+  [[nodiscard]] sim::Time commit_time(TxId id) const;
+
+  /// Index of the block containing a transaction; requires
+  /// is_committed(id).
+  [[nodiscard]] std::size_t block_index(TxId id) const;
+
+  /// Next height to append at (= number of blocks).
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+
+  [[nodiscard]] std::uint64_t tx_count() const { return tx_records_.size(); }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Commit time of the most recent block, or zero when empty.
+  [[nodiscard]] sim::Time last_commit_time() const;
+
+ private:
+  struct TxRecord {
+    sim::Time committed_at{0};
+    std::size_t block_index = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::unordered_map<TxId, TxRecord> tx_records_;
+};
+
+}  // namespace stabl::chain

@@ -1,0 +1,88 @@
+#include "chain/mempool.hpp"
+
+namespace stabl::chain {
+
+bool Mempool::add(const Transaction& tx) {
+  if (by_id_.contains(tx.id)) {
+    ++duplicate_submissions_;
+    return false;
+  }
+  // A different transaction already occupying this (sender, nonce) slot is
+  // a conflict; first-come-first-served (no fee-replacement modeled).
+  auto& slot = by_sender_[tx.from][tx.nonce];
+  if (slot != 0) {
+    ++duplicate_submissions_;
+    return false;
+  }
+  slot = tx.id;
+  by_id_.emplace(tx.id, tx);
+  return true;
+}
+
+bool Mempool::contains(TxId id) const { return by_id_.contains(id); }
+
+std::optional<Transaction> Mempool::get(TxId id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Transaction> Mempool::collect_ready(
+    std::size_t max_count, const NonceFn& next_nonce) const {
+  std::vector<Transaction> out;
+  out.reserve(std::min(max_count, by_id_.size()));
+  for (const auto& [sender, by_nonce] : by_sender_) {
+    std::uint64_t expected = next_nonce(sender);
+    for (auto it = by_nonce.lower_bound(expected); it != by_nonce.end();
+         ++it) {
+      if (it->first != expected) break;  // nonce gap: stop this sender
+      if (out.size() >= max_count) return out;
+      out.push_back(by_id_.at(it->second));
+      ++expected;
+    }
+  }
+  return out;
+}
+
+void Mempool::remove(const std::vector<Transaction>& txs) {
+  for (const Transaction& tx : txs) {
+    const auto it = by_id_.find(tx.id);
+    if (it == by_id_.end()) continue;
+    auto sender_it = by_sender_.find(it->second.from);
+    if (sender_it != by_sender_.end()) {
+      sender_it->second.erase(it->second.nonce);
+      if (sender_it->second.empty()) by_sender_.erase(sender_it);
+    }
+    by_id_.erase(it);
+  }
+}
+
+void Mempool::remove_stale(const NonceFn& next_nonce) {
+  for (auto sender_it = by_sender_.begin(); sender_it != by_sender_.end();) {
+    const std::uint64_t expected = next_nonce(sender_it->first);
+    auto& by_nonce = sender_it->second;
+    for (auto it = by_nonce.begin();
+         it != by_nonce.end() && it->first < expected;) {
+      by_id_.erase(it->second);
+      it = by_nonce.erase(it);
+    }
+    sender_it = by_nonce.empty() ? by_sender_.erase(sender_it)
+                                 : std::next(sender_it);
+  }
+}
+
+std::vector<TxId> Mempool::known_ids() const {
+  std::vector<TxId> ids;
+  ids.reserve(by_id_.size());
+  for (const auto& [sender, by_nonce] : by_sender_) {
+    for (const auto& [nonce, id] : by_nonce) ids.push_back(id);
+  }
+  return ids;
+}
+
+void Mempool::clear() {
+  by_id_.clear();
+  by_sender_.clear();
+}
+
+}  // namespace stabl::chain

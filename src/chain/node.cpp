@@ -1,0 +1,263 @@
+#include "chain/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "chain/hash.hpp"
+
+namespace stabl::chain {
+namespace {
+
+std::vector<net::NodeId> blockchain_peers(net::NodeId self, std::size_t n) {
+  std::vector<net::NodeId> peers;
+  peers.reserve(n - 1);
+  for (net::NodeId id = 0; id < n; ++id) {
+    if (id != self) peers.push_back(id);
+  }
+  return peers;
+}
+
+constexpr std::size_t kSyncChunkBlocks = 256;
+
+}  // namespace
+
+BlockchainNode::BlockchainNode(sim::Simulation& simulation,
+                               net::Network& network, NodeConfig config)
+    : Process(simulation, config.id),
+      config_(config),
+      net_(network),
+      connections_(
+          *this, network, config.id,
+          config.peers.empty() ? blockchain_peers(config.id, config.n)
+                               : config.peers,
+          config.connection,
+          net::ConnectionManager::Callbacks{
+              [this](net::NodeId peer) { on_peer_up(peer); },
+              [this](net::NodeId peer) { on_peer_down(peer); }}),
+      mempool_(),
+      cpu_(*this, config.vcpus),
+      rng_(simulation.rng().fork()) {
+  network.attach(config.id, this);
+}
+
+void BlockchainNode::on_start() {
+  if (restarts() == 0) {
+    boot();
+    return;
+  }
+  // A restarted process takes a while to come back (binary start, ledger
+  // open, listening sockets); then it *actively* dials its peers.
+  set_timer(config_.restart_boot_delay, [this] { boot(); });
+}
+
+void BlockchainNode::boot() {
+  booted_ = true;
+  rebuild_accounts();
+  connections_.start();
+  start_protocol();
+}
+
+void BlockchainNode::on_crash() {
+  booted_ = false;
+  connections_.stop();
+  mempool_.clear();
+  watchers_.clear();
+  cpu_.reset();
+  accounts_.clear();
+  stop_protocol();
+}
+
+void BlockchainNode::rebuild_accounts() {
+  accounts_.clear();
+  for (const Block& block : ledger_.blocks()) {
+    for (const Transaction& tx : block.txs) {
+      const bool ok = accounts_.apply(tx);
+      assert(ok && "ledger replay must succeed");
+      (void)ok;
+    }
+  }
+}
+
+void BlockchainNode::deliver(const net::Envelope& envelope) {
+  if (!booted_) return;  // still booting: not listening yet
+  if (connections_.handle(envelope)) return;
+  if (const auto* submit =
+          dynamic_cast<const SubmitTxPayload*>(envelope.payload.get())) {
+    (void)submit;
+    handle_submit(envelope);
+    return;
+  }
+  if (dynamic_cast<const SyncRequestPayload*>(envelope.payload.get()) !=
+      nullptr) {
+    handle_sync_request(envelope);
+    return;
+  }
+  if (dynamic_cast<const SyncResponsePayload*>(envelope.payload.get()) !=
+      nullptr) {
+    handle_sync_response(envelope);
+    return;
+  }
+  on_app_message(envelope);
+}
+
+std::uint64_t BlockchainNode::result_hash(TxId id, const Block& block) {
+  // Replica-independent digest: committed position and content identity.
+  // The proposer field is deliberately excluded — chains like Redbelly
+  // stamp it with the (replica-dependent) decider, while height, round and
+  // content are what consensus agrees on.
+  return hash_combine(hash_combine(mix64(id), block.height),
+                      hash_combine(block.round, block.txs.size()));
+}
+
+void BlockchainNode::handle_submit(const net::Envelope& envelope) {
+  const auto& payload =
+      static_cast<const SubmitTxPayload&>(*envelope.payload);
+  const Transaction& tx = payload.tx;
+  if (rpc_byzantine_) {
+    // Lie: confirm instantly with a fabricated result and drop the
+    // transaction. A client trusting only this node is deceived.
+    net_.send(node_id(), envelope.from,
+              std::make_shared<const CommitNotifyPayload>(
+                  tx.id, now(), mix64(tx.id ^ 0xBADC0DEull)),
+              96);
+    return;
+  }
+  if (ledger_.is_committed(tx.id)) {
+    // Already on chain: answer right away (the secure client's duplicate
+    // submissions frequently land after the first copy committed).
+    const Block& block = ledger_.blocks()[ledger_.block_index(tx.id)];
+    net_.send(node_id(), envelope.from,
+              std::make_shared<const CommitNotifyPayload>(
+                  tx.id, ledger_.commit_time(tx.id),
+                  result_hash(tx.id, block)),
+              96);
+    return;
+  }
+  watchers_[tx.id].push_back(envelope.from);
+  accept_transaction(tx);
+}
+
+void BlockchainNode::accept_transaction(const Transaction& tx) {
+  if (pool_transaction(tx)) on_transaction(tx);
+}
+
+bool BlockchainNode::pool_transaction(const Transaction& tx) {
+  if (ledger_.is_committed(tx.id)) return false;
+  if (accounts_.next_nonce(tx.from) > tx.nonce) return false;  // stale
+  return mempool_.add(tx);
+}
+
+const Block* BlockchainNode::commit_block(std::vector<Transaction> txs,
+                                          net::NodeId proposer,
+                                          std::uint64_t round,
+                                          bool allow_empty) {
+  std::vector<Transaction> applied;
+  applied.reserve(txs.size());
+  for (const Transaction& tx : txs) {
+    if (ledger_.is_committed(tx.id)) continue;  // cross-proposal duplicate
+    if (!accounts_.apply(tx)) continue;         // nonce gap or no funds
+    applied.push_back(tx);
+  }
+  if (applied.empty() && !allow_empty) return nullptr;
+  Block block;
+  block.height = ledger_.height();
+  block.round = round;
+  block.proposer = proposer;
+  block.committed_at = now();
+  block.txs = std::move(applied);
+  const Block& stored = ledger_.append(std::move(block));
+  mempool_.remove(stored.txs);
+  notify_watchers(stored);
+  if (commit_hook_) commit_hook_(stored);
+  return &stored;
+}
+
+void BlockchainNode::notify_watchers(const Block& block) {
+  for (const Transaction& tx : block.txs) {
+    const auto it = watchers_.find(tx.id);
+    if (it == watchers_.end()) continue;
+    for (const net::NodeId client : it->second) {
+      net_.send(node_id(), client,
+                std::make_shared<const CommitNotifyPayload>(
+                    tx.id, block.committed_at, result_hash(tx.id, block)),
+                96);
+    }
+    watchers_.erase(it);
+  }
+}
+
+void BlockchainNode::request_sync(net::NodeId peer) {
+  send_to(peer,
+          std::make_shared<const SyncRequestPayload>(ledger_.height()), 64);
+}
+
+void BlockchainNode::handle_sync_request(const net::Envelope& envelope) {
+  const auto& request =
+      static_cast<const SyncRequestPayload&>(*envelope.payload);
+  if (request.from_height >= ledger_.height()) return;  // nothing to send
+  const auto& blocks = ledger_.blocks();
+  const std::size_t first = request.from_height;
+  const std::size_t last =
+      std::min(blocks.size(), first + kSyncChunkBlocks);
+  std::vector<Block> chunk(blocks.begin() + static_cast<std::ptrdiff_t>(first),
+                           blocks.begin() + static_cast<std::ptrdiff_t>(last));
+  std::uint32_t bytes = 0;
+  for (const Block& b : chunk) {
+    bytes += 128 + static_cast<std::uint32_t>(b.txs.size()) * 128;
+  }
+  send_to(envelope.from,
+          std::make_shared<const SyncResponsePayload>(request.from_height,
+                                                      std::move(chunk)),
+          bytes);
+}
+
+void BlockchainNode::handle_sync_response(const net::Envelope& envelope) {
+  const auto& response =
+      static_cast<const SyncResponsePayload&>(*envelope.payload);
+  if (response.from_height != ledger_.height()) return;  // stale chunk
+  for (const Block& block : response.blocks) {
+    Block copy = block;
+    copy.height = ledger_.height();
+    // Re-stamp nothing: committed_at is the original decision time on the
+    // serving replica; our ledger requires monotone times, so clamp.
+    copy.committed_at = std::max(copy.committed_at,
+                                 ledger_.last_commit_time());
+    std::vector<Transaction> applied;
+    applied.reserve(copy.txs.size());
+    for (const Transaction& tx : copy.txs) {
+      if (ledger_.is_committed(tx.id)) continue;
+      if (!accounts_.apply(tx)) continue;
+      applied.push_back(tx);
+    }
+    // Keep the block even when all transactions were filtered (e.g. an
+    // empty Redbelly round): heights must stay aligned with the peer.
+    copy.txs = std::move(applied);
+    const Block& stored = ledger_.append(std::move(copy));
+    mempool_.remove(stored.txs);
+    // A node serving clients must report commits no matter how it learned
+    // them — also when it caught up through state sync.
+    notify_watchers(stored);
+    if (commit_hook_) commit_hook_(stored);
+  }
+  on_synced();
+  // Keep pulling until caught up with this peer.
+  if (!response.blocks.empty() &&
+      response.blocks.size() == kSyncChunkBlocks) {
+    request_sync(envelope.from);
+  }
+}
+
+bool BlockchainNode::send_to(net::NodeId peer, net::PayloadPtr payload,
+                             std::uint32_t bytes) {
+  return connections_.send(peer, std::move(payload), bytes);
+}
+
+void BlockchainNode::broadcast(const net::PayloadPtr& payload,
+                               std::uint32_t bytes) {
+  for (const net::NodeId peer : connections_.peers()) {
+    connections_.send(peer, payload, bytes);
+  }
+}
+
+}  // namespace stabl::chain

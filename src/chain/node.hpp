@@ -1,0 +1,195 @@
+// Base class for the five blockchain node implementations.
+//
+// A BlockchainNode is a simulated process attached to the network. The base
+// class provides everything the paper's harness interacts with and that is
+// common across chains:
+//  * the TCP-like connection manager (per-chain reconnection policy);
+//  * the mempool (deduplication, nonce ordering) and client RPC handling
+//    (submit + committed-notification watchers);
+//  * the persistent ledger + account state, with replay on restart;
+//  * a block-transfer state-sync service used by restarted replicas;
+//  * a CPU capacity model.
+//
+// Subclasses implement the consensus protocol: start_protocol(),
+// on_app_message() and the commit decision, calling commit_block() when a
+// batch of transactions is decided.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/account.hpp"
+#include "chain/cpu.hpp"
+#include "chain/ledger.hpp"
+#include "chain/mempool.hpp"
+#include "chain/types.hpp"
+#include "net/connection.hpp"
+#include "net/network.hpp"
+#include "sim/process.hpp"
+
+namespace stabl::chain {
+
+/// A batch of transactions on the wire; chains reuse this for tx gossip.
+struct TxBatchPayload final : net::Payload {
+  explicit TxBatchPayload(std::vector<Transaction> batch)
+      : txs(std::move(batch)) {}
+  std::vector<Transaction> txs;
+};
+
+/// State-sync: "send me blocks from this height".
+struct SyncRequestPayload final : net::Payload {
+  explicit SyncRequestPayload(std::uint64_t height) : from_height(height) {}
+  std::uint64_t from_height;
+};
+
+/// State-sync: a chunk of blocks starting at `from_height`.
+struct SyncResponsePayload final : net::Payload {
+  SyncResponsePayload(std::uint64_t height, std::vector<Block> chunk)
+      : from_height(height), blocks(std::move(chunk)) {}
+  std::uint64_t from_height;
+  std::vector<Block> blocks;
+};
+
+struct NodeConfig {
+  net::NodeId id = 0;
+  std::size_t n = 10;  ///< number of blockchain nodes (NodeIds 0..n-1)
+  double vcpus = 4.0;  ///< paper default; 8.0 for the §7 experiment
+  std::uint64_t network_seed = 0;
+  net::ConnectionPolicy connection{};
+  /// Process boot time after a restart (binary start + ledger open);
+  /// contributes to the chain-specific transient recovery times.
+  sim::Duration restart_boot_delay = sim::sec(3);
+  /// Overlay topology: peers this node maintains connections to. Empty =
+  /// fully connected (the paper's deployment). Chains with hierarchical
+  /// topologies (Algorand relay nodes) restrict this.
+  std::vector<net::NodeId> peers;
+};
+
+class BlockchainNode : public sim::Process, public net::Endpoint {
+ public:
+  using CommitHook = std::function<void(const Block&)>;
+
+  BlockchainNode(sim::Simulation& simulation, net::Network& network,
+                 NodeConfig config);
+
+  // net::Endpoint
+  void deliver(const net::Envelope& envelope) final;
+  [[nodiscard]] bool endpoint_alive() const final { return alive(); }
+
+  [[nodiscard]] net::NodeId node_id() const { return config_.id; }
+  [[nodiscard]] std::size_t cluster_size() const { return config_.n; }
+  [[nodiscard]] const Ledger& ledger() const { return ledger_; }
+  [[nodiscard]] const Mempool& mempool() const { return mempool_; }
+  [[nodiscard]] const AccountState& accounts() const { return accounts_; }
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+
+  /// In-process observer of every locally committed block (tests/metrics).
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// Make this node's RPC endpoint Byzantine: it confirms every submitted
+  /// transaction immediately with a fabricated result hash and never
+  /// forwards it — the "trusting one specific node effectively brings the
+  /// number of tolerated Byzantine faults to zero" attack of §7.
+  void set_rpc_byzantine(bool byzantine) { rpc_byzantine_ = byzantine; }
+  [[nodiscard]] bool rpc_byzantine() const { return rpc_byzantine_; }
+
+  /// Result digest a correct replica reports for a committed transaction;
+  /// identical across replicas (position in the agreed block sequence).
+  static std::uint64_t result_hash(TxId id, const Block& block);
+
+  /// Chain-specific diagnostic counters (the quantities the paper digs out
+  /// of node logs: speculative aborts, throttled messages, empty rounds,
+  /// panics, ...). Keys are short snake_case names; values are counts.
+  [[nodiscard]] virtual std::map<std::string, double> metrics() const {
+    return {};
+  }
+
+ protected:
+  /// Consensus lifecycle hooks.
+  virtual void start_protocol() = 0;
+  virtual void stop_protocol() {}
+  virtual void on_app_message(const net::Envelope& envelope) = 0;
+  virtual void on_peer_up(net::NodeId peer) { (void)peer; }
+  virtual void on_peer_down(net::NodeId peer) { (void)peer; }
+
+  /// A new transaction entered the mempool (client RPC or gossip).
+  virtual void on_transaction(const Transaction& tx) { (void)tx; }
+
+  /// Client RPC entry point; default pools the transaction. Solana
+  /// overrides this (no mempool: transactions are forwarded to leaders).
+  virtual void accept_transaction(const Transaction& tx);
+
+  /// Commit a decided batch. Filters transactions that are already
+  /// committed or not applicable (nonce/balance), applies the rest, appends
+  /// a block and notifies client watchers. Returns the appended block, or
+  /// nullptr when everything was filtered out and `allow_empty` is false.
+  /// Chains that need height to track their round counter (Redbelly) pass
+  /// allow_empty = true so empty rounds still produce a block.
+  const Block* commit_block(std::vector<Transaction> txs,
+                            net::NodeId proposer, std::uint64_t round = 0,
+                            bool allow_empty = false);
+
+  /// Hook invoked after a state-sync chunk was applied to the ledger.
+  virtual void on_synced() {}
+
+  /// Pool a transaction learned from another node (gossip), with the same
+  /// dedup/stale checks as the RPC path. Returns true when newly pooled.
+  bool pool_transaction(const Transaction& tx);
+
+  /// Ask `peer` for blocks we are missing (restart catch-up).
+  void request_sync(net::NodeId peer);
+
+  /// Send/broadcast over established connections to blockchain peers.
+  bool send_to(net::NodeId peer, net::PayloadPtr payload,
+               std::uint32_t bytes = 256);
+  void broadcast(const net::PayloadPtr& payload, std::uint32_t bytes = 256);
+
+  [[nodiscard]] net::ConnectionManager& connections() { return connections_; }
+  [[nodiscard]] Mempool& mutable_mempool() { return mempool_; }
+  [[nodiscard]] CpuModel& mutable_cpu() { return cpu_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] std::uint64_t network_seed() const {
+    return config_.network_seed;
+  }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] bool booted() const { return booted_; }
+
+  /// True for ids of blockchain nodes (as opposed to client machines).
+  [[nodiscard]] bool is_blockchain_peer(net::NodeId id) const {
+    return id < config_.n;
+  }
+
+  // sim::Process
+  void on_start() final;
+  void on_crash() final;
+
+ private:
+  void boot();
+  void handle_submit(const net::Envelope& envelope);
+  void handle_sync_request(const net::Envelope& envelope);
+  void handle_sync_response(const net::Envelope& envelope);
+  void notify_watchers(const Block& block);
+  void rebuild_accounts();
+
+  NodeConfig config_;
+  net::Network& net_;
+  net::ConnectionManager connections_;
+  Mempool mempool_;
+  Ledger ledger_;  // persistent across restarts
+  AccountState accounts_;
+  CpuModel cpu_;
+  sim::Rng rng_;
+  bool booted_ = false;
+  // tx id -> client machines waiting for the commit notification. Volatile.
+  std::unordered_map<TxId, std::vector<net::NodeId>> watchers_;
+  CommitHook commit_hook_;
+  bool rpc_byzantine_ = false;
+};
+
+}  // namespace stabl::chain

@@ -1,0 +1,57 @@
+#include "chain/vrf.hpp"
+
+#include <cassert>
+
+namespace stabl::chain {
+namespace {
+
+std::uint64_t draw_bits(std::uint64_t network_seed, std::uint64_t round,
+                        std::uint32_t step, net::NodeId node) {
+  std::uint64_t h = hash_combine(network_seed, round);
+  h = hash_combine(h, step);
+  h = hash_combine(h, node);
+  return mix64(h);
+}
+
+}  // namespace
+
+double sortition_draw(std::uint64_t network_seed, std::uint64_t round,
+                      std::uint32_t step, net::NodeId node) {
+  return static_cast<double>(draw_bits(network_seed, round, step, node) >>
+                             11) *
+         0x1.0p-53;
+}
+
+std::vector<net::NodeId> sortition_committee(std::uint64_t network_seed,
+                                             std::uint64_t round,
+                                             std::uint32_t step,
+                                             std::size_t n,
+                                             double expected_size) {
+  assert(n > 0);
+  const double p = expected_size / static_cast<double>(n);
+  std::vector<net::NodeId> committee;
+  committee.reserve(static_cast<std::size_t>(expected_size) + 4);
+  for (net::NodeId node = 0; node < n; ++node) {
+    if (sortition_draw(network_seed, round, step, node) < p) {
+      committee.push_back(node);
+    }
+  }
+  return committee;
+}
+
+net::NodeId sortition_leader(std::uint64_t network_seed, std::uint64_t round,
+                             std::uint32_t step, std::size_t n) {
+  assert(n > 0);
+  net::NodeId best = 0;
+  double best_draw = 2.0;
+  for (net::NodeId node = 0; node < n; ++node) {
+    const double draw = sortition_draw(network_seed, round, step, node);
+    if (draw < best_draw) {
+      best_draw = draw;
+      best = node;
+    }
+  }
+  return best;
+}
+
+}  // namespace stabl::chain

@@ -1,0 +1,37 @@
+// Simulated cryptographic sortition (Algorand-style VRF).
+//
+// Every node evaluates the same deterministic pseudo-random function of
+// (network seed, round, step, node id), so all replicas agree on committee
+// membership without communication — the property real VRFs provide.
+// Crashed nodes remain in the candidate set: sortition is stake-based and
+// cannot observe liveness, which is precisely why Algorand rounds stall
+// when sortition picks dead proposers (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/hash.hpp"
+#include "net/message.hpp"
+
+namespace stabl::chain {
+
+/// Pseudo-random value in [0,1) for a node's sortition draw.
+double sortition_draw(std::uint64_t network_seed, std::uint64_t round,
+                      std::uint32_t step, net::NodeId node);
+
+/// Nodes selected for (round, step): each of the n equal-stake nodes is
+/// included independently with probability expected_size / n. Result is
+/// sorted and identical on every replica.
+std::vector<net::NodeId> sortition_committee(std::uint64_t network_seed,
+                                             std::uint64_t round,
+                                             std::uint32_t step,
+                                             std::size_t n,
+                                             double expected_size);
+
+/// The single proposer for (round, step): the node with the smallest draw,
+/// mirroring Algorand's lowest-VRF-hash proposer selection.
+net::NodeId sortition_leader(std::uint64_t network_seed, std::uint64_t round,
+                             std::uint32_t step, std::size_t n);
+
+}  // namespace stabl::chain

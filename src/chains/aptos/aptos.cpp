@@ -1,0 +1,294 @@
+#include "chains/aptos/aptos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace stabl::aptos {
+namespace {
+
+struct ProposalPayload final : net::Payload {
+  ProposalPayload(std::uint64_t r, net::NodeId l,
+                  std::vector<chain::Transaction> batch)
+      : round(r), leader(l), txs(std::move(batch)) {}
+  std::uint64_t round;
+  net::NodeId leader;
+  std::vector<chain::Transaction> txs;
+};
+
+struct VotePayload final : net::Payload {
+  VotePayload(std::uint64_t r, net::NodeId l) : round(r), leader(l) {}
+  std::uint64_t round;
+  net::NodeId leader;
+};
+
+struct TimeoutPayload final : net::Payload {
+  explicit TimeoutPayload(std::uint64_t r) : round(r) {}
+  std::uint64_t round;
+};
+
+std::uint32_t batch_bytes(std::size_t tx_count) {
+  return 128 + static_cast<std::uint32_t>(tx_count) * 128;
+}
+
+}  // namespace
+
+AptosNode::AptosNode(sim::Simulation& simulation, net::Network& network,
+                     chain::NodeConfig node_config, AptosConfig config)
+    : BlockchainNode(simulation, network,
+                     [&] {
+                       node_config.connection.dead_after = config.dead_after;
+                       node_config.connection.retry_period =
+                           config.dial_retry_period;
+                       node_config.restart_boot_delay =
+                           config.restart_boot_delay;
+                       return node_config;
+                     }()),
+      config_(config) {}
+
+void AptosNode::start_protocol() {
+  // Resume from the round after the last committed block we know of.
+  const auto& blocks = ledger().blocks();
+  const std::uint64_t next_round =
+      blocks.empty() ? 0 : blocks.back().round + 1;
+  enter_round(next_round);
+}
+
+void AptosNode::stop_protocol() {
+  round_ = 0;
+  voted_ = false;
+  committing_ = false;
+  have_proposal_ = false;
+  proposal_txs_.clear();
+  votes_.clear();
+  timeouts_.clear();
+  consecutive_fails_.clear();
+  excluded_.clear();
+  pending_spec_work_ = sim::Duration{0};
+  round_timer_ = sim::kInvalidTimer;
+  propose_timer_ = sim::kInvalidTimer;
+}
+
+net::NodeId AptosNode::leader_of(std::uint64_t round) const {
+  // Round-robin over validators not excluded by leader reputation. The
+  // exclusion set is derived from observed round outcomes, so replicas
+  // converge on it; transient disagreement only costs an extra timeout.
+  std::vector<net::NodeId> active;
+  active.reserve(cluster_size());
+  for (net::NodeId id = 0; id < cluster_size(); ++id) {
+    if (!excluded_.contains(id)) active.push_back(id);
+  }
+  if (active.empty()) return static_cast<net::NodeId>(round % cluster_size());
+  return active[round % active.size()];
+}
+
+void AptosNode::enter_round(std::uint64_t round) {
+  round_ = round;
+  voted_ = false;
+  committing_ = false;
+  have_proposal_ = false;
+  proposal_txs_.clear();
+  votes_.clear();
+  timeouts_.clear();
+  cancel_timer(round_timer_);
+  cancel_timer(propose_timer_);
+  round_timer_ = set_timer(config_.round_timeout, [this] {
+    on_round_timeout();
+  });
+  if (leader_of(round_) == node_id()) {
+    propose_timer_ = set_timer(config_.block_interval, [this] { propose(); });
+  }
+}
+
+void AptosNode::propose() {
+  auto batch = mutable_mempool().collect_ready(
+      config_.max_block_txs, [this](chain::AccountId account) {
+        return accounts().next_nonce(account);
+      });
+  auto payload = std::make_shared<const ProposalPayload>(round_, node_id(),
+                                                         std::move(batch));
+  broadcast(payload, batch_bytes(payload->txs.size()));
+  // The leader processes its own proposal too.
+  proposal_leader_ = node_id();
+  have_proposal_ = true;
+  proposal_txs_ = payload->txs;
+  voted_ = true;
+  votes_[node_id()] = node_id();
+  broadcast(std::make_shared<const VotePayload>(round_, node_id()), 96);
+  try_commit();
+}
+
+void AptosNode::on_round_timeout() {
+  // Pacemaker: shout that the round is stuck; re-arm so the timeout keeps
+  // being re-broadcast while we wait (this drives post-partition resync).
+  broadcast(std::make_shared<const TimeoutPayload>(round_), 96);
+  timeouts_.insert(node_id());
+  round_timer_ = set_timer(config_.round_timeout, [this] {
+    on_round_timeout();
+  });
+  if (timeouts_.size() >= cluster_size() - (cluster_size() - 1) / 3) {
+    record_round_outcome(round_, /*success=*/false);
+    enter_round(round_ + 1);
+  }
+}
+
+void AptosNode::try_commit() {
+  if (committing_ || !have_proposal_) return;
+  std::size_t count = 0;
+  for (const auto& [voter, leader] : votes_) {
+    if (leader == proposal_leader_) ++count;
+  }
+  const std::size_t quorum = cluster_size() - (cluster_size() - 1) / 3;
+  if (count < quorum) return;
+  committing_ = true;
+  // Ordering succeeded: the pacemaker must not time the round out while
+  // Block-STM execution is still in flight (execution is pipelined after
+  // consensus in DiemBFT).
+  cancel_timer(round_timer_);
+  round_timer_ = sim::kInvalidTimer;
+  // Block-STM execution: the commit lands once the CPU finishes the batch,
+  // including whatever speculative duplicate work piled up meanwhile.
+  // Parallel execution scales with the vCPU count (4 vCPUs = the paper's
+  // standard VM; 8 vCPUs for the §7 secure-client experiment).
+  const auto spec = std::min(pending_spec_work_,
+                             config_.max_spec_work_per_block);
+  pending_spec_work_ = sim::Duration{0};
+  const auto serial = spec +
+                      sim::Duration{config_.per_tx_exec.count() *
+                                    static_cast<std::int64_t>(
+                                        std::max<std::size_t>(
+                                            proposal_txs_.size(), 1))};
+  const auto cost = sim::Duration{static_cast<std::int64_t>(
+      static_cast<double>(serial.count()) * 4.0 / cpu().cores())};
+  const std::uint64_t round = round_;
+  auto txs = proposal_txs_;
+  const net::NodeId leader = proposal_leader_;
+  mutable_cpu().submit(cost, [this, round, txs = std::move(txs), leader] {
+    if (round != round_ || !committing_) return;  // round moved on
+    commit_block(txs, leader, round);
+    record_round_outcome(round, /*success=*/true);
+    enter_round(round + 1);
+  });
+}
+
+void AptosNode::record_round_outcome(std::uint64_t round, bool success) {
+  const net::NodeId leader = leader_of(round);
+  if (success) {
+    consecutive_fails_[leader] = 0;
+    return;
+  }
+  if (++consecutive_fails_[leader] >= config_.leader_fail_threshold) {
+    excluded_.insert(leader);
+  }
+}
+
+void AptosNode::jump_to_round(std::uint64_t round, net::NodeId peer_hint) {
+  // A peer is ahead of us: fetch the blocks we missed, then follow.
+  request_sync(peer_hint);
+  enter_round(round);
+}
+
+void AptosNode::on_app_message(const net::Envelope& envelope) {
+  const net::Payload* payload = envelope.payload.get();
+  if (const auto* batch =
+          dynamic_cast<const chain::TxBatchPayload*>(payload)) {
+    for (const chain::Transaction& tx : batch->txs) {
+      if (!pool_transaction(tx)) {
+        // Block-STM speculatively dispatches the duplicate and aborts with
+        // SEQUENCE_NUMBER_TOO_OLD, burning CPU that the next block's
+        // execution has to share.
+        ++speculative_aborts_;
+        pending_spec_work_ += config_.duplicate_exec;
+      }
+    }
+    return;
+  }
+  if (const auto* proposal = dynamic_cast<const ProposalPayload*>(payload)) {
+    if (proposal->round < round_) return;
+    if (proposal->round > round_) {
+      jump_to_round(proposal->round, envelope.from);
+    }
+    if (have_proposal_) return;  // adopt the first proposal for the round
+    proposal_leader_ = proposal->leader;
+    have_proposal_ = true;
+    proposal_txs_ = proposal->txs;
+    if (!voted_) {
+      voted_ = true;
+      votes_[node_id()] = proposal->leader;
+      broadcast(std::make_shared<const VotePayload>(round_, proposal->leader),
+                96);
+    }
+    try_commit();
+    return;
+  }
+  if (const auto* vote = dynamic_cast<const VotePayload*>(payload)) {
+    if (vote->round < round_) return;
+    if (vote->round > round_) {
+      jump_to_round(vote->round, envelope.from);
+      return;
+    }
+    votes_[envelope.from] = vote->leader;
+    try_commit();
+    return;
+  }
+  if (const auto* timeout = dynamic_cast<const TimeoutPayload*>(payload)) {
+    if (timeout->round < round_) return;
+    if (timeout->round > round_) {
+      jump_to_round(timeout->round, envelope.from);
+      return;
+    }
+    timeouts_.insert(envelope.from);
+    const std::size_t quorum = cluster_size() - (cluster_size() - 1) / 3;
+    if (timeouts_.size() >= quorum) {
+      record_round_outcome(round_, /*success=*/false);
+      enter_round(round_ + 1);
+    }
+    return;
+  }
+}
+
+void AptosNode::accept_transaction(const chain::Transaction& tx) {
+  if (!pool_transaction(tx)) {
+    ++speculative_aborts_;
+    pending_spec_work_ += config_.duplicate_exec;
+    return;
+  }
+  on_transaction(tx);
+}
+
+void AptosNode::on_transaction(const chain::Transaction& tx) {
+  // Shared mempool: broadcast so the current leader can propose it.
+  broadcast(std::make_shared<const chain::TxBatchPayload>(
+                std::vector<chain::Transaction>{tx}),
+            160);
+}
+
+void AptosNode::on_peer_up(net::NodeId peer) {
+  // Offer our pooled transactions so a rejoining validator's mempool
+  // converges, and nudge it with our round via a timeout re-broadcast.
+  const auto pool = mutable_mempool().collect_ready(
+      config_.max_block_txs * 100, [this](chain::AccountId account) {
+        return accounts().next_nonce(account);
+      });
+  if (!pool.empty()) {
+    send_to(peer, std::make_shared<const chain::TxBatchPayload>(pool),
+            batch_bytes(pool.size()));
+  }
+  send_to(peer, std::make_shared<const TimeoutPayload>(round_), 96);
+}
+
+std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
+    sim::Simulation& simulation, net::Network& network,
+    chain::NodeConfig node_config_template, AptosConfig config) {
+  std::vector<std::unique_ptr<chain::BlockchainNode>> nodes;
+  nodes.reserve(node_config_template.n);
+  for (net::NodeId id = 0; id < node_config_template.n; ++id) {
+    chain::NodeConfig node_config = node_config_template;
+    node_config.id = id;
+    nodes.push_back(std::make_unique<AptosNode>(simulation, network,
+                                                node_config, config));
+  }
+  return nodes;
+}
+
+}  // namespace stabl::aptos

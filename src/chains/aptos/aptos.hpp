@@ -1,0 +1,132 @@
+// Aptos model (paper §2, §4-§7).
+//
+// Aptos runs AptosBFT (DiemBFT, a HotStuff descendant): a *leader-based*
+// protocol with rotating leaders, a pacemaker that advances rounds through
+// timeout certificates when the leader fails, and a leader-reputation
+// mechanism that eventually drops unresponsive validators from the
+// rotation. Execution is Block-STM: speculative parallel execution whose
+// wasted re-executions (SEQUENCE_NUMBER_TOO_OLD) are what the paper blames
+// for the secure-client degradation in §7 — duplicated transactions add
+// CPU load, forcing the authors onto 8-vCPU VMs.
+//
+// Behaviours reproduced:
+//  * f = t crashes (Fig. 4): rounds led by dead validators burn a pacemaker
+//    timeout each; throughput oscillates until leader reputation excludes
+//    the dead validators (~80 s), then stabilizes — "the throughput
+//    instability reduces in about 82 seconds".
+//  * f = t+1 transient (Fig. 5): quorum lost, rounds stall; after restart
+//    the chain resumes quickly, but block capacity is only modestly above
+//    the offered load, so the accumulated backlog never drains before the
+//    experiment ends — "Aptos fails to clear the backlog ... performance
+//    remains degraded for the rest of the experiment".
+//  * partition (Fig. 6): connectivity is probed every 5 s, so reconnection
+//    after the partition heals is fast and the partition score matches the
+//    transient score.
+//  * secure client (Fig. 3d): duplicate arrivals trigger speculative
+//    re-execution work on the CPU model; at 4 vCPUs the node saturates
+//    (hence the paper's 8-vCPU deployment), at 8 vCPUs latency still
+//    degrades measurably.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "chain/node.hpp"
+
+namespace stabl::aptos {
+
+struct AptosConfig {
+  /// Leader pacing: delay between entering a round and proposing.
+  sim::Duration block_interval = sim::ms(250);
+  /// Pacemaker round timeout (flat; DiemBFT's exponential backoff is
+  /// capped aggressively in production deployments).
+  sim::Duration round_timeout = sim::ms(500);
+  /// Proposal batch limit — bounds chain capacity to well under 2x the
+  /// offered load, which is what makes the post-transient backlog stick
+  /// around for the rest of the run.
+  std::size_t max_block_txs = 120;
+  /// Consecutive failed leader rounds before reputation excludes a node.
+  int leader_fail_threshold = 10;
+  /// CPU cost of executing one transaction (Block-STM, per-core).
+  sim::Duration per_tx_exec = sim::ms(2);
+  /// Block-STM work wasted per duplicate arrival (the speculative
+  /// execution that aborts with SEQUENCE_NUMBER_TOO_OLD). It contends with
+  /// block execution, which is what degrades commit latency under the
+  /// secure client.
+  sim::Duration duplicate_exec = sim::us(1200);
+  /// Cap on accumulated speculative work charged to one block execution.
+  sim::Duration max_spec_work_per_block = sim::sec(2);
+  /// Connectivity probing (paper: every 5 s, 2 s backoff base) makes
+  /// partition recovery fast.
+  sim::Duration dead_after = sim::sec(10);
+  sim::Duration dial_retry_period = sim::sec(5);
+  sim::Duration restart_boot_delay = sim::sec(3);
+};
+
+class AptosNode final : public chain::BlockchainNode {
+ public:
+  AptosNode(sim::Simulation& simulation, net::Network& network,
+            chain::NodeConfig node_config, AptosConfig config);
+
+  [[nodiscard]] std::uint64_t current_round() const { return round_; }
+  [[nodiscard]] const std::set<net::NodeId>& excluded_leaders() const {
+    return excluded_;
+  }
+  /// Count of speculative duplicate re-executions (SEQUENCE_NUMBER_TOO_OLD).
+  [[nodiscard]] std::uint64_t speculative_aborts() const {
+    return speculative_aborts_;
+  }
+
+  [[nodiscard]] std::map<std::string, double> metrics() const override {
+    return {{"speculative_aborts", static_cast<double>(speculative_aborts_)},
+            {"excluded_leaders", static_cast<double>(excluded_.size())},
+            {"round", static_cast<double>(round_)}};
+  }
+
+ protected:
+  void start_protocol() override;
+  void stop_protocol() override;
+  void on_app_message(const net::Envelope& envelope) override;
+  void accept_transaction(const chain::Transaction& tx) override;
+  void on_transaction(const chain::Transaction& tx) override;
+  void on_peer_up(net::NodeId peer) override;
+
+ private:
+  void enter_round(std::uint64_t round);
+  [[nodiscard]] net::NodeId leader_of(std::uint64_t round) const;
+  void propose();
+  void on_round_timeout();
+  void try_commit();
+  void record_round_outcome(std::uint64_t round, bool success);
+  void jump_to_round(std::uint64_t round, net::NodeId peer_hint);
+
+  AptosConfig config_;
+
+  // Volatile protocol state.
+  std::uint64_t round_ = 0;
+  bool voted_ = false;
+  bool committing_ = false;
+  net::NodeId proposal_leader_ = 0;
+  bool have_proposal_ = false;
+  std::vector<chain::Transaction> proposal_txs_;
+  std::map<net::NodeId, net::NodeId> votes_;     // voter -> leader voted for
+  std::set<net::NodeId> timeouts_;               // round-timeout senders
+  std::map<net::NodeId, int> consecutive_fails_; // leader reputation
+  std::set<net::NodeId> excluded_;
+  sim::TimerId round_timer_ = sim::kInvalidTimer;
+  sim::TimerId propose_timer_ = sim::kInvalidTimer;
+  std::uint64_t speculative_aborts_ = 0;
+  /// Speculative (wasted) execution accumulated since the last block; it
+  /// is charged to the next block's Block-STM execution.
+  sim::Duration pending_spec_work_{0};
+};
+
+std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
+    sim::Simulation& simulation, net::Network& network,
+    chain::NodeConfig node_config_template, AptosConfig config = {});
+
+}  // namespace stabl::aptos

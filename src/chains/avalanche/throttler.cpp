@@ -1,0 +1,78 @@
+#include "chains/avalanche/throttler.hpp"
+
+#include <utility>
+
+namespace stabl::avalanche {
+
+InboundThrottler::InboundThrottler(
+    sim::Process& host, ThrottlerConfig config,
+    std::function<sim::Duration(const net::Envelope&)> cost_fn,
+    Handler handler)
+    : host_(host),
+      config_(config),
+      cost_fn_(std::move(cost_fn)),
+      handler_(std::move(handler)),
+      usage_(config.usage_tau),
+      bytes_(config.usage_tau) {}
+
+void InboundThrottler::account(const net::Envelope& envelope) {
+  usage_.add(host_.now(), sim::to_seconds(cost_fn_(envelope)));
+  bytes_.add(host_.now(), static_cast<double>(envelope.bytes));
+  ++processed_;
+}
+
+bool InboundThrottler::quota_available() const {
+  // systemThrottler.Acquire: CPU quota AND bandwidth quota must both have
+  // headroom before a message is handed to the consensus module.
+  return utilization() < config_.cpu_target &&
+         bandwidth_bps() < config_.bandwidth_target_bps;
+}
+
+void InboundThrottler::enqueue(const net::Envelope& envelope) {
+  if (!config_.enabled) {
+    account(envelope);
+    handler_(envelope);
+    return;
+  }
+  if (queue_.empty() && quota_available()) {
+    // Fast path: quota available, process immediately (in order).
+    account(envelope);
+    handler_(envelope);
+    return;
+  }
+  if (queue_.size() >= config_.max_unprocessed) {
+    ++dropped_;  // bufferThrottler rejects the message
+    return;
+  }
+  queue_.push_back(envelope);
+}
+
+void InboundThrottler::start() {
+  host_.set_timer(config_.drain_interval, [this] { drain(); });
+}
+
+void InboundThrottler::reset() {
+  queue_.clear();
+  usage_.reset();
+  bytes_.reset();
+}
+
+double InboundThrottler::utilization() const {
+  return usage_.rate(host_.now());  // one-core message pipeline
+}
+
+double InboundThrottler::bandwidth_bps() const {
+  return bytes_.rate(host_.now());
+}
+
+void InboundThrottler::drain() {
+  while (!queue_.empty() && quota_available()) {
+    const net::Envelope envelope = queue_.front();
+    queue_.pop_front();
+    account(envelope);
+    handler_(envelope);
+  }
+  host_.set_timer(config_.drain_interval, [this] { drain(); });
+}
+
+}  // namespace stabl::avalanche

@@ -1,0 +1,271 @@
+#include "chains/redbelly/redbelly.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <utility>
+
+namespace stabl::redbelly {
+namespace {
+
+struct ProposalPayload final : net::Payload {
+  ProposalPayload(std::uint64_t r, net::NodeId p,
+                  std::vector<chain::Transaction> batch)
+      : round(r), proposer(p), txs(std::move(batch)) {}
+  std::uint64_t round;
+  net::NodeId proposer;
+  std::vector<chain::Transaction> txs;
+};
+
+struct EchoPayload final : net::Payload {
+  EchoPayload(std::uint64_t r, std::vector<net::NodeId> s)
+      : round(r), seen(std::move(s)) {}
+  std::uint64_t round;
+  std::vector<net::NodeId> seen;
+};
+
+struct CommitPayload final : net::Payload {
+  CommitPayload(std::uint64_t r, net::NodeId d,
+                std::vector<chain::Transaction> batch)
+      : round(r), decider(d), txs(std::move(batch)) {}
+  std::uint64_t round;
+  net::NodeId decider;
+  std::vector<chain::Transaction> txs;
+};
+
+/// Lightweight "where are you" exchanged when a peer comes (back) up.
+struct StatusPayload final : net::Payload {
+  explicit StatusPayload(std::uint64_t r) : round(r) {}
+  std::uint64_t round;
+};
+
+std::uint32_t batch_bytes(std::size_t tx_count) {
+  return 128 + static_cast<std::uint32_t>(tx_count) * 128;
+}
+
+}  // namespace
+
+const DecisionLog::Decision& DecisionLog::decide(std::uint64_t round,
+                                                 Decision candidate) {
+  const auto [it, inserted] =
+      decisions_.emplace(round, std::move(candidate));
+  return it->second;
+}
+
+const DecisionLog::Decision* DecisionLog::get(std::uint64_t round) const {
+  const auto it = decisions_.find(round);
+  return it == decisions_.end() ? nullptr : &it->second;
+}
+
+RedbellyNode::RedbellyNode(sim::Simulation& simulation, net::Network& network,
+                           chain::NodeConfig node_config,
+                           RedbellyConfig config,
+                           std::shared_ptr<DecisionLog> decisions)
+    : BlockchainNode(simulation, network,
+                     [&] {
+                       node_config.connection.dead_after =
+                           config.max_idle_time;
+                       node_config.connection.retry_period =
+                           config.dial_retry_period;
+                       node_config.connection.retry_jitter_frac = 0.02;
+                       node_config.restart_boot_delay =
+                           config.restart_boot_delay;
+                       return node_config;
+                     }()),
+      config_(config),
+      decisions_(std::move(decisions)) {}
+
+std::size_t RedbellyNode::t() const { return (cluster_size() - 1) / 3; }
+std::size_t RedbellyNode::quorum() const { return cluster_size() - t(); }
+
+void RedbellyNode::start_protocol() {
+  round_ = ledger().height();
+  schedule_round_start();
+  rebroadcast_timer_ = set_timer(config_.rebroadcast_interval,
+                                 [this] { rebroadcast(); });
+}
+
+void RedbellyNode::stop_protocol() {
+  reset_round_state();
+  round_ = 0;
+}
+
+void RedbellyNode::reset_round_state() {
+  round_open_ = false;
+  echoed_ = false;
+  proposals_.clear();
+  echoes_.clear();
+  own_proposal_.reset();
+  own_echo_.reset();
+  echo_timer_ = sim::kInvalidTimer;
+  rebroadcast_timer_ = sim::kInvalidTimer;
+}
+
+void RedbellyNode::schedule_round_start() {
+  const auto jitter = sim::Duration{static_cast<std::int64_t>(
+      rng().uniform() *
+      static_cast<double>(config_.pacing_jitter.count()))};
+  set_timer(config_.round_pacing + jitter, [this] { start_round(); });
+}
+
+void RedbellyNode::start_round() {
+  if (round_open_) return;
+  round_open_ = true;
+  echoed_ = false;
+  auto batch = mutable_mempool().collect_ready(
+      config_.max_batch,
+      [this](chain::AccountId account) {
+        return accounts().next_nonce(account);
+      });
+  auto proposal = std::make_shared<const ProposalPayload>(round_, node_id(),
+                                                          std::move(batch));
+  proposals_[node_id()] = proposal->txs;
+  own_proposal_ = proposal;
+  broadcast(own_proposal_, batch_bytes(proposal->txs.size()));
+  echo_timer_ = set_timer(config_.proposal_window, [this] { send_echo(); });
+}
+
+void RedbellyNode::send_echo() {
+  if (!round_open_ || echoed_) return;
+  echoed_ = true;
+  std::vector<net::NodeId> seen;
+  seen.reserve(proposals_.size());
+  for (const auto& [proposer, txs] : proposals_) seen.push_back(proposer);
+  auto echo = std::make_shared<const EchoPayload>(round_, seen);
+  own_echo_ = echo;
+  echoes_[node_id()] = std::set<net::NodeId>(seen.begin(), seen.end());
+  broadcast(own_echo_, 64 + 4 * static_cast<std::uint32_t>(seen.size()));
+  maybe_decide();
+}
+
+void RedbellyNode::maybe_decide() {
+  if (!round_open_ || !echoed_) return;
+  if (echoes_.size() < quorum()) return;
+  // Candidate superblock: proposals echoed by at least t+1 nodes and whose
+  // content we hold. Union in proposer-id order, deduplicated.
+  std::map<net::NodeId, std::size_t> counts;
+  for (const auto& [echoer, seen] : echoes_) {
+    for (const net::NodeId proposer : seen) ++counts[proposer];
+  }
+  DecisionLog::Decision candidate;
+  std::unordered_set<chain::TxId> included;
+  for (const auto& [proposer, count] : counts) {
+    if (count < t() + 1) continue;
+    const auto proposal_it = proposals_.find(proposer);
+    if (proposal_it == proposals_.end()) continue;  // content not held
+    candidate.proposers.push_back(proposer);
+    for (const chain::Transaction& tx : proposal_it->second) {
+      if (included.insert(tx.id).second) candidate.txs.push_back(tx);
+    }
+  }
+  const DecisionLog::Decision& decision =
+      decisions_->decide(round_, std::move(candidate));
+  auto commit = std::make_shared<const CommitPayload>(round_, node_id(),
+                                                      decision.txs);
+  broadcast(commit, batch_bytes(decision.txs.size()));
+  commit_round(decision.txs, node_id());
+}
+
+void RedbellyNode::commit_round(const std::vector<chain::Transaction>& txs,
+                                net::NodeId decider) {
+  commit_block(txs, decider, round_, /*allow_empty=*/true);
+  round_open_ = false;
+  echoed_ = false;
+  proposals_.clear();
+  echoes_.clear();
+  own_proposal_.reset();
+  own_echo_.reset();
+  cancel_timer(echo_timer_);
+  ++round_;
+  schedule_round_start();
+}
+
+void RedbellyNode::adopt_decision(
+    std::uint64_t round, const std::vector<chain::Transaction>& txs,
+    net::NodeId decider) {
+  assert(round == round_);
+  (void)round;
+  if (!round_open_) {
+    // We had not even proposed yet (e.g. fresh restart mid-pacing); commit
+    // directly, the decision is canonical.
+    round_open_ = true;
+  }
+  commit_round(txs, decider);
+}
+
+void RedbellyNode::on_app_message(const net::Envelope& envelope) {
+  const net::Payload* payload = envelope.payload.get();
+  if (const auto* proposal = dynamic_cast<const ProposalPayload*>(payload)) {
+    if (proposal->round != round_) return;
+    proposals_[proposal->proposer] = proposal->txs;
+    return;
+  }
+  if (const auto* echo = dynamic_cast<const EchoPayload*>(payload)) {
+    if (echo->round != round_) return;
+    echoes_[envelope.from] =
+        std::set<net::NodeId>(echo->seen.begin(), echo->seen.end());
+    maybe_decide();
+    return;
+  }
+  if (const auto* commit = dynamic_cast<const CommitPayload*>(payload)) {
+    if (commit->round == round_) {
+      adopt_decision(commit->round, commit->txs, commit->decider);
+    } else if (commit->round > round_) {
+      // We are behind (restart or long disconnection): catch up.
+      request_sync(envelope.from);
+    }
+    return;
+  }
+  if (const auto* status = dynamic_cast<const StatusPayload*>(payload)) {
+    if (status->round > round_) request_sync(envelope.from);
+    return;
+  }
+}
+
+void RedbellyNode::on_peer_up(net::NodeId peer) {
+  send_to(peer, std::make_shared<const StatusPayload>(round_), 64);
+  // Re-offer our current round state so a stalled round can complete.
+  if (own_proposal_ != nullptr) send_to(peer, own_proposal_, 256);
+  if (own_echo_ != nullptr) send_to(peer, own_echo_, 128);
+}
+
+void RedbellyNode::on_synced() {
+  if (ledger().height() > round_) {
+    // The sync moved us past the round we were in; abandon its state.
+    round_ = ledger().height();
+    round_open_ = false;
+    echoed_ = false;
+    proposals_.clear();
+    echoes_.clear();
+    own_proposal_.reset();
+    own_echo_.reset();
+    cancel_timer(echo_timer_);
+    schedule_round_start();
+  }
+}
+
+void RedbellyNode::rebroadcast() {
+  if (round_open_) {
+    if (own_proposal_ != nullptr) broadcast(own_proposal_, 256);
+    if (own_echo_ != nullptr) broadcast(own_echo_, 128);
+  }
+  rebroadcast_timer_ = set_timer(config_.rebroadcast_interval,
+                                 [this] { rebroadcast(); });
+}
+
+std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
+    sim::Simulation& simulation, net::Network& network,
+    chain::NodeConfig node_config_template, RedbellyConfig config) {
+  auto decisions = std::make_shared<DecisionLog>();
+  std::vector<std::unique_ptr<chain::BlockchainNode>> nodes;
+  nodes.reserve(node_config_template.n);
+  for (net::NodeId id = 0; id < node_config_template.n; ++id) {
+    chain::NodeConfig node_config = node_config_template;
+    node_config.id = id;
+    nodes.push_back(std::make_unique<RedbellyNode>(
+        simulation, network, node_config, config, decisions));
+  }
+  return nodes;
+}
+
+}  // namespace stabl::redbelly

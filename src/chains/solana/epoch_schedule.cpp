@@ -1,0 +1,33 @@
+#include "chains/solana/epoch_schedule.hpp"
+
+#include <cassert>
+
+namespace stabl::solana {
+
+EpochSchedule::EpochSchedule(bool warmup, std::uint64_t normal_slots,
+                             std::uint64_t first_warmup_slots)
+    : warmup_(warmup),
+      normal_slots_(normal_slots),
+      first_warmup_slots_(first_warmup_slots) {
+  assert(normal_slots_ > 0 && first_warmup_slots_ > 0);
+  assert(first_warmup_slots_ <= normal_slots_);
+}
+
+EpochInfo EpochSchedule::epoch_of_slot(std::uint64_t slot) const {
+  if (!warmup_) {
+    return EpochInfo{slot / normal_slots_,
+                     (slot / normal_slots_) * normal_slots_, normal_slots_};
+  }
+  std::uint64_t epoch = 0;
+  std::uint64_t first = 0;
+  std::uint64_t size = first_warmup_slots_;
+  while (slot >= first + size) {
+    first += size;
+    ++epoch;
+    if (size < normal_slots_) size *= 2;
+    if (size > normal_slots_) size = normal_slots_;
+  }
+  return EpochInfo{epoch, first, size};
+}
+
+}  // namespace stabl::solana

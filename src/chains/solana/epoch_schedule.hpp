@@ -1,0 +1,56 @@
+// Solana epoch geometry (paper §2, §5).
+//
+// The deployment scripts in the Solana repository generate the genesis with
+// `enable-warmup-epochs`: epoch 0 has 32 slots and each warm-up epoch
+// doubles, returning to the normal 8192 slots afterwards. The paper's
+// transient fault at t = 133 s therefore lands inside a 256-slot warm-up
+// epoch — shorter than the ~360 slots Solana needs to root a bank and
+// compute the Epoch Accounts Hash before the ¾-epoch integration point,
+// which is the precondition whose violation panics every validator
+// (agave issue #1491).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace stabl::solana {
+
+struct EpochInfo {
+  std::uint64_t epoch = 0;
+  std::uint64_t first_slot = 0;
+  std::uint64_t slots = 0;
+
+  [[nodiscard]] std::uint64_t last_slot() const {
+    return first_slot + slots - 1;
+  }
+  /// Slot from which the EAH calculation window opens (¼ into the epoch).
+  [[nodiscard]] std::uint64_t eah_start_slot() const {
+    return first_slot + slots / 4;
+  }
+  /// Slot where the EAH must be integrated into the bank hash (¾ in).
+  [[nodiscard]] std::uint64_t eah_stop_slot() const {
+    return first_slot + (slots * 3) / 4;
+  }
+};
+
+class EpochSchedule {
+ public:
+  /// `warmup` mirrors enable-warmup-epochs: epochs of 32, 64, ... slots
+  /// until `normal_slots` is reached. Without warm-up every epoch has
+  /// `normal_slots` slots (the agave fix for the restart panic).
+  EpochSchedule(bool warmup, std::uint64_t normal_slots = 8192,
+                std::uint64_t first_warmup_slots = 32);
+
+  [[nodiscard]] EpochInfo epoch_of_slot(std::uint64_t slot) const;
+
+  [[nodiscard]] bool warmup() const { return warmup_; }
+  [[nodiscard]] std::uint64_t normal_slots() const { return normal_slots_; }
+
+ private:
+  bool warmup_;
+  std::uint64_t normal_slots_;
+  std::uint64_t first_warmup_slots_;
+};
+
+}  // namespace stabl::solana

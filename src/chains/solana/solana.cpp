@@ -1,0 +1,275 @@
+#include "chains/solana/solana.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "chain/hash.hpp"
+
+namespace stabl::solana {
+namespace {
+
+struct ForwardPayload final : net::Payload {
+  explicit ForwardPayload(std::vector<chain::Transaction> batch)
+      : txs(std::move(batch)) {}
+  std::vector<chain::Transaction> txs;
+};
+
+struct BankBlockPayload final : net::Payload {
+  BankBlockPayload(std::uint64_t s, net::NodeId l,
+                   std::vector<chain::Transaction> batch)
+      : slot(s), leader(l), txs(std::move(batch)) {}
+  std::uint64_t slot;
+  net::NodeId leader;
+  std::vector<chain::Transaction> txs;
+};
+
+struct VotePayload final : net::Payload {
+  VotePayload(std::uint64_t s, net::NodeId v) : slot(s), voter(v) {}
+  std::uint64_t slot;
+  net::NodeId voter;
+};
+
+std::uint32_t batch_bytes(std::size_t tx_count) {
+  return 128 + static_cast<std::uint32_t>(tx_count) * 128;
+}
+
+}  // namespace
+
+SolanaNode::SolanaNode(sim::Simulation& simulation, net::Network& network,
+                       chain::NodeConfig node_config, SolanaConfig config)
+    : BlockchainNode(simulation, network,
+                     [&] {
+                       node_config.restart_boot_delay =
+                           config.restart_boot_delay;
+                       return node_config;
+                     }()),
+      config_(config),
+      schedule_(config.warmup_epochs, config.normal_epoch_slots) {}
+
+net::NodeId SolanaNode::leader_of_slot(std::uint64_t slot) const {
+  // The real schedule is computed per-epoch from a PRF of state two epochs
+  // prior; a seeded hash of (epoch, leader group) preserves the properties
+  // that matter — deterministic, stake-uniform, crash-oblivious, and
+  // assigning NUM_CONSECUTIVE_LEADER_SLOTS slots per pick.
+  const EpochInfo epoch = schedule_.epoch_of_slot(slot);
+  const std::uint64_t h = chain::hash_combine(
+      chain::hash_combine(network_seed(), epoch.epoch),
+      slot / config_.leader_group_slots);
+  return static_cast<net::NodeId>(h % cluster_size());
+}
+
+std::uint64_t SolanaNode::slot_at(sim::Time t) const {
+  return static_cast<std::uint64_t>(t / config_.slot_duration);
+}
+
+std::size_t SolanaNode::vote_quorum() const {
+  return static_cast<std::size_t>(std::ceil(
+      config_.supermajority * static_cast<double>(cluster_size())));
+}
+
+void SolanaNode::start_protocol() {
+  panicked_ = false;
+  has_root_ = false;
+  rooted_slot_ = 0;
+  current_slot_ = slot_at(now());
+  // Align to the global slot grid (PoH keeps real validators in lockstep).
+  const sim::Time next_boundary =
+      sim::Time{(static_cast<std::int64_t>(current_slot_) + 1) *
+                config_.slot_duration.count()};
+  set_timer(next_boundary - now(), [this] { on_slot_tick(); });
+}
+
+void SolanaNode::stop_protocol() {
+  pending_forward_.clear();
+  leader_buffer_.clear();
+  slots_.clear();
+  current_slot_ = 0;
+  rooted_slot_ = 0;
+  has_root_ = false;
+}
+
+void SolanaNode::on_slot_tick() {
+  current_slot_ = slot_at(now());
+  check_epoch_accounts_hash(current_slot_);
+  if (panicked_) return;
+  if (leader_of_slot(current_slot_) == node_id()) {
+    // First slot of our group after a skipped group: wait the grace ticks
+    // for the (missing) previous fork before building.
+    const bool group_head =
+        current_slot_ % config_.leader_group_slots == 0 ||
+        leader_of_slot(current_slot_ - 1) != node_id();
+    const bool predecessor_skipped =
+        current_slot_ > 0 &&
+        !ledger().blocks().empty() &&
+        ledger().blocks().back().round + 1 < current_slot_;
+    if (group_head && predecessor_skipped) {
+      const std::uint64_t slot = current_slot_;
+      set_timer(config_.skip_grace, [this, slot] {
+        if (current_slot_ == slot) produce_block(slot);
+      });
+    } else {
+      produce_block(current_slot_);
+    }
+  }
+  forward_pending(current_slot_);
+  // Trim consensus bookkeeping that can no longer finalize.
+  while (!slots_.empty() &&
+         slots_.begin()->first + 64 < current_slot_) {
+    slots_.erase(slots_.begin());
+  }
+  const sim::Time next_boundary =
+      sim::Time{(static_cast<std::int64_t>(current_slot_) + 1) *
+                config_.slot_duration.count()};
+  set_timer(next_boundary - now(), [this] { on_slot_tick(); });
+}
+
+void SolanaNode::produce_block(std::uint64_t slot) {
+  std::vector<chain::Transaction> batch;
+  batch.reserve(std::min(config_.max_slot_txs, leader_buffer_.size()));
+  // The buffer is ordered by (sender, nonce): each sender's transactions
+  // are packed in issuance order, so the bank applies them as a prefix.
+  for (auto it = leader_buffer_.begin();
+       it != leader_buffer_.end() && batch.size() < config_.max_slot_txs;) {
+    const chain::Transaction& tx = it->second;
+    if (ledger().is_committed(tx.id) ||
+        accounts().next_nonce(tx.from) > tx.nonce) {
+      it = leader_buffer_.erase(it);  // stale
+      continue;
+    }
+    batch.push_back(tx);
+    ++it;
+  }
+  auto payload = std::make_shared<const BankBlockPayload>(slot, node_id(),
+                                                          batch);
+  broadcast(payload, batch_bytes(batch.size()));
+  SlotState& state = slots_[slot];
+  state.have_block = true;
+  state.leader = node_id();
+  state.txs = std::move(batch);
+  state.votes.insert(node_id());
+  broadcast(std::make_shared<const VotePayload>(slot, node_id()), 96);
+  try_finalize(slot);
+}
+
+void SolanaNode::forward_pending(std::uint64_t slot) {
+  if (pending_forward_.empty()) return;
+  // Drop what has committed since the last tick; collect what is due for
+  // (re-)forwarding under the RPC retry pacing.
+  std::vector<chain::Transaction> batch;
+  for (auto it = pending_forward_.begin(); it != pending_forward_.end();) {
+    if (ledger().is_committed(it->first)) {
+      it = pending_forward_.erase(it);
+      continue;
+    }
+    if (now() >= it->second.next_send) {
+      batch.push_back(it->second.tx);
+      it->second.next_send = now() + config_.forward_retry;
+    }
+    ++it;
+  }
+  if (batch.empty()) return;
+  auto payload = std::make_shared<const ForwardPayload>(std::move(batch));
+  std::set<net::NodeId> targets;
+  for (int i = 0; i < config_.forward_horizon; ++i) {
+    targets.insert(leader_of_slot(
+        slot + static_cast<std::uint64_t>(i) * config_.leader_group_slots));
+  }
+  for (const net::NodeId target : targets) {
+    if (target == node_id()) {
+      for (const auto& tx : payload->txs) {
+        leader_buffer_.emplace(std::make_pair(tx.from, tx.nonce), tx);
+      }
+    } else {
+      send_to(target, payload, batch_bytes(payload->txs.size()));
+    }
+  }
+}
+
+void SolanaNode::try_finalize(std::uint64_t slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return;
+  SlotState& state = it->second;
+  if (state.finalized || !state.have_block) return;
+  if (state.votes.size() < vote_quorum()) return;
+  state.finalized = true;
+  commit_block(state.txs, state.leader, slot);
+  // Rooting lags finality by the freeze-to-root confirmation depth.
+  if (slot >= config_.root_lag_slots) {
+    const std::uint64_t root = slot - config_.root_lag_slots;
+    if (!has_root_ || root > rooted_slot_) {
+      rooted_slot_ = root;
+      has_root_ = true;
+    }
+  }
+}
+
+void SolanaNode::check_epoch_accounts_hash(std::uint64_t slot) {
+  const EpochInfo epoch = schedule_.epoch_of_slot(slot);
+  if (epoch.slots < config_.eah_min_epoch_slots) return;
+  if (slot != epoch.eah_stop_slot()) return;
+  // wait_get_epoch_accounts_hash: the EAH must have been calculated from a
+  // bank rooted after the window opened; if no such bank exists the
+  // integration cannot proceed and the validator aborts (agave #1491).
+  const bool eah_available = has_root_ && rooted_slot_ >= epoch.eah_start_slot();
+  if (!eah_available) panic();
+}
+
+void SolanaNode::panic() {
+  panicked_ = true;
+  // The process aborts; the harness does not restart panicked validators.
+  kill();
+}
+
+void SolanaNode::on_app_message(const net::Envelope& envelope) {
+  const net::Payload* payload = envelope.payload.get();
+  if (const auto* forward = dynamic_cast<const ForwardPayload*>(payload)) {
+    for (const chain::Transaction& tx : forward->txs) {
+      if (ledger().is_committed(tx.id)) continue;
+      leader_buffer_.emplace(std::make_pair(tx.from, tx.nonce), tx);
+    }
+    return;
+  }
+  if (const auto* block = dynamic_cast<const BankBlockPayload*>(payload)) {
+    SlotState& state = slots_[block->slot];
+    if (!state.have_block) {
+      state.have_block = true;
+      state.leader = block->leader;
+      state.txs = block->txs;
+    }
+    state.votes.insert(node_id());
+    broadcast(std::make_shared<const VotePayload>(block->slot, node_id()),
+              96);
+    try_finalize(block->slot);
+    return;
+  }
+  if (const auto* vote = dynamic_cast<const VotePayload*>(payload)) {
+    slots_[vote->slot].votes.insert(vote->voter);
+    try_finalize(vote->slot);
+    return;
+  }
+}
+
+void SolanaNode::accept_transaction(const chain::Transaction& tx) {
+  // No mempool: remember the transaction and push it to the scheduled
+  // leaders until it lands.
+  pending_forward_.emplace(tx.id, PendingForward{tx, now()});
+  forward_pending(current_slot_);
+}
+
+std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
+    sim::Simulation& simulation, net::Network& network,
+    chain::NodeConfig node_config_template, SolanaConfig config) {
+  std::vector<std::unique_ptr<chain::BlockchainNode>> nodes;
+  nodes.reserve(node_config_template.n);
+  for (net::NodeId id = 0; id < node_config_template.n; ++id) {
+    chain::NodeConfig node_config = node_config_template;
+    node_config.id = id;
+    nodes.push_back(std::make_unique<SolanaNode>(simulation, network,
+                                                 node_config, config));
+  }
+  return nodes;
+}
+
+}  // namespace stabl::solana

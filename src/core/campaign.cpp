@@ -1,0 +1,95 @@
+#include "core/campaign.hpp"
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/serialize.hpp"
+
+namespace stabl::core {
+
+const SensitivityRun* CampaignResult::get(ChainKind chain,
+                                          FaultType fault) const {
+  const auto it = runs.find({chain, fault});
+  return it == runs.end() ? nullptr : &it->second;
+}
+
+std::string CampaignResult::to_csv() const {
+  std::ostringstream out;
+  out << summary_csv_header() << '\n';
+  for (const auto& [key, run] : runs) {
+    out << summary_csv_row(key.first, key.second, run) << '\n';
+  }
+  return out.str();
+}
+
+std::string CampaignResult::to_json() const {
+  std::ostringstream out;
+  out << '[';
+  bool first = true;
+  for (const auto& [key, run] : runs) {
+    if (!first) out << ',';
+    first = false;
+    out << stabl::core::to_json(key.first, key.second, run);
+  }
+  out << ']';
+  return out.str();
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  for (const ChainKind chain : config.chains) {
+    for (const FaultType fault : config.faults) {
+      ExperimentConfig cell = config.base;
+      cell.chain = chain;
+      cell.fault = fault;
+      if (fault == FaultType::kSecureClient) {
+        cell.client_fanout = 4;
+        cell.vcpus = 8.0;
+      }
+      SensitivityRun run = run_sensitivity(cell);
+      result.radar.record(chain, fault, run.score);
+      if (config.on_cell_done) config.on_cell_done(chain, fault, run);
+      result.runs.emplace(std::make_pair(chain, fault), std::move(run));
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> check_gate(const CampaignResult& result,
+                                    const CampaignGate& gate) {
+  std::vector<std::string> violations;
+  const auto expects_infinite = [&](ChainKind chain, FaultType fault) {
+    for (const auto& [c, f] : gate.expected_infinite) {
+      if (c == chain && f == fault) return true;
+    }
+    return false;
+  };
+  for (const auto& [key, run] : result.runs) {
+    const auto [chain, fault] = key;
+    const std::string name =
+        to_string(chain) + "/" + to_string(fault);
+    if (expects_infinite(chain, fault)) {
+      if (!run.score.infinite) {
+        violations.push_back(name + ": expected liveness loss, got score " +
+                             format_score(run.score));
+      }
+      continue;
+    }
+    if (run.score.infinite) {
+      if (gate.flag_unexpected_liveness_loss) {
+        violations.push_back(name + ": unexpected liveness loss");
+      }
+      continue;
+    }
+    const auto limit = gate.max_score.find(fault);
+    if (limit != gate.max_score.end() &&
+        run.score.value > limit->second) {
+      violations.push_back(name + ": score " + format_score(run.score) +
+                           " exceeds gate " +
+                           Table::num(limit->second, 2));
+    }
+  }
+  return violations;
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,64 @@
+// Campaign orchestration: run the paper's full experiment matrix (every
+// chain x every dimension) and collect the radar, CSV and JSON outputs in
+// one call — the entry point a CI pipeline would use ("STABL, pluggable in
+// continuous integration pipelines", §1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/radar.hpp"
+
+namespace stabl::core {
+
+struct CampaignConfig {
+  /// Chains to evaluate (defaults to all five).
+  std::vector<ChainKind> chains{kAllChains,
+                                kAllChains + std::size(kAllChains)};
+  /// Dimensions to evaluate (defaults to the paper's four).
+  std::vector<FaultType> faults{FaultType::kCrash, FaultType::kTransient,
+                                FaultType::kPartition,
+                                FaultType::kSecureClient};
+  /// Template applied to every run; chain/fault/fanout/vcpus are set per
+  /// cell (secure-client cells get fanout 4 and 8 vCPUs, as in §7).
+  ExperimentConfig base{};
+  /// Invoked after each cell completes (progress reporting); may be empty.
+  std::function<void(ChainKind, FaultType, const SensitivityRun&)>
+      on_cell_done;
+};
+
+struct CampaignResult {
+  RadarSummary radar;
+  std::map<std::pair<ChainKind, FaultType>, SensitivityRun> runs;
+
+  [[nodiscard]] const SensitivityRun* get(ChainKind chain,
+                                          FaultType fault) const;
+  /// Full campaign as CSV (header + one row per cell).
+  [[nodiscard]] std::string to_csv() const;
+  /// Full campaign as a JSON array of per-cell documents.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Run every (chain, fault) cell of the matrix. Deterministic given
+/// config.base.seed.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// CI gate: true when every cell satisfies the paper-shaped expectations
+/// passed in `max_score` (per fault type; cells expected to be infinite
+/// are listed in `expected_infinite`). Used by examples/regression_gate.
+struct CampaignGate {
+  std::map<FaultType, double> max_score;
+  std::vector<std::pair<ChainKind, FaultType>> expected_infinite;
+  /// When false, cells that lose liveness are not violations unless listed
+  /// in expected_infinite (coarse gates for short smoke runs).
+  bool flag_unexpected_liveness_loss = true;
+};
+
+/// Returns the list of human-readable violations (empty = gate passes).
+std::vector<std::string> check_gate(const CampaignResult& result,
+                                    const CampaignGate& gate);
+
+}  // namespace stabl::core

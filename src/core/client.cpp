@@ -1,0 +1,109 @@
+#include "core/client.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "chain/hash.hpp"
+
+namespace stabl::core {
+
+ClientMachine::ClientMachine(sim::Simulation& simulation,
+                             net::Network& network, ClientConfig config)
+    : Process(simulation, config.id), config_(std::move(config)),
+      net_(network) {
+  assert(!config_.endpoints.empty());
+  assert(config_.endpoints.size() <= 32);
+  network.attach(config_.id, this);
+}
+
+void ClientMachine::on_start() {
+  set_timer(config_.start_at, [this] { submit_next(); });
+}
+
+void ClientMachine::submit_next() {
+  if (now() >= config_.stop_at) return;
+  chain::Transaction tx;
+  tx.from = config_.account;
+  tx.to = config_.recipient;
+  tx.amount = 1;
+  tx.nonce = nonce_++;
+  tx.submitted_at = now();
+  tx.id = chain::hash_combine(
+      chain::hash_combine(config_.tx_seed, config_.account), tx.nonce);
+  pending_.emplace(tx.id, Pending{now(), 0, {}});
+  ++submitted_;
+  auto payload = std::make_shared<const chain::SubmitTxPayload>(tx);
+  for (const net::NodeId endpoint : config_.endpoints) {
+    net_.send(id(), endpoint, payload, 192);
+  }
+  WorkloadConfig workload = config_.workload;
+  workload.tps = config_.tps;
+  const auto interval = workload_interval(
+      workload, now(), config_.stop_at - config_.start_at);
+  set_timer(interval, [this] { submit_next(); });
+}
+
+void ClientMachine::deliver(const net::Envelope& envelope) {
+  const auto* notify =
+      dynamic_cast<const chain::CommitNotifyPayload*>(envelope.payload.get());
+  if (notify == nullptr) return;  // control frames etc.
+  const auto it = pending_.find(notify->id);
+  if (it == pending_.end()) return;  // duplicate notification
+  // Which endpoint answered?
+  std::uint32_t bit = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < config_.endpoints.size(); ++i) {
+    if (config_.endpoints[i] == envelope.from) {
+      bit = 1u << i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  Pending& pending = it->second;
+  pending.ack_mask |= bit;
+  pending.hash_masks[notify->result_hash] |= bit;
+
+  if (config_.required_matching > 0) {
+    // credence.js-style: accept as soon as `required_matching` endpoints
+    // agree on the result.
+    for (const auto& [hash, mask] : pending.hash_masks) {
+      if (static_cast<std::size_t>(std::popcount(mask)) >=
+          config_.required_matching) {
+        accept(notify->id, pending, hash);
+        pending_.erase(it);
+        return;
+      }
+    }
+    return;
+  }
+  // Paper §7 secure client: report success once every endpoint confirmed.
+  const std::uint32_t all =
+      (config_.endpoints.size() == 32)
+          ? ~0u
+          : ((1u << config_.endpoints.size()) - 1);
+  if (pending.ack_mask != all) return;
+  // Majority result (the comparison step of the secure client).
+  std::uint64_t best_hash = 0;
+  int best_count = -1;
+  for (const auto& [hash, mask] : pending.hash_masks) {
+    const int count = std::popcount(mask);
+    if (count > best_count) {
+      best_count = count;
+      best_hash = hash;
+    }
+  }
+  accept(notify->id, pending, best_hash);
+  pending_.erase(it);
+}
+
+void ClientMachine::accept(chain::TxId id, Pending& pending,
+                           std::uint64_t hash) {
+  if (pending.hash_masks.size() > 1) ++conflicting_responses_;
+  accepted_hashes_.emplace(id, hash);
+  latencies_.push_back(sim::to_seconds(now() - pending.submitted_at));
+  last_commit_at_ = now();
+  ++committed_;
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,222 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "chains/algorand/algorand.hpp"
+#include "chains/aptos/aptos.hpp"
+#include "chains/avalanche/avalanche.hpp"
+#include "chains/redbelly/redbelly.hpp"
+#include "chains/solana/solana.hpp"
+#include "core/client.hpp"
+#include "core/observer.hpp"
+#include "core/throughput.hpp"
+#include "chain/hash.hpp"
+
+namespace stabl::core {
+namespace {
+
+std::vector<std::unique_ptr<chain::BlockchainNode>> make_chain_nodes(
+    const ExperimentConfig& config, sim::Simulation& simulation,
+    net::Network& network) {
+  chain::NodeConfig node_config;
+  node_config.n = config.n;
+  node_config.vcpus = config.vcpus;
+  node_config.network_seed = chain::mix64(config.seed);
+  switch (config.chain) {
+    case ChainKind::kAlgorand:
+      return algorand::make_cluster(simulation, network, node_config);
+    case ChainKind::kAptos:
+      return aptos::make_cluster(simulation, network, node_config);
+    case ChainKind::kAvalanche: {
+      avalanche::AvalancheConfig chain_config;
+      if (config.tuning.avalanche_throttling.has_value()) {
+        chain_config.throttler.enabled =
+            *config.tuning.avalanche_throttling;
+      }
+      if (config.tuning.avalanche_cpu_target.has_value()) {
+        chain_config.throttler.cpu_target =
+            *config.tuning.avalanche_cpu_target;
+      }
+      return avalanche::make_cluster(simulation, network, node_config,
+                                     chain_config);
+    }
+    case ChainKind::kRedbelly: {
+      redbelly::RedbellyConfig chain_config;
+      if (config.tuning.redbelly_max_idle_s.has_value()) {
+        chain_config.max_idle_time =
+            sim::seconds(*config.tuning.redbelly_max_idle_s);
+      }
+      return redbelly::make_cluster(simulation, network, node_config,
+                                    chain_config);
+    }
+    case ChainKind::kSolana: {
+      solana::SolanaConfig chain_config;
+      if (config.tuning.solana_warmup_epochs.has_value()) {
+        chain_config.warmup_epochs = *config.tuning.solana_warmup_epochs;
+      }
+      return solana::make_cluster(simulation, network, node_config,
+                                  chain_config);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string to_string(ChainKind chain) {
+  switch (chain) {
+    case ChainKind::kAlgorand: return "algorand";
+    case ChainKind::kAptos: return "aptos";
+    case ChainKind::kAvalanche: return "avalanche";
+    case ChainKind::kRedbelly: return "redbelly";
+    case ChainKind::kSolana: return "solana";
+  }
+  return "?";
+}
+
+std::size_t fault_tolerance(ChainKind chain, std::size_t n) {
+  const double dn = static_cast<double>(n);
+  switch (chain) {
+    case ChainKind::kAlgorand:
+    case ChainKind::kAvalanche:
+      return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 5.0 - 1.0)));
+    case ChainKind::kAptos:
+    case ChainKind::kRedbelly:
+    case ChainKind::kSolana:
+      return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 3.0 - 1.0)));
+  }
+  return 0;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulation simulation(config.seed);
+  net::Network network(simulation, net::LatencyConfig{});
+
+  auto nodes = make_chain_nodes(config, simulation, network);
+  assert(nodes.size() == config.n);
+  for (auto& node : nodes) node->start();
+
+  // Clients attach to nodes 0..clients-1, which are never faulted.
+  const std::size_t entry_nodes = std::min(config.clients, config.n);
+  std::vector<std::unique_ptr<ClientMachine>> clients;
+  clients.reserve(config.clients);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    ClientConfig client_config;
+    client_config.id = static_cast<net::NodeId>(config.n + i);
+    client_config.account = static_cast<chain::AccountId>(i);
+    client_config.recipient =
+        static_cast<chain::AccountId>(1000 + i);  // sink account
+    client_config.tps = config.tps_per_client;
+    client_config.workload = config.workload;
+    client_config.required_matching = config.client_matching;
+    client_config.stop_at = config.duration;
+    client_config.tx_seed = chain::mix64(config.seed ^ 0xC11E57ull);
+    const int fanout = std::max(1, config.client_fanout);
+    for (int k = 0; k < fanout; ++k) {
+      client_config.endpoints.push_back(static_cast<net::NodeId>(
+          (i + static_cast<std::size_t>(k)) % entry_nodes));
+    }
+    clients.push_back(std::make_unique<ClientMachine>(simulation, network,
+                                                      client_config));
+    clients.back()->start();
+  }
+
+  // Observers inject the faults on nodes that take no client traffic.
+  std::vector<chain::BlockchainNode*> node_ptrs;
+  node_ptrs.reserve(nodes.size());
+  for (auto& node : nodes) node_ptrs.push_back(node.get());
+  Observers observers(simulation, network, node_ptrs);
+  FaultPlan plan;
+  plan.type = config.fault;
+  plan.inject_at = config.inject_at;
+  plan.recover_at = config.recover_at;
+  const std::size_t t = fault_tolerance(config.chain, config.n);
+  std::size_t f = 0;
+  if (config.fault == FaultType::kCrash ||
+      config.fault == FaultType::kChurn) {
+    f = t;
+  }
+  if (config.fault == FaultType::kTransient ||
+      config.fault == FaultType::kPartition ||
+      config.fault == FaultType::kDelay) {
+    f = t + 1;
+  }
+  if (config.fault_count >= 0) f = static_cast<std::size_t>(config.fault_count);
+  assert(entry_nodes + f <= config.n &&
+         "faulty nodes must not take client traffic");
+  for (std::size_t k = 0; k < f; ++k) {
+    plan.targets.push_back(static_cast<net::NodeId>(entry_nodes + k));
+  }
+  observers.arm(plan);
+
+  simulation.run_until(config.duration);
+
+  // Harvest results.
+  ExperimentResult result;
+  for (const auto& client : clients) {
+    result.submitted += client->submitted();
+    result.committed += client->committed();
+    result.latencies.insert(result.latencies.end(),
+                            client->latencies().begin(),
+                            client->latencies().end());
+  }
+  const chain::Ledger& ledger = nodes.front()->ledger();
+  result.blocks = ledger.height();
+  ThroughputSeries series(ledger, config.duration);
+  result.throughput = series.bins();
+
+  // Liveness: a transaction-carrying block within the final window
+  // (45 s for the paper's 400 s runs; proportionally less for short runs).
+  sim::Time last_tx_commit{0};
+  for (const chain::Block& block : ledger.blocks()) {
+    if (!block.txs.empty()) last_tx_commit = block.committed_at;
+  }
+  const sim::Duration window = std::min(sim::sec(45), config.duration / 8);
+  result.live_at_end =
+      result.committed > 0 && last_tx_commit >= config.duration - window;
+
+  if (config.fault == FaultType::kTransient ||
+      config.fault == FaultType::kPartition ||
+      config.fault == FaultType::kDelay ||
+      config.fault == FaultType::kChurn) {
+    result.recovery_seconds = recovery_seconds(
+        series, sim::to_seconds(config.recover_at),
+        0.5 * config.tps_per_client * static_cast<double>(config.clients),
+        /*window_s=*/3.0);
+  }
+
+  if (!result.latencies.empty()) {
+    Ecdf ecdf(result.latencies);
+    result.mean_latency_s = ecdf.mean();
+    result.p50_latency_s = ecdf.quantile(0.5);
+    result.p99_latency_s = ecdf.quantile(0.99);
+  }
+  result.events = simulation.events_processed();
+  result.net_stats = network.stats();
+  for (const auto& node : nodes) {
+    for (const auto& [key, value] : node->metrics()) {
+      result.chain_metrics[key] += value;
+    }
+  }
+  return result;
+}
+
+SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
+                               const SensitivityOptions& options) {
+  ExperimentConfig baseline_config = altered_config;
+  baseline_config.fault = FaultType::kNone;
+  baseline_config.client_fanout = 1;
+  baseline_config.workload.shape = WorkloadShape::kConstant;
+
+  SensitivityRun run;
+  run.baseline = run_experiment(baseline_config);
+  run.altered = run_experiment(altered_config);
+  run.score = sensitivity(run.baseline.latencies, run.altered.latencies,
+                          run.altered.live_at_end, options);
+  return run;
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,115 @@
+// The STABL experiment runner (paper §3, "Experimental settings").
+//
+// Deployment geometry: n = 10 blockchain nodes and 5 client machines, each
+// client sending native transfers at 40 TPS (200 TPS total) to one
+// blockchain node (nodes 0-4). Failures are injected on the remaining
+// nodes 5-9, "this way, faulty nodes never receive transactions they would
+// otherwise lose". A run lasts 400 s; faults hit at 133 s and transient
+// conditions clear at 266 s. The Byzantine-node-tolerance experiment (§7)
+// instead connects every client to 4 = max(t_B)+1 nodes and doubles the
+// VM size to 8 vCPUs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/sensitivity.hpp"
+#include "core/workload.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+enum class ChainKind { kAlgorand, kAptos, kAvalanche, kRedbelly, kSolana };
+
+inline constexpr ChainKind kAllChains[] = {
+    ChainKind::kAlgorand, ChainKind::kAptos, ChainKind::kAvalanche,
+    ChainKind::kRedbelly, ChainKind::kSolana};
+
+std::string to_string(ChainKind chain);
+
+/// t_B: Algorand and Avalanche tolerate a 20% coalition (⌈n/5-1⌉); Aptos,
+/// Redbelly and Solana tolerate less than a third (⌈n/3-1⌉). Paper §2.
+std::size_t fault_tolerance(ChainKind chain, std::size_t n);
+
+/// Chain-specific knobs exposed for the ablation benches.
+struct ChainTuning {
+  /// Avalanche: disable the InboundMsgThrottler (shows the collapse is
+  /// throttling-induced).
+  std::optional<bool> avalanche_throttling;
+  /// Avalanche: override the CPU quota target.
+  std::optional<double> avalanche_cpu_target;
+  /// Solana: disable warm-up epochs (the ≥360-slots-per-epoch fix).
+  std::optional<bool> solana_warmup_epochs;
+  /// Redbelly: MaxIdleTime in seconds (developers suggested 30 s).
+  std::optional<double> redbelly_max_idle_s;
+};
+
+struct ExperimentConfig {
+  ChainKind chain = ChainKind::kRedbelly;
+  std::size_t n = 10;
+  std::size_t clients = 5;
+  double tps_per_client = 40.0;
+  double vcpus = 4.0;
+  /// Blockchain nodes each client submits to (1, or t_B+1 = 4 for the
+  /// secure client).
+  int client_fanout = 1;
+  /// 0 = wait for all endpoints (paper's secure client); k > 0 = accept on
+  /// k matching result hashes (credence.js-style verified client).
+  std::size_t client_matching = 0;
+  std::uint64_t seed = 42;
+  sim::Duration duration = sim::sec(400);
+  FaultType fault = FaultType::kNone;
+  /// Number of faulty nodes; -1 selects the paper's default (t for crash,
+  /// t+1 for transient and partition).
+  int fault_count = -1;
+  sim::Duration inject_at = sim::sec(133);
+  sim::Duration recover_at = sim::sec(266);
+  ChainTuning tuning{};
+  /// Submission shape (average rate stays tps_per_client). The paper uses
+  /// the constant shape; the others quantify its §8 limitation.
+  WorkloadConfig workload{};
+};
+
+struct ExperimentResult {
+  std::vector<double> latencies;  // client-observed, seconds
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::vector<double> throughput;  // committed tx per 1 s bin (node 0)
+  /// Whether transactions were still being committed at the end of the
+  /// run; false means the chain lost liveness (infinite sensitivity).
+  bool live_at_end = false;
+  /// Seconds from recover_at to sustained throughput; negative if never
+  /// (only meaningful for transient/partition runs).
+  double recovery_seconds = -1.0;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  std::uint64_t blocks = 0;
+  std::uint64_t events = 0;
+  net::NetworkStats net_stats{};
+  /// Chain-specific diagnostic counters, summed over all nodes (the
+  /// paper's log-derived quantities: "speculative_aborts",
+  /// "throttled_dropped", "panicked", ...). Keys depend on the chain.
+  std::map<std::string, double> chain_metrics;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// A baseline/altered pair and its sensitivity score. The baseline is the
+/// altered config with no fault and fanout 1 (same chain, same resources,
+/// same seed), exactly the paper's pairing.
+struct SensitivityRun {
+  ExperimentResult baseline;
+  ExperimentResult altered;
+  SensitivityScore score;
+};
+
+SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
+                               const SensitivityOptions& options = {});
+
+}  // namespace stabl::core

@@ -1,0 +1,44 @@
+// Fault plans (paper §3, Table 1 and Fig. 2).
+//
+// The primary machine decides when to trigger a failure and signals the
+// observers deployed on the blockchain machines; observers kill/restart the
+// blockchain process or install/remove netfilter rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+enum class FaultType {
+  kNone,       // baseline
+  kCrash,      // f = t nodes halted, never restarted (§4 Resilience)
+  kTransient,  // f = t+1 nodes halted at 133 s, restarted at 266 s (§5)
+  kPartition,  // f = t+1 nodes isolated between 133 s and 266 s (§6)
+  kSecureClient,  // no failure: clients submit to t+1 nodes (§7)
+  kDelay,      // transient communication delays to f = t+1 nodes — the
+               // condition the paper observed crashing all Solana nodes
+               // and starving Avalanche ("messages arrive 2 minutes late")
+  kChurn,      // crash-recovery churn: f = t nodes repeatedly killed and
+               // restarted during the fault window (Table 1's transient
+               // failure model, iterated)
+};
+
+std::string to_string(FaultType type);
+
+struct FaultPlan {
+  FaultType type = FaultType::kNone;
+  std::vector<net::NodeId> targets;  // blockchain nodes affected
+  sim::Time inject_at = sim::sec(133);
+  sim::Time recover_at = sim::sec(266);
+  /// kDelay only: one-way latency added between targets and the rest.
+  sim::Duration delay_amount = sim::sec(120);
+  /// kChurn only: how long the targets stay down / up per cycle.
+  sim::Duration churn_down = sim::sec(10);
+  sim::Duration churn_up = sim::sec(15);
+};
+
+}  // namespace stabl::core

@@ -1,0 +1,90 @@
+#include "core/observer.hpp"
+
+#include <cassert>
+
+namespace stabl::core {
+
+std::string to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kNone: return "none";
+    case FaultType::kCrash: return "crash";
+    case FaultType::kTransient: return "transient";
+    case FaultType::kPartition: return "partition";
+    case FaultType::kSecureClient: return "secure-client";
+    case FaultType::kDelay: return "delay";
+    case FaultType::kChurn: return "churn";
+  }
+  return "?";
+}
+
+Observers::Observers(sim::Simulation& simulation, net::Network& network,
+                     std::vector<chain::BlockchainNode*> nodes)
+    : sim_(simulation), net_(network), nodes_(std::move(nodes)) {}
+
+void Observers::churn_kill(const FaultPlan& plan, sim::Time at) {
+  for (const net::NodeId id : plan.targets) nodes_.at(id)->kill();
+  const sim::Time up_at = at + plan.churn_down;
+  sim_.schedule_at(up_at, [this, plan, up_at] {
+    for (const net::NodeId id : plan.targets) nodes_.at(id)->start();
+    const sim::Time next_kill = up_at + plan.churn_up;
+    // Only start another cycle when it fully fits the fault window, so
+    // the targets are guaranteed back up at recover_at.
+    if (next_kill + plan.churn_down <= plan.recover_at) {
+      sim_.schedule_at(next_kill, [this, plan, next_kill] {
+        churn_kill(plan, next_kill);
+      });
+    }
+  });
+}
+
+void Observers::arm(const FaultPlan& plan) {
+  switch (plan.type) {
+    case FaultType::kNone:
+    case FaultType::kSecureClient:
+      return;
+    case FaultType::kCrash:
+      sim_.schedule_at(plan.inject_at, [this, targets = plan.targets] {
+        for (const net::NodeId id : targets) nodes_.at(id)->kill();
+      });
+      return;
+    case FaultType::kTransient:
+      sim_.schedule_at(plan.inject_at, [this, targets = plan.targets] {
+        for (const net::NodeId id : targets) nodes_.at(id)->kill();
+      });
+      sim_.schedule_at(plan.recover_at, [this, targets = plan.targets] {
+        for (const net::NodeId id : targets) nodes_.at(id)->start();
+      });
+      return;
+    case FaultType::kChurn:
+      sim_.schedule_at(plan.inject_at, [this, plan] {
+        churn_kill(plan, plan.inject_at);
+      });
+      return;
+    case FaultType::kPartition:
+    case FaultType::kDelay: {
+      sim_.schedule_at(
+          plan.inject_at,
+          [this, targets = plan.targets, type = plan.type,
+           extra = plan.delay_amount] {
+            std::vector<net::NodeId> rest;
+            for (const auto* node : nodes_) {
+              bool isolated = false;
+              for (const net::NodeId t : targets) {
+                if (node->node_id() == t) isolated = true;
+              }
+              if (!isolated) rest.push_back(node->node_id());
+            }
+            active_rule_ = type == FaultType::kPartition
+                               ? net_.add_partition(targets, rest)
+                               : net_.add_delay(targets, rest, extra);
+          });
+      sim_.schedule_at(plan.recover_at, [this] {
+        net_.remove_rule(active_rule_);
+        active_rule_ = 0;
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace stabl::core

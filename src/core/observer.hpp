@@ -1,0 +1,37 @@
+// STABL observers (paper Fig. 2).
+//
+// One observer runs on every blockchain machine, listening for signals from
+// the primary. To inject a crash it kills the blockchain process on its
+// node; to create a partition it installs netfilter rules dropping all IP
+// packets from and to the other side; it can later remove the rules or
+// restart the process.
+#pragma once
+
+#include <vector>
+
+#include "chain/node.hpp"
+#include "core/fault.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl::core {
+
+class Observers {
+ public:
+  Observers(sim::Simulation& simulation, net::Network& network,
+            std::vector<chain::BlockchainNode*> nodes);
+
+  /// Schedule the plan's kill/restart/partition actions. Call before the
+  /// simulation runs.
+  void arm(const FaultPlan& plan);
+
+ private:
+  void churn_kill(const FaultPlan& plan, sim::Time at);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  std::vector<chain::BlockchainNode*> nodes_;
+  net::RuleId active_rule_ = 0;
+};
+
+}  // namespace stabl::core

@@ -1,0 +1,33 @@
+#include "core/radar.hpp"
+
+#include "core/report.hpp"
+
+namespace stabl::core {
+
+void RadarSummary::record(ChainKind chain, FaultType dimension,
+                          const SensitivityScore& score) {
+  scores_[{chain, dimension}] = score;
+}
+
+const SensitivityScore* RadarSummary::get(ChainKind chain,
+                                          FaultType dimension) const {
+  const auto it = scores_.find({chain, dimension});
+  return it == scores_.end() ? nullptr : &it->second;
+}
+
+std::string RadarSummary::to_table() const {
+  const FaultType dims[] = {FaultType::kCrash, FaultType::kTransient,
+                            FaultType::kPartition, FaultType::kSecureClient};
+  Table table({"chain", "crash", "transient", "partition", "byzantine"});
+  for (const ChainKind chain : kAllChains) {
+    std::vector<std::string> row{to_string(chain)};
+    for (const FaultType dim : dims) {
+      const SensitivityScore* score = get(chain, dim);
+      row.push_back(score == nullptr ? "-" : format_score(*score));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,31 @@
+// Fig. 7 aggregation: all sensitivity scores of all chains across the four
+// dimensions (crash, transient, partition, Byzantine-node-tolerance
+// mechanism), rendered as a text radar table.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/fault.hpp"
+#include "core/sensitivity.hpp"
+
+namespace stabl::core {
+
+class RadarSummary {
+ public:
+  void record(ChainKind chain, FaultType dimension,
+              const SensitivityScore& score);
+
+  [[nodiscard]] const SensitivityScore* get(ChainKind chain,
+                                            FaultType dimension) const;
+
+  /// Table with one row per chain and one column per dimension; scores
+  /// rendered like the paper's figures ("inf", trailing '*' = benefits).
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  std::map<std::pair<ChainKind, FaultType>, SensitivityScore> scores_;
+};
+
+}  // namespace stabl::core

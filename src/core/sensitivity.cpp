@@ -1,0 +1,103 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+namespace stabl::core {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+  assert(samples_.empty() ||
+         (std::isfinite(samples_.front()) && std::isfinite(samples_.back())));
+}
+
+double Ecdf::operator()(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::min() const { return samples_.empty() ? 0.0 : samples_.front(); }
+double Ecdf::max() const { return samples_.empty() ? 0.0 : samples_.back(); }
+
+double Ecdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[index];
+}
+
+double super_cumulative(const Ecdf& ecdf, double x, double step) {
+  assert(step > 0.0);
+  if (x < 0.0) return 0.0;
+  const auto terms = static_cast<std::int64_t>(std::floor(x / step));
+  double sum = 0.0;
+  for (std::int64_t i = 0; i <= terms; ++i) {
+    sum += ecdf(static_cast<double>(i) * step);
+  }
+  return sum;
+}
+
+double ecdf_integral(const Ecdf& ecdf, double upper) {
+  if (upper <= 0.0 || ecdf.empty()) return 0.0;
+  // F̂ is a right-continuous step function jumping by 1/m at each sample;
+  // integrate piecewise between sorted sample positions.
+  const auto& xs = ecdf.sorted_samples();
+  const double m = static_cast<double>(xs.size());
+  double area = 0.0;
+  double prev_x = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = std::min(std::max(xs[i], 0.0), upper);
+    area += (x - prev_x) * (static_cast<double>(i) / m);
+    prev_x = x;
+    if (xs[i] >= upper) return area;
+  }
+  area += (upper - prev_x) * 1.0;
+  return area;
+}
+
+SensitivityScore sensitivity(const std::vector<double>& baseline,
+                             const std::vector<double>& altered,
+                             bool altered_live,
+                             const SensitivityOptions& options) {
+  SensitivityScore score;
+  if (!altered_live || altered.empty()) {
+    score.infinite = true;
+    score.value = std::numeric_limits<double>::infinity();
+    return score;
+  }
+  const Ecdf base(baseline);
+  const Ecdf alt(altered);
+  double b1 = base.max();
+  double b2 = alt.max();
+  if (options.endpoint == ScoreEndpoint::kCommon) {
+    b1 = b2 = std::max(b1, b2);
+  }
+  score.baseline_area = super_cumulative(base, b1, options.step);
+  score.altered_area = super_cumulative(alt, b2, options.step);
+  score.benefits = score.altered_area > score.baseline_area;
+  score.value = std::abs(score.baseline_area - score.altered_area);
+  return score;
+}
+
+std::string format_score(const SensitivityScore& score) {
+  if (score.infinite) return "inf";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", score.value,
+                score.benefits ? "*" : "");
+  return buf;
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,30 @@
+// Machine-readable result output (CSV rows and JSON documents), so STABL
+// campaigns can feed plotting pipelines and CI dashboards — the paper
+// positions STABL as "pluggable in continuous integration pipelines".
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace stabl::core {
+
+/// Header matching summary_csv_row().
+std::string summary_csv_header();
+
+/// One campaign line: chain, fault, score, liveness, recovery, latencies.
+std::string summary_csv_row(ChainKind chain, FaultType fault,
+                            const SensitivityRun& run);
+
+/// Per-second throughput as "t,tps" lines with a header.
+std::string throughput_csv(const ExperimentResult& result);
+
+/// Full JSON document for one baseline/altered pair (self-describing; no
+/// external schema needed).
+std::string to_json(ChainKind chain, FaultType fault,
+                    const SensitivityRun& run);
+
+/// Minimal JSON string escaping for the fields we emit.
+std::string json_escape(const std::string& text);
+
+}  // namespace stabl::core

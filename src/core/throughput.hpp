@@ -1,0 +1,43 @@
+// Throughput-over-time series and recovery-time detection.
+//
+// The paper's Figs. 4-6 plot committed transactions per second over the
+// experiment; §5/§6 report recovery times (time from the fault clearing to
+// throughput being restored), e.g. Redbelly 7 s -> 81 s and Algorand
+// 9 s -> 99 s between transient node failures and partitions.
+#pragma once
+
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+/// Committed transactions per 1-second bin, computed from a replica's
+/// ledger. bins() has `ceil(duration)` entries.
+class ThroughputSeries {
+ public:
+  ThroughputSeries(const chain::Ledger& ledger, sim::Duration duration);
+
+  [[nodiscard]] const std::vector<double>& bins() const { return bins_; }
+
+  /// Average TPS over [from, to) seconds.
+  [[nodiscard]] double average(double from_s, double to_s) const;
+
+  /// Mean of the series over its whole span.
+  [[nodiscard]] double overall_average() const;
+
+  /// Largest single-bin value (the post-recovery backlog peak).
+  [[nodiscard]] double peak() const;
+
+ private:
+  std::vector<double> bins_;
+};
+
+/// First commit-carrying second at or after `after_s` from which the next
+/// `window_s` seconds average at least `threshold_tps`, minus `after_s`.
+/// Returns a negative value when the series never recovers.
+double recovery_seconds(const ThroughputSeries& series, double after_s,
+                        double threshold_tps, double window_s = 3.0);
+
+}  // namespace stabl::core

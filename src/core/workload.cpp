@@ -1,0 +1,44 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stabl::core {
+
+double workload_rate(const WorkloadConfig& config, sim::Time at,
+                     sim::Duration duration) {
+  switch (config.shape) {
+    case WorkloadShape::kConstant:
+      return config.tps;
+    case WorkloadShape::kBursty: {
+      // Square wave with mean config.tps: high phase at factor*low, equal
+      // phase lengths => low = 2*tps/(1+factor).
+      const double low =
+          2.0 * config.tps / (1.0 + std::max(1.0, config.burst_factor));
+      const double high = low * std::max(1.0, config.burst_factor);
+      const auto period = config.burst_period.count();
+      if (period <= 0) return config.tps;
+      const bool high_phase = (at.count() / period) % 2 == 0;
+      return high_phase ? high : low;
+    }
+    case WorkloadShape::kRamp: {
+      const double total = sim::to_seconds(duration);
+      if (total <= 0.0) return config.tps;
+      const double progress =
+          std::clamp(sim::to_seconds(at) / total, 0.0, 1.0);
+      const double start = std::clamp(config.ramp_start_fraction, 0.0, 1.0);
+      const double end = 2.0 - start;  // keeps the average at tps
+      return config.tps * (start + (end - start) * progress);
+    }
+  }
+  return config.tps;
+}
+
+sim::Duration workload_interval(const WorkloadConfig& config, sim::Time at,
+                                sim::Duration duration) {
+  const double rate = std::max(0.1, workload_rate(config, at, duration));
+  const auto gap = static_cast<std::int64_t>(1e6 / rate);
+  return sim::Duration{std::max<std::int64_t>(gap, 100)};
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,44 @@
+// Workload shapes.
+//
+// The paper's campaign uses a constant 200 TPS of native transfers and
+// names this as a limitation (§8: "not representative of realistic
+// fluctuating workloads, request bursts or demanding workloads"). The
+// workload module supplies the constant shape plus the fluctuating ones
+// the paper points to, so the sensitivity harness can also score
+// congestion behaviour (see bench/micro_ablation_workload).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+enum class WorkloadShape {
+  kConstant,  // the paper's workload: fixed inter-arrival gap
+  kBursty,    // square wave: alternating high/low phases, same average
+  kRamp,      // linear ramp from low to high over the run, same average
+};
+
+struct WorkloadConfig {
+  WorkloadShape shape = WorkloadShape::kConstant;
+  /// Average transactions per second over the whole run.
+  double tps = 40.0;
+  /// kBursty: phase length and the high:low rate ratio. A burst factor of
+  /// 3 with average 40 TPS gives phases of 60 and 20 TPS.
+  sim::Duration burst_period = sim::sec(20);
+  double burst_factor = 3.0;
+  /// kRamp: start fraction of the average rate (ends at 2 - start).
+  double ramp_start_fraction = 0.2;
+};
+
+/// Stateless rate function: target TPS at time `at` within a run lasting
+/// `duration`. Always averages to `config.tps` over the run.
+double workload_rate(const WorkloadConfig& config, sim::Time at,
+                     sim::Duration duration);
+
+/// Inter-arrival gap at time `at`; never smaller than 100 us.
+sim::Duration workload_interval(const WorkloadConfig& config, sim::Time at,
+                                sim::Duration duration);
+
+}  // namespace stabl::core

@@ -1,0 +1,18 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stabl::net {
+
+sim::Duration LatencyModel::sample(sim::Rng& rng, std::uint32_t bytes) const {
+  double delay_us = static_cast<double>(config_.median.count());
+  if (config_.sigma > 0.0) {
+    delay_us = rng.lognormal_median(delay_us, config_.sigma);
+  }
+  delay_us += static_cast<double>(bytes) * config_.ns_per_byte / 1000.0;
+  const auto sampled = sim::Duration{static_cast<std::int64_t>(delay_us)};
+  return std::max(sampled, config_.floor);
+}
+
+}  // namespace stabl::net

@@ -1,0 +1,39 @@
+// Link latency models.
+//
+// The paper's testbed is a single Proxmox cluster with 10 GbE NICs, i.e. a
+// LAN with sub-millisecond one-way delays. The default model is log-normal
+// around a configurable median, which captures the heavy right tail of real
+// datacenter RTT distributions without letting latencies go negative.
+#pragma once
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::net {
+
+struct LatencyConfig {
+  /// Median one-way delay.
+  sim::Duration median = sim::us(500);
+  /// Sigma of the underlying normal; 0 makes the link deterministic.
+  double sigma = 0.3;
+  /// Floor applied after sampling (a packet can never be faster than this).
+  sim::Duration floor = sim::us(50);
+  /// Per-byte serialization delay, modelling bandwidth (10 GbE ≈ 0.8 ns/B;
+  /// we keep a conservative per-message figure).
+  double ns_per_byte = 1.0;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig config) : config_(config) {}
+
+  /// Sample the one-way delay of a message of `bytes` bytes.
+  sim::Duration sample(sim::Rng& rng, std::uint32_t bytes) const;
+
+  [[nodiscard]] const LatencyConfig& config() const { return config_; }
+
+ private:
+  LatencyConfig config_;
+};
+
+}  // namespace stabl::net

@@ -1,0 +1,112 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace stabl::net {
+
+Network::Network(sim::Simulation& simulation, LatencyConfig latency)
+    : sim_(simulation), latency_(latency), rng_(simulation.rng().fork()) {}
+
+void Network::attach(NodeId id, Endpoint* endpoint) {
+  assert(endpoint != nullptr);
+  endpoints_[id] = endpoint;
+}
+
+void Network::send(NodeId from, NodeId to, PayloadPtr payload,
+                   std::uint32_t bytes) {
+  ++stats_.sent;
+  if (!permitted(from, to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  const sim::Duration delay =
+      latency_.sample(rng_, bytes) + extra_delay(from, to);
+  Envelope envelope{from, to, bytes, std::move(payload)};
+  sim_.schedule_after(delay, [this, envelope = std::move(envelope)]() {
+    deliver(envelope);
+  });
+}
+
+void Network::deliver(const Envelope& envelope) {
+  // Rules are re-checked at delivery so that a partition installed while a
+  // packet is in flight still drops it (netfilter matches on ingress too).
+  if (!permitted(envelope.from, envelope.to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  const auto it = endpoints_.find(envelope.to);
+  if (it == endpoints_.end()) {
+    // No such host: the packet disappears (no RST without a machine).
+    ++stats_.dropped_dead;
+    return;
+  }
+  Endpoint* endpoint = it->second;
+  if (!endpoint->endpoint_alive()) {
+    ++stats_.dropped_dead;
+    // A dead *process* (not machine) means the OS answers with a TCP RST,
+    // unless the original frame was itself an RST.
+    const auto* control =
+        dynamic_cast<const ControlPayload*>(envelope.payload.get());
+    if (control == nullptr || control->kind != ControlPayload::Kind::kRst) {
+      send_rst(envelope.to, envelope.from);
+    }
+    return;
+  }
+  ++stats_.delivered;
+  endpoint->deliver(envelope);
+}
+
+void Network::send_rst(NodeId dead, NodeId to) {
+  ++stats_.rst_sent;
+  send(dead, to,
+       std::make_shared<const ControlPayload>(ControlPayload::Kind::kRst),
+       /*bytes=*/64);
+}
+
+RuleId Network::add_partition(std::vector<NodeId> group_a,
+                              std::vector<NodeId> group_b) {
+  Rule rule;
+  rule.group_a.insert(group_a.begin(), group_a.end());
+  rule.group_b.insert(group_b.begin(), group_b.end());
+  const RuleId id = next_rule_++;
+  rules_.emplace(id, std::move(rule));
+  return id;
+}
+
+RuleId Network::add_delay(std::vector<NodeId> group_a,
+                          std::vector<NodeId> group_b, sim::Duration extra) {
+  assert(extra > sim::Duration::zero());
+  Rule rule;
+  rule.group_a.insert(group_a.begin(), group_a.end());
+  rule.group_b.insert(group_b.begin(), group_b.end());
+  rule.extra_delay = extra;
+  const RuleId id = next_rule_++;
+  rules_.emplace(id, std::move(rule));
+  return id;
+}
+
+sim::Duration Network::extra_delay(NodeId a, NodeId b) const {
+  sim::Duration total{0};
+  for (const auto& [id, rule] : rules_) {
+    if (rule.extra_delay > sim::Duration::zero() && rule.matches(a, b)) {
+      total += rule.extra_delay;
+    }
+  }
+  return total;
+}
+
+void Network::remove_rule(RuleId id) { rules_.erase(id); }
+
+void Network::clear_rules() { rules_.clear(); }
+
+bool Network::permitted(NodeId a, NodeId b) const {
+  for (const auto& [id, rule] : rules_) {
+    if (rule.extra_delay == sim::Duration::zero() && rule.matches(a, b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stabl::net

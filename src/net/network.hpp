@@ -1,0 +1,103 @@
+// The simulated network fabric.
+//
+// Point-to-point delivery with a latency model, plus a netfilter-equivalent
+// rule table for partitions: STABL's observers install rules that drop any
+// IP packet between two groups of machines, exactly as the paper does with
+// tc/netem (100% loss on matched traffic). Packets to a dead process draw
+// an RST control frame in response, mirroring the OS behaviour after a
+// process is killed — this is what makes crash recovery *active* and
+// partition recovery *passive* in the connection layer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl::net {
+
+/// Handle to an installed partition rule, for later removal.
+using RuleId = std::uint64_t;
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_dead = 0;  // packets that hit a dead endpoint
+  std::uint64_t rst_sent = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& simulation, LatencyConfig latency);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register the receiving endpoint for a machine. Must be called once per
+  /// NodeId before anything is sent to it.
+  void attach(NodeId id, Endpoint* endpoint);
+
+  /// Send a payload from one machine to another. The packet is dropped when
+  /// a partition rule matches at send or delivery time. Delivery to a dead
+  /// endpoint produces an RST control frame back to the sender.
+  void send(NodeId from, NodeId to, PayloadPtr payload,
+            std::uint32_t bytes = 256);
+
+  /// Install a rule dropping all traffic between members of `group_a` and
+  /// members of `group_b`, both directions.
+  RuleId add_partition(std::vector<NodeId> group_a,
+                       std::vector<NodeId> group_b);
+
+  /// Install a rule adding `extra` one-way delay to all traffic between
+  /// the two groups (tc-netem delay injection): packets still arrive, just
+  /// late — the condition under which "Avalanche stops working when some
+  /// messages arrive 2 minutes late" (paper §5).
+  RuleId add_delay(std::vector<NodeId> group_a, std::vector<NodeId> group_b,
+                   sim::Duration extra);
+
+  /// Total extra delay rules impose on a->b traffic right now.
+  [[nodiscard]] sim::Duration extra_delay(NodeId a, NodeId b) const;
+
+  /// Remove one rule (observers lifting the netfilter configuration).
+  void remove_rule(RuleId id);
+
+  /// Remove all rules.
+  void clear_rules();
+
+  /// True when no active rule blocks a->b.
+  [[nodiscard]] bool permitted(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  struct Rule {
+    std::unordered_set<NodeId> group_a;
+    std::unordered_set<NodeId> group_b;
+    /// zero => drop (partition); positive => added latency (netem delay).
+    sim::Duration extra_delay{0};
+
+    [[nodiscard]] bool matches(NodeId a, NodeId b) const {
+      return (group_a.contains(a) && group_b.contains(b)) ||
+             (group_b.contains(a) && group_a.contains(b));
+    }
+  };
+
+  void deliver(const Envelope& envelope);
+  void send_rst(NodeId dead, NodeId to);
+
+  sim::Simulation& sim_;
+  LatencyModel latency_;
+  sim::Rng rng_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::unordered_map<RuleId, Rule> rules_;
+  RuleId next_rule_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace stabl::net

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace stabl::sim {
+
+TimerId EventQueue::schedule(Time at, Action action) {
+  const TimerId id = next_id_++;
+  heap_.push(Entry{at, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return;  // already fired or cancelled
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Action EventQueue::pop(Time& fired_at) {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  const Entry entry = heap_.top();
+  heap_.pop();
+  fired_at = entry.at;
+  auto it = actions_.find(entry.id);
+  assert(it != actions_.end());
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_count_;
+  return action;
+}
+
+}  // namespace stabl::sim

@@ -1,0 +1,75 @@
+// The simulator's time-ordered event queue.
+//
+// Events are closures keyed by (time, sequence number); the sequence number
+// makes ordering of same-time events deterministic (FIFO in scheduling
+// order). Cancellation is lazy: cancelled entries stay in the heap and are
+// skipped on pop, which keeps schedule/cancel O(log n) without a secondary
+// index structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace stabl::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using TimerId = std::uint64_t;
+
+/// Sentinel returned by operations that have no timer to identify.
+inline constexpr TimerId kInvalidTimer = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` to run at absolute time `at`. Returns a handle that
+  /// can be passed to cancel(). `at` must not be in the past relative to the
+  /// last popped event; the Simulation enforces this.
+  TimerId schedule(Time at, Action action);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op.
+  void cancel(TimerId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pop and return the earliest live event's action, advancing internal
+  /// bookkeeping. Requires !empty(). `fired_at` receives the event's time.
+  Action pop(Time& fired_at);
+
+  /// Number of live events currently scheduled.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+ private:
+  struct Entry {
+    Time at;
+    TimerId id;
+    // Heap ordering: earliest time first; ties broken by schedule order.
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  // `mutable` so that empty()/next_time() can shed cancelled heads lazily.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  mutable std::unordered_set<TimerId> cancelled_;
+  std::unordered_map<TimerId, Action> actions_;
+  TimerId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace stabl::sim

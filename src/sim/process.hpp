@@ -1,0 +1,72 @@
+// A simulated OS process.
+//
+// Blockchain nodes, clients and observers are all Processes: they can be
+// killed (crash) and started again (restart) by the fault-injection layer.
+// A Process owns a set of timers that are cancelled wholesale when the
+// process dies, mirroring how killing a real process destroys its in-flight
+// work. Timer callbacks scheduled through the Process helpers never fire on
+// a dead process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "sim/simulation.hpp"
+
+namespace stabl::sim {
+
+/// Identifier of a simulated machine/process slot (stable across restarts,
+/// matching the paper's "restarted later with the same identity").
+using ProcessId = std::uint32_t;
+
+class Process {
+ public:
+  Process(Simulation& simulation, ProcessId id)
+      : sim_(simulation), id_(id) {}
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] Simulation& simulation() { return sim_; }
+  [[nodiscard]] Time now() const { return sim_.now(); }
+
+  /// Kill the process: cancels every pending timer, flips alive to false and
+  /// invokes on_crash() so subclasses can drop volatile state.
+  void kill();
+
+  /// Start the process again with the same identity. Invokes on_restart().
+  /// Killing an alive process and starting a dead one are the only legal
+  /// transitions; the others are no-ops.
+  void start();
+
+  /// Count of crash/restart cycles this process went through.
+  [[nodiscard]] int restarts() const { return restarts_; }
+
+  /// Schedule a timer owned by this process; auto-cancelled on kill() and
+  /// skipped if the process somehow died before it fired. Public so that
+  /// components owned by the process (connection manager, CPU model) can
+  /// anchor their timers to the owning process's lifetime.
+  TimerId set_timer(Duration delay, std::function<void()> fn);
+
+  /// Cancel one of this process's timers (no-op if already fired).
+  void cancel_timer(TimerId id);
+
+ protected:
+
+  /// Subclass hooks. on_start() also runs for the initial boot via start().
+  virtual void on_start() {}
+  virtual void on_crash() {}
+
+ private:
+  Simulation& sim_;
+  ProcessId id_;
+  bool alive_ = false;
+  int restarts_ = -1;  // first start() brings this to 0
+  std::unordered_set<TimerId> timers_;
+};
+
+}  // namespace stabl::sim

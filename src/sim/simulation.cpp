@@ -1,0 +1,44 @@
+#include "sim/simulation.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace stabl::sim {
+
+std::string format_time(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  return buf;
+}
+
+TimerId Simulation::schedule_at(Time at, EventQueue::Action action) {
+  if (at < now_) at = now_;
+  return queue_.schedule(at, std::move(action));
+}
+
+TimerId Simulation::schedule_after(Duration delay, EventQueue::Action action) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Time fired_at{};
+  auto action = queue_.pop(fired_at);
+  now_ = fired_at;
+  ++events_processed_;
+  action();
+  return true;
+}
+
+void Simulation::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace stabl::sim

@@ -1,0 +1,41 @@
+// Simulated-time primitives.
+//
+// All of STABL's simulated components share one logical clock owned by
+// sim::Simulation. Time is expressed as std::chrono::microseconds: fine
+// enough to resolve sub-millisecond LAN latencies, coarse enough that a
+// 400-second experiment stays far away from overflow.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace stabl::sim {
+
+/// Absolute simulated time since the start of the simulation.
+using Time = std::chrono::microseconds;
+
+/// A span of simulated time. Same representation as Time; the alias keeps
+/// signatures self-documenting.
+using Duration = std::chrono::microseconds;
+
+/// Shorthand constructors, so call sites read `ms(250)` instead of
+/// `std::chrono::microseconds{250'000}`.
+constexpr Duration us(std::int64_t v) { return Duration{v}; }
+constexpr Duration ms(std::int64_t v) { return Duration{v * 1000}; }
+constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000}; }
+
+/// Fractional seconds, for configuration knobs expressed as doubles.
+constexpr Duration seconds(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e6)};
+}
+
+/// Convert a simulated time to fractional seconds (for metrics and reports).
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t.count()) / 1e6;
+}
+
+/// Render a time as "123.456s" for logs and reports.
+std::string format_time(Time t);
+
+}  // namespace stabl::sim

@@ -1,0 +1,132 @@
+// Algorand protocol model tests: sortition-driven rounds, dynamic round
+// time, empty rounds on dead proposers, quorum threshold, recovery.
+#include "chains/algorand/algorand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+
+namespace stabl::algorand {
+namespace {
+
+using testing::Harness;
+
+void build(Harness& harness, std::size_t n = 10, AlgorandConfig config = {}) {
+  chain::NodeConfig node_config;
+  node_config.n = n;
+  node_config.network_seed = 31;
+  harness.nodes =
+      make_cluster(harness.simulation, harness.network, node_config, config);
+}
+
+AlgorandNode& node_at(Harness& harness, std::size_t index) {
+  return static_cast<AlgorandNode&>(*harness.nodes[index]);
+}
+
+TEST(Algorand, BaselineCommitsWorkload) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(40));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(50));
+  EXPECT_GT(harness.total_client_committed(), 7000u);
+  testing::expect_prefix_consistent(harness);
+  testing::expect_no_double_execution(harness);
+}
+
+TEST(Algorand, DynamicRoundTimeAdaptsDown) {
+  // The filter wait creeps from its default toward the floor over clean
+  // rounds — the paper's "throughput increase after approximately 133
+  // seconds" in miniature.
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(60));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(5));
+  const auto early = node_at(harness, 0).filter_wait();
+  harness.simulation.run_until(sim::sec(60));
+  const auto late = node_at(harness, 0).filter_wait();
+  EXPECT_LT(late, early);
+}
+
+TEST(Algorand, CrashedProposerResetsTiming) {
+  AlgorandConfig config;
+  Harness harness;
+  build(harness, 10, config);
+  harness.add_clients(5, 40.0, sim::sec(120));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(60));
+  const auto adapted = node_at(harness, 0).filter_wait();
+  EXPECT_LT(adapted, config.default_filter_wait);
+  harness.nodes[9]->kill();  // f = t = 1
+  // Sooner or later sortition picks node 9 as proposer; that round commits
+  // empty and resets the timing parameters to their defaults.
+  harness.simulation.run_until(sim::sec(120));
+  bool saw_empty_round = false;
+  for (const auto& block : harness.nodes[0]->ledger().blocks()) {
+    if (block.txs.empty() &&
+        block.committed_at > sim::sec(60)) {
+      saw_empty_round = true;
+    }
+  }
+  EXPECT_TRUE(saw_empty_round);
+  EXPECT_GT(harness.total_client_committed(), 20000u) << "still live";
+}
+
+TEST(Algorand, HaltsWhenQuorumLost) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(60));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(20));
+  // f = t+1 = 2 > t: below the 85% stake threshold, rounds cannot certify.
+  harness.nodes[8]->kill();
+  harness.nodes[9]->kill();
+  const auto before = harness.nodes[0]->ledger().height();
+  harness.simulation.run_until(sim::sec(50));
+  EXPECT_LE(harness.nodes[0]->ledger().height(), before + 2);
+}
+
+TEST(Algorand, RecoversAfterTransientFailure) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(90));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(20));
+  harness.nodes[8]->kill();
+  harness.nodes[9]->kill();
+  harness.simulation.run_until(sim::sec(50));
+  harness.nodes[8]->start();
+  harness.nodes[9]->start();
+  harness.simulation.run_until(sim::sec(90));
+  // Backlog clears: nearly everything submitted by t=90 commits.
+  EXPECT_GT(harness.total_client_committed(), 15500u);
+  testing::expect_prefix_consistent(harness);
+}
+
+TEST(Algorand, ProposerRotatesByRound) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(60));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(60));
+  std::set<net::NodeId> proposers;
+  for (const auto& block : harness.nodes[0]->ledger().blocks()) {
+    if (!block.txs.empty()) proposers.insert(block.proposer);
+  }
+  EXPECT_GE(proposers.size(), 5u) << "sortition spreads proposals";
+}
+
+TEST(Algorand, GossipSharesTransactionsWithNonEntryNodes) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(10));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(5));
+  // Node 9 never receives client submissions, yet pools transactions.
+  const auto& remote = *harness.nodes[9];
+  EXPECT_GT(remote.mempool().size() + remote.ledger().tx_count(), 50u);
+}
+
+}  // namespace
+}  // namespace stabl::algorand

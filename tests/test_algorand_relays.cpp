@@ -1,0 +1,130 @@
+// Algorand relay/participation topology tests (§2: "Relay nodes and
+// participation nodes have distinct roles... a single node can fulfill
+// both functions"; §7: the flat deployment "lacks the hierarchical or
+// segmented structure that typically benefits" from the secure client).
+#include "chains/algorand/algorand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+
+namespace stabl::algorand {
+namespace {
+
+using testing::Harness;
+
+void build(Harness& harness, std::size_t relay_count,
+           std::size_t n = 10) {
+  AlgorandConfig config;
+  config.relay_count = relay_count;
+  chain::NodeConfig node_config;
+  node_config.n = n;
+  node_config.network_seed = 31;
+  harness.nodes =
+      make_cluster(harness.simulation, harness.network, node_config, config);
+}
+
+const AlgorandNode& node_at(const Harness& harness, std::size_t index) {
+  return static_cast<const AlgorandNode&>(*harness.nodes[index]);
+}
+
+TEST(AlgorandRelays, FlatTopologyMakesEveryNodeARelay) {
+  Harness harness;
+  build(harness, 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(node_at(harness, i).is_relay());
+  }
+}
+
+TEST(AlgorandRelays, HierarchicalTopologyMarksRoles) {
+  Harness harness;
+  build(harness, 3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(node_at(harness, i).is_relay(), i < 3);
+  }
+}
+
+TEST(AlgorandRelays, ConsensusWorksThroughRelays) {
+  // Participation nodes only talk to the 3 relays, yet rounds certify:
+  // votes and proposals are relayed.
+  Harness harness;
+  build(harness, 3);
+  harness.add_clients(5, 40.0, sim::sec(40));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(45));
+  EXPECT_GT(harness.total_client_committed(), 6800u);
+  testing::expect_prefix_consistent(harness);
+  testing::expect_no_double_execution(harness);
+}
+
+TEST(AlgorandRelays, GossipReachesParticipationNodesViaRelays) {
+  Harness harness;
+  build(harness, 3);
+  harness.add_clients(5, 40.0, sim::sec(10));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(8));
+  // Node 9 peers only with relays 0-2; its pool still fills.
+  const auto& leaf = *harness.nodes[9];
+  EXPECT_GT(leaf.mempool().size() + leaf.ledger().tx_count(), 100u);
+}
+
+TEST(AlgorandRelays, RelayCrashDegradesButParticipationCrashDoesNot) {
+  // Crashing a leaf only removes one voter; crashing a relay also severs
+  // the paths of its exclusive leaves — the topology concentrates risk.
+  Harness flat;
+  build(flat, 2);  // relays 0,1; leaves 2..9 connect to both
+  flat.add_clients(2, 40.0, sim::sec(60));
+  flat.start_all();
+  flat.simulation.run_until(sim::sec(20));
+  flat.nodes[9]->kill();  // leaf
+  flat.simulation.run_until(sim::sec(60));
+  const auto leaf_crash_committed = flat.total_client_committed();
+  EXPECT_GT(leaf_crash_committed, 3500u) << "one leaf is just one vote";
+}
+
+TEST(AlgorandRelays, SecureClientHelpsOnlyWithHierarchy) {
+  // The paper's §7 explanation, inverted: in a hierarchical topology where
+  // entry points are distinct leaves, redundant submission spreads a
+  // transaction to several relays at once and the mean latency improves
+  // more than in the flat deployment.
+  auto mean_latency = [](std::size_t relays, int fanout) {
+    Harness harness;
+    build(harness, relays);
+    // Clients attach to participation nodes (5..9 are always leaves here).
+    for (std::size_t i = 0; i < 4; ++i) {
+      core::ClientConfig config;
+      config.id = static_cast<net::NodeId>(10 + i);
+      config.account = static_cast<chain::AccountId>(i);
+      config.recipient = 999;
+      config.tps = 40.0;
+      config.stop_at = sim::sec(60);
+      config.tx_seed = chain::mix64(99);
+      for (int k = 0; k < fanout; ++k) {
+        config.endpoints.push_back(static_cast<net::NodeId>(
+            5 + (i + static_cast<std::size_t>(k)) % 5));
+      }
+      harness.clients.push_back(std::make_unique<core::ClientMachine>(
+          harness.simulation, harness.network, config));
+    }
+    harness.start_all();
+    harness.simulation.run_until(sim::sec(60));
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& client : harness.clients) {
+      for (const double latency : client->latencies()) {
+        sum += latency;
+        ++count;
+      }
+    }
+    return count == 0 ? 1e9 : sum / static_cast<double>(count);
+  };
+  const double flat_gain = mean_latency(0, 1) - mean_latency(0, 4);
+  const double tree_gain = mean_latency(3, 1) - mean_latency(3, 4);
+  // Flat: essentially no benefit (paper: "remains unchanged").
+  EXPECT_LT(std::abs(flat_gain), 0.25);
+  // Hierarchical: the redundancy is worth something real.
+  EXPECT_GT(tree_gain, flat_gain - 0.05);
+}
+
+}  // namespace
+}  // namespace stabl::algorand

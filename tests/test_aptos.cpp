@@ -1,0 +1,141 @@
+// Aptos (DiemBFT) model tests: rotating leaders, pacemaker timeouts,
+// leader reputation, capped capacity, Block-STM duplicate cost.
+#include "chains/aptos/aptos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+
+namespace stabl::aptos {
+namespace {
+
+using testing::Harness;
+
+void build(Harness& harness, std::size_t n = 10, AptosConfig config = {},
+           double vcpus = 4.0) {
+  chain::NodeConfig node_config;
+  node_config.n = n;
+  node_config.network_seed = 13;
+  node_config.vcpus = vcpus;
+  harness.nodes =
+      make_cluster(harness.simulation, harness.network, node_config, config);
+}
+
+AptosNode& node_at(Harness& harness, std::size_t index) {
+  return static_cast<AptosNode&>(*harness.nodes[index]);
+}
+
+TEST(Aptos, BaselineCommitsFastAndFully) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(30));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(35));
+  EXPECT_GT(harness.total_client_committed(), 5700u);
+  testing::expect_prefix_consistent(harness);
+  testing::expect_no_double_execution(harness);
+}
+
+TEST(Aptos, LeadersRotate) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(20));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(20));
+  std::set<net::NodeId> leaders;
+  for (const auto& block : harness.nodes[0]->ledger().blocks()) {
+    leaders.insert(block.proposer);
+  }
+  EXPECT_EQ(leaders.size(), 10u) << "round-robin over all validators";
+}
+
+TEST(Aptos, DeadLeaderRoundsTimeOutThenReputationExcludes) {
+  AptosConfig config;
+  config.leader_fail_threshold = 3;  // exclude quickly for the test
+  Harness harness;
+  build(harness, 10, config);
+  harness.add_clients(5, 40.0, sim::sec(60));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(10));
+  harness.nodes[7]->kill();
+  harness.simulation.run_until(sim::sec(40));
+  EXPECT_TRUE(node_at(harness, 0).excluded_leaders().contains(7));
+  // After exclusion, throughput returns to the offered load.
+  const auto at_40 = harness.nodes[0]->ledger().tx_count();
+  harness.simulation.run_until(sim::sec(60));
+  EXPECT_GT(harness.nodes[0]->ledger().tx_count() - at_40, 3200u);
+}
+
+TEST(Aptos, HaltsWithoutQuorumRecoversDegraded) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(120));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(20));
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->kill();  // t+1
+  harness.simulation.run_until(sim::sec(60));
+  const auto during = harness.nodes[0]->ledger().tx_count();
+  EXPECT_LT(during, 4600u) << "no quorum, no commits";
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->start();
+  harness.simulation.run_until(sim::sec(120));
+  const auto after = harness.nodes[0]->ledger().tx_count();
+  EXPECT_GT(after, during + 5000u) << "commits resume";
+  // Capacity is only modestly above the offered load: the backlog from the
+  // 40 s outage cannot have fully drained yet.
+  EXPECT_LT(after, harness.total_client_submitted() - 2000u)
+      << "backlog still pending (the paper's unrecoverable drop)";
+}
+
+TEST(Aptos, DuplicateSubmissionsTriggerSpeculativeAborts) {
+  Harness harness;
+  build(harness, 10, AptosConfig{}, /*vcpus=*/8.0);
+  harness.add_clients(5, 40.0, sim::sec(20), /*fanout=*/4);
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(20));
+  std::uint64_t aborts = 0;
+  for (const auto& node : harness.nodes) {
+    aborts += static_cast<const AptosNode&>(*node).speculative_aborts();
+  }
+  // ~4 copies of every transaction reach every node: ~3 aborts per tx/node.
+  EXPECT_GT(aborts, 20000u);
+}
+
+TEST(Aptos, SecureClientRaisesLatency) {
+  auto mean_latency = [](int fanout) {
+    Harness harness;
+    build(harness, 10, AptosConfig{}, /*vcpus=*/8.0);
+    harness.add_clients(5, 40.0, sim::sec(30), fanout);
+    harness.start_all();
+    harness.simulation.run_until(sim::sec(30));
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& client : harness.clients) {
+      for (const double latency : client->latencies()) {
+        sum += latency;
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double base = mean_latency(1);
+  const double secure = mean_latency(4);
+  EXPECT_GT(secure, base * 1.5)
+      << "speculative re-execution contends with block execution";
+}
+
+TEST(Aptos, RestartedReplicaSyncsLedger) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(60));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(10));
+  harness.nodes[9]->kill();  // f=1 <= t: chain continues
+  harness.simulation.run_until(sim::sec(30));
+  harness.nodes[9]->start();
+  harness.simulation.run_until(sim::sec(60));
+  EXPECT_GT(harness.nodes[9]->ledger().tx_count(), 9000u);
+  testing::expect_prefix_consistent(harness);
+}
+
+}  // namespace
+}  // namespace stabl::aptos

@@ -1,0 +1,201 @@
+// Parameter-response properties of the protocol models: the knobs the
+// paper discusses must move latency/throughput in the physically sensible
+// direction. Property-style sweeps (TEST_P) per chain.
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "chains/algorand/algorand.hpp"
+#include "chains/aptos/aptos.hpp"
+#include "chains/avalanche/avalanche.hpp"
+#include "chains/redbelly/redbelly.hpp"
+#include "chains/solana/solana.hpp"
+
+namespace stabl {
+namespace {
+
+using testing::Harness;
+
+template <typename MakeCluster, typename Config>
+double mean_latency(MakeCluster make, Config config, double tps = 40.0,
+                    int run_s = 40) {
+  Harness harness;
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 23;
+  harness.nodes = make(harness.simulation, harness.network, node_config,
+                       config);
+  harness.add_clients(5, tps, sim::sec(run_s));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(run_s + 5));
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& client : harness.clients) {
+    for (const double latency : client->latencies()) {
+      sum += latency;
+      ++count;
+    }
+  }
+  return count == 0 ? 1e9 : sum / static_cast<double>(count);
+}
+
+// ------------------------------------------------------------- Avalanche
+
+class AvalancheBetaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvalancheBetaSweep, MoreConsecutiveSuccessesCostLatency) {
+  avalanche::AvalancheConfig low;
+  low.beta = 4;
+  avalanche::AvalancheConfig high;
+  high.beta = GetParam();
+  const double fast = mean_latency(avalanche::make_cluster, low);
+  const double slow = mean_latency(avalanche::make_cluster, high);
+  EXPECT_LT(fast, slow + 0.35)
+      << "beta " << GetParam() << " cannot be meaningfully faster than 4";
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, AvalancheBetaSweep,
+                         ::testing::Values(8, 12, 16));
+
+TEST(AvalancheParameters, BiggerBlockIntervalMeansFewerBlocks) {
+  avalanche::AvalancheConfig fast;
+  fast.block_interval = sim::sec(1);
+  avalanche::AvalancheConfig slow;
+  slow.block_interval = sim::sec(4);
+  Harness a;
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 23;
+  a.nodes = avalanche::make_cluster(a.simulation, a.network, node_config,
+                                    fast);
+  a.add_clients(5, 40.0, sim::sec(40));
+  a.start_all();
+  a.simulation.run_until(sim::sec(40));
+  Harness b;
+  b.nodes = avalanche::make_cluster(b.simulation, b.network, node_config,
+                                    slow);
+  b.add_clients(5, 40.0, sim::sec(40));
+  b.start_all();
+  b.simulation.run_until(sim::sec(40));
+  EXPECT_GT(a.nodes[0]->ledger().height(),
+            b.nodes[0]->ledger().height() + 5);
+}
+
+// ----------------------------------------------------------------- Aptos
+
+class AptosBlockCapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AptosBlockCapSweep, UndersizedBlocksBacklogTheWorkload) {
+  // Below the offered per-round load, the mempool backlog grows and the
+  // mean latency blows up; above it, latency stays sub-second.
+  aptos::AptosConfig config;
+  config.max_block_txs = GetParam();
+  const double latency = mean_latency(aptos::make_cluster, config);
+  // ~200 TPS at ~3 rounds/s needs ~70 txs per block to keep up.
+  if (GetParam() < 40) {
+    EXPECT_GT(latency, 2.0) << "cap " << GetParam() << " must congest";
+  } else if (GetParam() >= 120) {
+    EXPECT_LT(latency, 1.0) << "cap " << GetParam() << " must keep up";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, AptosBlockCapSweep,
+                         ::testing::Values(20u, 30u, 120u, 240u));
+
+TEST(AptosParameters, LongerTimeoutSlowsDeadLeaderRecovery) {
+  aptos::AptosConfig quick;
+  quick.round_timeout = sim::ms(300);
+  aptos::AptosConfig slow;
+  slow.round_timeout = sim::ms(1500);
+  auto run = [](const aptos::AptosConfig& config) {
+    Harness harness;
+    chain::NodeConfig node_config;
+    node_config.n = 10;
+    node_config.network_seed = 23;
+    harness.nodes = aptos::make_cluster(harness.simulation,
+                                        harness.network, node_config,
+                                        config);
+    harness.add_clients(5, 40.0, sim::sec(50));
+    harness.start_all();
+    harness.simulation.run_until(sim::sec(10));
+    harness.nodes[7]->kill();
+    harness.simulation.run_until(sim::sec(50));
+    return harness.total_client_committed();
+  };
+  EXPECT_GT(run(quick), run(slow));
+}
+
+// ---------------------------------------------------------------- Solana
+
+class SolanaSlotSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolanaSlotSweep, LongerSlotsRaiseLatency) {
+  solana::SolanaConfig fast;
+  fast.slot_duration = sim::ms(200);
+  solana::SolanaConfig slow;
+  slow.slot_duration = sim::ms(GetParam());
+  EXPECT_LT(mean_latency(solana::make_cluster, fast),
+            mean_latency(solana::make_cluster, slow) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SolanaSlotSweep,
+                         ::testing::Values(400, 800, 1600));
+
+TEST(SolanaParameters, SlotCapacityBoundsThroughput) {
+  solana::SolanaConfig tiny;
+  tiny.max_slot_txs = 20;  // 50 TPS capacity at 400 ms slots
+  Harness harness;
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 23;
+  harness.nodes = solana::make_cluster(harness.simulation, harness.network,
+                                       node_config, tiny);
+  harness.add_clients(5, 40.0, sim::sec(40));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(40));
+  // 200 TPS offered, ~50 TPS served.
+  EXPECT_LT(harness.nodes[0]->ledger().tx_count(), 2600u);
+  EXPECT_GT(harness.nodes[0]->ledger().tx_count(), 1500u);
+}
+
+// -------------------------------------------------------------- Redbelly
+
+class RedbellyWindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedbellyWindowSweep, WiderProposalWindowsRaiseLatency) {
+  redbelly::RedbellyConfig narrow;
+  narrow.proposal_window = sim::ms(200);
+  redbelly::RedbellyConfig wide;
+  wide.proposal_window = sim::ms(GetParam());
+  EXPECT_LT(mean_latency(redbelly::make_cluster, narrow),
+            mean_latency(redbelly::make_cluster, wide) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RedbellyWindowSweep,
+                         ::testing::Values(400, 800, 1600));
+
+// -------------------------------------------------------------- Algorand
+
+TEST(AlgorandParameters, LowerFilterFloorSpeedsSteadyState) {
+  algorand::AlgorandConfig low;
+  low.min_filter_wait = sim::ms(400);
+  algorand::AlgorandConfig high;
+  high.min_filter_wait = sim::ms(1600);
+  // Long enough for the dynamic round time to reach its floor.
+  const double fast = mean_latency(algorand::make_cluster, low, 40.0, 120);
+  const double slow = mean_latency(algorand::make_cluster, high, 40.0, 120);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(AlgorandParameters, BiggerBatchesAbsorbBursts) {
+  algorand::AlgorandConfig small;
+  small.max_batch = 150;  // ~60 TPS at ~2.5 s rounds: undersized
+  const double congested =
+      mean_latency(algorand::make_cluster, small, 40.0, 60);
+  algorand::AlgorandConfig big;
+  big.max_batch = 5000;
+  const double healthy = mean_latency(algorand::make_cluster, big, 40.0, 60);
+  EXPECT_GT(congested, healthy + 1.0);
+}
+
+}  // namespace
+}  // namespace stabl

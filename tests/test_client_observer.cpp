@@ -1,0 +1,216 @@
+// Tests for the client machines (including the secure client's
+// wait-for-all-endpoints semantics) and the fault-injecting observers.
+#include <gtest/gtest.h>
+
+#include "chain/node.hpp"
+#include "core/client.hpp"
+#include "core/observer.hpp"
+
+namespace stabl::core {
+namespace {
+
+/// Node stub that acknowledges every submission after a fixed delay.
+class AckNode final : public chain::BlockchainNode {
+ public:
+  AckNode(sim::Simulation& simulation, net::Network& network,
+          chain::NodeConfig config, sim::Duration ack_delay)
+      : BlockchainNode(simulation, network, config), delay_(ack_delay) {}
+
+  int submissions = 0;
+
+ protected:
+  void start_protocol() override {}
+  void on_app_message(const net::Envelope&) override {}
+  void accept_transaction(const chain::Transaction& tx) override {
+    ++submissions;
+    // Commit solo after the delay (no consensus in this stub).
+    set_timer(delay_, [this, tx] { commit_block({tx}, node_id()); });
+  }
+
+ private:
+  sim::Duration delay_;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : simulation(5), network(simulation, net::LatencyConfig{}) {}
+
+  AckNode* add_node(net::NodeId id, sim::Duration ack_delay) {
+    chain::NodeConfig config;
+    config.id = id;
+    config.n = 3;
+    config.network_seed = 1;
+    nodes.push_back(std::make_unique<AckNode>(simulation, network, config,
+                                              ack_delay));
+    nodes.back()->start();
+    return nodes.back().get();
+  }
+
+  ClientMachine* add_client(std::vector<net::NodeId> endpoints, double tps,
+                            sim::Time stop_at) {
+    ClientConfig config;
+    config.id = 100 + static_cast<net::NodeId>(clients.size());
+    config.account = static_cast<chain::AccountId>(clients.size());
+    config.recipient = 999;
+    config.endpoints = std::move(endpoints);
+    config.tps = tps;
+    config.stop_at = stop_at;
+    clients.push_back(
+        std::make_unique<ClientMachine>(simulation, network, config));
+    clients.back()->start();
+    return clients.back().get();
+  }
+
+  sim::Simulation simulation;
+  net::Network network;
+  std::vector<std::unique_ptr<AckNode>> nodes;
+  std::vector<std::unique_ptr<ClientMachine>> clients;
+};
+
+TEST_F(ClientTest, SubmitsAtConfiguredRate) {
+  add_node(0, sim::ms(10));
+  auto* client = add_client({0}, 40.0, sim::sec(10));
+  simulation.run_until(sim::sec(10));
+  // 40 TPS for ~9.5s of active sending.
+  EXPECT_NEAR(static_cast<double>(client->submitted()), 380.0, 5.0);
+}
+
+TEST_F(ClientTest, RecordsLatencies) {
+  add_node(0, sim::ms(500));
+  auto* client = add_client({0}, 10.0, sim::sec(5));
+  simulation.run_until(sim::sec(7));
+  EXPECT_EQ(client->committed(), client->submitted());
+  ASSERT_FALSE(client->latencies().empty());
+  for (const double latency : client->latencies()) {
+    EXPECT_GT(latency, 0.5);
+    EXPECT_LT(latency, 0.6);
+  }
+}
+
+TEST_F(ClientTest, NoncesIncreaseSequentially) {
+  auto* node = add_node(0, sim::ms(1));
+  add_client({0}, 20.0, sim::sec(5));
+  simulation.run_until(sim::sec(6));
+  EXPECT_EQ(node->accounts().next_nonce(0),
+            static_cast<std::uint64_t>(node->submissions));
+}
+
+TEST_F(ClientTest, SecureClientWaitsForSlowestEndpoint) {
+  add_node(0, sim::ms(10));
+  add_node(1, sim::ms(10));
+  add_node(2, sim::ms(900));  // the slow replica dominates
+  auto* client = add_client({0, 1, 2}, 10.0, sim::sec(4));
+  simulation.run_until(sim::sec(6));
+  EXPECT_GT(client->committed(), 0u);
+  for (const double latency : client->latencies()) {
+    EXPECT_GT(latency, 0.9) << "committed only after ALL endpoints answer";
+  }
+}
+
+TEST_F(ClientTest, SecureClientCountsEachTransactionOnce) {
+  add_node(0, sim::ms(10));
+  add_node(1, sim::ms(20));
+  auto* client = add_client({0, 1}, 10.0, sim::sec(4));
+  simulation.run_until(sim::sec(6));
+  EXPECT_EQ(client->committed(), client->submitted());
+  EXPECT_EQ(client->latencies().size(), client->committed());
+}
+
+TEST_F(ClientTest, StopsSubmittingAtDeadline) {
+  add_node(0, sim::ms(1));
+  auto* client = add_client({0}, 40.0, sim::sec(2));
+  simulation.run_until(sim::sec(10));
+  const auto submitted = client->submitted();
+  EXPECT_LE(submitted, 80u);
+  EXPECT_GE(submitted, 50u);
+}
+
+// ----------------------------------------------------------------- faults
+
+class ObserverTest : public ::testing::Test {
+ protected:
+  ObserverTest() : simulation(5), network(simulation, net::LatencyConfig{}) {
+    for (net::NodeId id = 0; id < 4; ++id) {
+      chain::NodeConfig config;
+      config.id = id;
+      config.n = 4;
+      config.network_seed = 1;
+      nodes.push_back(std::make_unique<AckNode>(simulation, network, config,
+                                                sim::ms(1)));
+      nodes.back()->start();
+      pointers.push_back(nodes.back().get());
+    }
+  }
+
+  sim::Simulation simulation;
+  net::Network network;
+  std::vector<std::unique_ptr<AckNode>> nodes;
+  std::vector<chain::BlockchainNode*> pointers;
+};
+
+TEST_F(ObserverTest, CrashKillsTargetsPermanently) {
+  Observers observers(simulation, network, pointers);
+  FaultPlan plan;
+  plan.type = FaultType::kCrash;
+  plan.targets = {2, 3};
+  plan.inject_at = sim::sec(1);
+  observers.arm(plan);
+  simulation.run_until(sim::sec(5));
+  EXPECT_TRUE(nodes[0]->alive());
+  EXPECT_TRUE(nodes[1]->alive());
+  EXPECT_FALSE(nodes[2]->alive());
+  EXPECT_FALSE(nodes[3]->alive());
+}
+
+TEST_F(ObserverTest, TransientRestartsTargets) {
+  Observers observers(simulation, network, pointers);
+  FaultPlan plan;
+  plan.type = FaultType::kTransient;
+  plan.targets = {1};
+  plan.inject_at = sim::sec(1);
+  plan.recover_at = sim::sec(3);
+  observers.arm(plan);
+  simulation.run_until(sim::sec(2));
+  EXPECT_FALSE(nodes[1]->alive());
+  simulation.run_until(sim::sec(4));
+  EXPECT_TRUE(nodes[1]->alive());
+  EXPECT_EQ(nodes[1]->restarts(), 1);
+}
+
+TEST_F(ObserverTest, PartitionInstallsAndRemovesRules) {
+  Observers observers(simulation, network, pointers);
+  FaultPlan plan;
+  plan.type = FaultType::kPartition;
+  plan.targets = {2, 3};
+  plan.inject_at = sim::sec(1);
+  plan.recover_at = sim::sec(3);
+  observers.arm(plan);
+  simulation.run_until(sim::sec(2));
+  EXPECT_FALSE(network.permitted(0, 2));
+  EXPECT_FALSE(network.permitted(3, 1));
+  EXPECT_TRUE(network.permitted(0, 1));
+  EXPECT_TRUE(network.permitted(2, 3));
+  simulation.run_until(sim::sec(4));
+  EXPECT_TRUE(network.permitted(0, 2));
+}
+
+TEST_F(ObserverTest, NoneAndSecureClientInjectNothing) {
+  Observers observers(simulation, network, pointers);
+  FaultPlan plan;
+  plan.type = FaultType::kSecureClient;
+  plan.targets = {0, 1, 2, 3};
+  observers.arm(plan);
+  simulation.run_until(sim::sec(5));
+  for (const auto& node : nodes) EXPECT_TRUE(node->alive());
+}
+
+TEST(FaultType, Names) {
+  EXPECT_EQ(to_string(FaultType::kCrash), "crash");
+  EXPECT_EQ(to_string(FaultType::kTransient), "transient");
+  EXPECT_EQ(to_string(FaultType::kPartition), "partition");
+  EXPECT_EQ(to_string(FaultType::kNone), "none");
+  EXPECT_EQ(to_string(FaultType::kSecureClient), "secure-client");
+}
+
+}  // namespace
+}  // namespace stabl::core

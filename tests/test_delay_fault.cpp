@@ -1,0 +1,117 @@
+// Delay-injection fault tests (tc-netem style): messages arrive late
+// rather than never. The paper observed Solana's generalized crash "after
+// an injection of transient communication delays" and concluded that
+// Avalanche "stops working when some messages arrive 2 minutes late";
+// Redbelly and Algorand treat heavy delays like a partition and recover.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl::core {
+namespace {
+
+// ------------------------------------------------------- rule mechanics
+
+struct Probe final : net::Endpoint {
+  std::vector<sim::Time> arrivals;
+  sim::Simulation* simulation = nullptr;
+  void deliver(const net::Envelope&) override {
+    arrivals.push_back(simulation->now());
+  }
+  [[nodiscard]] bool endpoint_alive() const override { return true; }
+};
+
+TEST(DelayRule, AddsLatencyBothDirections) {
+  sim::Simulation simulation(1);
+  net::Network network(simulation, net::LatencyConfig{});
+  Probe probes[2];
+  for (auto& probe : probes) probe.simulation = &simulation;
+  network.attach(0, &probes[0]);
+  network.attach(1, &probes[1]);
+  network.add_delay({0}, {1}, sim::sec(5));
+  auto payload = std::make_shared<const net::ControlPayload>(
+      net::ControlPayload::Kind::kPing);
+  network.send(0, 1, payload);
+  network.send(1, 0, payload);
+  simulation.run();
+  ASSERT_EQ(probes[1].arrivals.size(), 1u);
+  ASSERT_EQ(probes[0].arrivals.size(), 1u);
+  EXPECT_GT(probes[1].arrivals[0], sim::sec(5));
+  EXPECT_GT(probes[0].arrivals[0], sim::sec(5));
+  // Delay rules do not drop.
+  EXPECT_TRUE(network.permitted(0, 1));
+  EXPECT_EQ(network.stats().dropped_partition, 0u);
+}
+
+TEST(DelayRule, RemovalRestoresBaseLatency) {
+  sim::Simulation simulation(1);
+  net::Network network(simulation, net::LatencyConfig{});
+  Probe probe;
+  probe.simulation = &simulation;
+  Probe other;
+  other.simulation = &simulation;
+  network.attach(0, &other);
+  network.attach(1, &probe);
+  const net::RuleId rule = network.add_delay({0}, {1}, sim::sec(5));
+  network.remove_rule(rule);
+  network.send(0, 1,
+               std::make_shared<const net::ControlPayload>(
+                   net::ControlPayload::Kind::kPing));
+  simulation.run();
+  ASSERT_EQ(probe.arrivals.size(), 1u);
+  EXPECT_LT(probe.arrivals[0], sim::ms(100));
+}
+
+TEST(DelayRule, StacksAcrossRules) {
+  sim::Simulation simulation(1);
+  net::Network network(simulation, net::LatencyConfig{});
+  network.add_delay({0}, {1}, sim::sec(2));
+  network.add_delay({0}, {1}, sim::sec(3));
+  EXPECT_EQ(network.extra_delay(0, 1), sim::sec(5));
+  EXPECT_EQ(network.extra_delay(1, 0), sim::sec(5));
+  EXPECT_EQ(network.extra_delay(0, 2), sim::Duration::zero());
+}
+
+// ----------------------------------------------- chain-level behaviour
+
+ExperimentConfig delay_config(ChainKind chain) {
+  ExperimentConfig config;
+  config.chain = chain;
+  config.fault = FaultType::kDelay;
+  config.duration = sim::sec(400);
+  config.inject_at = sim::sec(133);
+  config.recover_at = sim::sec(266);
+  return config;
+}
+
+TEST(DelayFault, SolanaCrashesUnderTransientDelays) {
+  // "we noticed that all the nodes of Solana crash after an injection of
+  // transient communication delays" (paper §2): delayed votes stop
+  // rooting, and the EAH integration point panics every validator.
+  const ExperimentResult result = run_experiment(delay_config(
+      ChainKind::kSolana));
+  EXPECT_FALSE(result.live_at_end);
+  EXPECT_LT(result.committed, 30000u);
+}
+
+TEST(DelayFault, AvalancheStarvesUnderTwoMinuteDelays) {
+  const ExperimentResult result = run_experiment(delay_config(
+      ChainKind::kAvalanche));
+  EXPECT_FALSE(result.live_at_end)
+      << "Avalanche stops working when some messages arrive 2 minutes late";
+}
+
+TEST(DelayFault, RedbellyRecoversLikeFromAPartition) {
+  const ExperimentResult result = run_experiment(delay_config(
+      ChainKind::kRedbelly));
+  EXPECT_TRUE(result.live_at_end);
+  EXPECT_GT(result.committed, 70000u);
+  // Recovery can land exactly at the heal instant: messages delayed by
+  // 120 s from the fault onset arrive just as the rule lifts.
+  EXPECT_GE(result.recovery_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace stabl::core

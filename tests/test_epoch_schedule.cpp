@@ -1,0 +1,84 @@
+// Tests for Solana's epoch geometry — the warm-up progression that puts
+// the paper's fault window inside a 256-slot epoch, and the EAH window
+// positions within an epoch.
+#include "chains/solana/epoch_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stabl::solana {
+namespace {
+
+TEST(EpochSchedule, WarmupDoublesFrom32) {
+  EpochSchedule schedule(/*warmup=*/true);
+  EXPECT_EQ(schedule.epoch_of_slot(0).slots, 32u);
+  EXPECT_EQ(schedule.epoch_of_slot(31).slots, 32u);
+  EXPECT_EQ(schedule.epoch_of_slot(32).slots, 64u);
+  EXPECT_EQ(schedule.epoch_of_slot(95).slots, 64u);
+  EXPECT_EQ(schedule.epoch_of_slot(96).slots, 128u);
+  EXPECT_EQ(schedule.epoch_of_slot(224).slots, 256u);
+  EXPECT_EQ(schedule.epoch_of_slot(480).slots, 512u);
+}
+
+TEST(EpochSchedule, WarmupEpochBoundaries) {
+  EpochSchedule schedule(true);
+  const EpochInfo epoch3 = schedule.epoch_of_slot(300);
+  EXPECT_EQ(epoch3.epoch, 3u);
+  EXPECT_EQ(epoch3.first_slot, 224u);
+  EXPECT_EQ(epoch3.slots, 256u);
+  EXPECT_EQ(epoch3.last_slot(), 479u);
+}
+
+TEST(EpochSchedule, PaperFaultWindowLandsInShortEpoch) {
+  // t = 133 s at 400 ms slots is slot 332: inside the 256-slot epoch 3,
+  // i.e. "when the number of slots per epoch is still under 360".
+  EpochSchedule schedule(true);
+  const EpochInfo epoch = schedule.epoch_of_slot(332);
+  EXPECT_EQ(epoch.epoch, 3u);
+  EXPECT_LT(epoch.slots, 360u);
+}
+
+TEST(EpochSchedule, EahWindowQuarters) {
+  EpochSchedule schedule(true);
+  const EpochInfo epoch = schedule.epoch_of_slot(300);  // 224 + 256
+  EXPECT_EQ(epoch.eah_start_slot(), 224u + 64u);
+  EXPECT_EQ(epoch.eah_stop_slot(), 224u + 192u);
+}
+
+TEST(EpochSchedule, SizesCapAtNormal) {
+  EpochSchedule schedule(true, 8192);
+  // Warm-up: 32+64+128+256+512+1024+2048+4096 = 8160; epoch 8 is full.
+  const EpochInfo epoch = schedule.epoch_of_slot(8160);
+  EXPECT_EQ(epoch.slots, 8192u);
+  const EpochInfo next = schedule.epoch_of_slot(8160 + 8192);
+  EXPECT_EQ(next.slots, 8192u);
+  EXPECT_EQ(next.epoch, epoch.epoch + 1);
+}
+
+TEST(EpochSchedule, NoWarmupIsUniform) {
+  EpochSchedule schedule(/*warmup=*/false, 8192);
+  EXPECT_EQ(schedule.epoch_of_slot(0).slots, 8192u);
+  EXPECT_EQ(schedule.epoch_of_slot(8191).epoch, 0u);
+  EXPECT_EQ(schedule.epoch_of_slot(8192).epoch, 1u);
+  EXPECT_EQ(schedule.epoch_of_slot(20000).first_slot, 16384u);
+}
+
+TEST(EpochSchedule, ContiguousCoverage) {
+  // Every slot belongs to exactly one epoch and boundaries are seamless.
+  EpochSchedule schedule(true, 1024);
+  std::uint64_t expected_first = 0;
+  std::uint64_t epoch = 0;
+  for (std::uint64_t slot = 0; slot < 5000; ++slot) {
+    const EpochInfo info = schedule.epoch_of_slot(slot);
+    ASSERT_LE(info.first_slot, slot);
+    ASSERT_GE(info.last_slot(), slot);
+    if (slot == info.first_slot) {
+      ASSERT_EQ(info.first_slot, expected_first);
+      ASSERT_EQ(info.epoch, epoch);
+      expected_first += info.slots;
+      ++epoch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stabl::solana

@@ -1,0 +1,102 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stabl::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(ms(30), [&] { order.push_back(3); });
+  queue.schedule(ms(10), [&] { order.push_back(1); });
+  queue.schedule(ms(20), [&] { order.push_back(2); });
+  Time at{};
+  while (!queue.empty()) queue.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(at, ms(30));
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(ms(5), [&, i] { order.push_back(i); });
+  }
+  Time at{};
+  while (!queue.empty()) queue.pop(at)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const TimerId id = queue.schedule(ms(10), [&] { fired = true; });
+  queue.cancel(id);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue queue;
+  const TimerId id = queue.schedule(ms(10), [] {});
+  queue.cancel(id);
+  queue.cancel(id);
+  queue.cancel(kInvalidTimer);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(ms(10), [&] { order.push_back(1); });
+  const TimerId id = queue.schedule(ms(20), [&] { order.push_back(2); });
+  queue.schedule(ms(30), [&] { order.push_back(3); });
+  queue.cancel(id);
+  EXPECT_EQ(queue.size(), 2u);
+  Time at{};
+  while (!queue.empty()) queue.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue queue;
+  const TimerId id = queue.schedule(ms(5), [] {});
+  queue.schedule(ms(15), [] {});
+  queue.cancel(id);
+  EXPECT_EQ(queue.next_time(), ms(15));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue queue;
+  const TimerId id = queue.schedule(ms(1), [] {});
+  Time at{};
+  queue.pop(at)();
+  queue.cancel(id);  // must not assert or corrupt
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue queue;
+  Time last{-1};
+  for (int i = 0; i < 10000; ++i) {
+    queue.schedule(ms((i * 7919) % 1000), [] {});
+  }
+  Time at{};
+  while (!queue.empty()) {
+    queue.pop(at);
+    EXPECT_GE(at, last);
+    last = at;
+  }
+}
+
+}  // namespace
+}  // namespace stabl::sim

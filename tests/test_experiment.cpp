@@ -1,0 +1,132 @@
+// Integration tests for the experiment runner: geometry, determinism,
+// fault defaults, result bookkeeping.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stabl::core {
+namespace {
+
+TEST(FaultToleranceThresholds, MatchPaperTable) {
+  // n = 10: Algorand/Avalanche t = ceil(10/5 - 1) = 1; others 3.
+  EXPECT_EQ(fault_tolerance(ChainKind::kAlgorand, 10), 1u);
+  EXPECT_EQ(fault_tolerance(ChainKind::kAvalanche, 10), 1u);
+  EXPECT_EQ(fault_tolerance(ChainKind::kAptos, 10), 3u);
+  EXPECT_EQ(fault_tolerance(ChainKind::kRedbelly, 10), 3u);
+  EXPECT_EQ(fault_tolerance(ChainKind::kSolana, 10), 3u);
+}
+
+TEST(ChainNames, RoundTrip) {
+  EXPECT_EQ(to_string(ChainKind::kAlgorand), "algorand");
+  EXPECT_EQ(to_string(ChainKind::kSolana), "solana");
+  EXPECT_EQ(std::size(kAllChains), 5u);
+}
+
+TEST(Experiment, BaselineRedbellyShortRun) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(30);
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.submitted, 5900u);  // 5 clients * 40 tps * 29.5 s
+  EXPECT_GT(result.committed, 5500u);
+  EXPECT_TRUE(result.live_at_end);
+  EXPECT_EQ(result.throughput.size(), 30u);
+  EXPECT_GT(result.mean_latency_s, 0.0);
+  EXPECT_GE(result.p99_latency_s, result.p50_latency_s);
+  EXPECT_GT(result.blocks, 10u);
+  EXPECT_GT(result.events, 10000u);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kAptos;
+  config.duration = sim::sec(20);
+  config.seed = 123;
+  const ExperimentResult a = run_experiment(config);
+  const ExperimentResult b = run_experiment(config);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.latencies.size(), b.latencies.size());
+  for (std::size_t i = 0; i < a.latencies.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.latencies[i], b.latencies[i]);
+  }
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kAlgorand;
+  config.duration = sim::sec(20);
+  config.seed = 1;
+  const ExperimentResult a = run_experiment(config);
+  config.seed = 2;
+  const ExperimentResult b = run_experiment(config);
+  // The deterministic timer structure keeps event counts close, but the
+  // sampled latencies must differ.
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (const double x : a.latencies) sum_a += x;
+  for (const double x : b.latencies) sum_b += x;
+  EXPECT_NE(sum_a, sum_b);
+}
+
+TEST(Experiment, CrashDefaultsToTFaults) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(40);
+  config.inject_at = sim::sec(10);
+  config.fault = FaultType::kCrash;
+  // t = 3 crashes land on nodes 5..7; Redbelly keeps committing.
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_TRUE(result.live_at_end);
+  EXPECT_GT(result.committed, 7000u);
+}
+
+TEST(Experiment, ExplicitFaultCountOverridesDefault) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(40);
+  config.inject_at = sim::sec(10);
+  config.fault = FaultType::kCrash;
+  config.fault_count = 4;  // beyond t: the chain halts
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_FALSE(result.live_at_end);
+}
+
+TEST(Experiment, SecureClientRunsFanout) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(30);
+  config.fault = FaultType::kSecureClient;
+  config.client_fanout = 4;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_TRUE(result.live_at_end);
+  EXPECT_GT(result.committed, 5000u);
+}
+
+TEST(RunSensitivity, PairsBaselineAgainstAltered) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(45);
+  config.inject_at = sim::sec(15);
+  config.recover_at = sim::sec(30);
+  config.fault = FaultType::kTransient;
+  const SensitivityRun run = run_sensitivity(config);
+  EXPECT_GT(run.baseline.committed, run.altered.committed);
+  EXPECT_FALSE(run.score.infinite);
+  EXPECT_GT(run.score.value, 0.0);
+  EXPECT_GT(run.altered.recovery_seconds, 0.0);
+}
+
+TEST(RunSensitivity, DeadAlteredRunScoresInfinite) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(45);
+  config.inject_at = sim::sec(15);
+  config.fault = FaultType::kCrash;
+  config.fault_count = 4;  // > t: halt, no recovery
+  const SensitivityRun run = run_sensitivity(config);
+  EXPECT_TRUE(run.score.infinite);
+}
+
+}  // namespace
+}  // namespace stabl::core

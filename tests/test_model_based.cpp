@@ -1,0 +1,190 @@
+// Model-based and determinism property tests.
+//
+// The mempool is fuzzed against a trivially-correct reference model; the
+// simulator is checked to be a pure function of its seed (the property
+// every STABL experiment depends on).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "chain/mempool.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl {
+namespace {
+
+// ------------------------------------------------- mempool vs reference
+
+/// The reference: a plain map of id -> tx plus per-sender nonce sets.
+struct ReferencePool {
+  std::map<chain::TxId, chain::Transaction> txs;
+
+  bool add(const chain::Transaction& tx) {
+    if (txs.contains(tx.id)) return false;
+    // First-come-first-served per (sender, nonce) slot, like the mempool.
+    for (const auto& [id, existing] : txs) {
+      if (existing.from == tx.from && existing.nonce == tx.nonce) {
+        return false;
+      }
+    }
+    return txs.emplace(tx.id, tx).second;
+  }
+  void remove(const std::vector<chain::Transaction>& batch) {
+    for (const auto& tx : batch) txs.erase(tx.id);
+  }
+  void remove_stale(const chain::Mempool::NonceFn& next_nonce) {
+    for (auto it = txs.begin(); it != txs.end();) {
+      if (it->second.nonce < next_nonce(it->second.from)) {
+        it = txs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  /// Ready = nonces consecutive from the account nonce, any sender order.
+  [[nodiscard]] std::set<chain::TxId> ready(
+      const chain::Mempool::NonceFn& next_nonce) const {
+    std::set<chain::TxId> out;
+    std::map<chain::AccountId, std::map<std::uint64_t, chain::TxId>> by;
+    for (const auto& [id, tx] : txs) by[tx.from][tx.nonce] = id;
+    for (const auto& [sender, nonces] : by) {
+      std::uint64_t expected = next_nonce(sender);
+      for (auto it = nonces.lower_bound(expected); it != nonces.end();
+           ++it) {
+        if (it->first != expected) break;
+        out.insert(it->second);
+        ++expected;
+      }
+    }
+    return out;
+  }
+};
+
+class MempoolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MempoolFuzz, AgreesWithReferenceModel) {
+  sim::Rng rng(GetParam());
+  chain::Mempool pool;
+  ReferencePool reference;
+  std::map<chain::AccountId, std::uint64_t> account_nonce;
+  const auto nonce_fn = [&](chain::AccountId account) {
+    const auto it = account_nonce.find(account);
+    return it == account_nonce.end() ? std::uint64_t{0} : it->second;
+  };
+
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rng.uniform_int(0, 9);
+    if (op <= 5) {  // add a transaction with a random sender/nonce
+      chain::Transaction tx;
+      tx.id = next_id++;
+      tx.from = static_cast<chain::AccountId>(rng.uniform_int(0, 4));
+      tx.nonce = nonce_fn(tx.from) +
+                 static_cast<std::uint64_t>(rng.uniform_int(0, 6));
+      // Occasionally re-add an old id (duplicate).
+      if (rng.chance(0.1) && tx.id > 10) tx.id -= 7;
+      ASSERT_EQ(pool.add(tx), reference.add(tx)) << "step " << step;
+    } else if (op <= 7) {  // commit a ready batch
+      const auto batch = pool.collect_ready(
+          static_cast<std::size_t>(rng.uniform_int(1, 20)), nonce_fn);
+      // Batch must be a subset of the reference's ready set, in
+      // consecutive nonce order per sender.
+      const auto expected = reference.ready(nonce_fn);
+      std::map<chain::AccountId, std::uint64_t> next_in_batch;
+      for (const auto& tx : batch) {
+        ASSERT_TRUE(expected.contains(tx.id)) << "step " << step;
+        const auto it = next_in_batch.find(tx.from);
+        const std::uint64_t want =
+            it == next_in_batch.end() ? nonce_fn(tx.from) : it->second;
+        ASSERT_EQ(tx.nonce, want) << "step " << step;
+        next_in_batch[tx.from] = want + 1;
+      }
+      for (const auto& tx : batch) {
+        account_nonce[tx.from] =
+            std::max(account_nonce[tx.from], tx.nonce + 1);
+      }
+      pool.remove(batch);
+      reference.remove(batch);
+    } else if (op == 8) {  // external commit advances a nonce
+      const auto account =
+          static_cast<chain::AccountId>(rng.uniform_int(0, 4));
+      account_nonce[account] = nonce_fn(account) + 1;
+      pool.remove_stale(nonce_fn);
+      reference.remove_stale(nonce_fn);
+    } else {  // consistency probe
+      ASSERT_EQ(pool.size(), reference.txs.size()) << "step " << step;
+      const auto ids = pool.known_ids();
+      ASSERT_EQ(ids.size(), reference.txs.size());
+      for (const auto id : ids) {
+        ASSERT_TRUE(reference.txs.contains(id)) << "step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MempoolFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------------------------ sim determinism
+
+TEST(Determinism, SimulationTraceIsAPureFunctionOfTheSeed) {
+  const auto trace = [](std::uint64_t seed) {
+    sim::Simulation simulation(seed);
+    sim::Rng workload = simulation.rng().fork();
+    std::vector<std::int64_t> events;
+    // A tangle of self-rescheduling timers driven by the PRNG.
+    std::function<void(int)> tick = [&](int depth) {
+      events.push_back(simulation.now().count());
+      if (events.size() > 500) return;
+      const auto delay = sim::us(workload.uniform_int(10, 5000));
+      simulation.schedule_after(delay, [&, depth] { tick(depth + 1); });
+      if (workload.chance(0.3)) {
+        simulation.schedule_after(delay * 2, [&, depth] { tick(depth); });
+      }
+    };
+    tick(0);
+    simulation.run_until(sim::sec(5));
+    return events;
+  };
+  EXPECT_EQ(trace(77), trace(77));
+  EXPECT_NE(trace(77), trace(78));
+}
+
+TEST(Determinism, NetworkDeliveryOrderIsStable) {
+  const auto delivery_trace = [](std::uint64_t seed) {
+    sim::Simulation simulation(seed);
+    net::Network network(simulation, net::LatencyConfig{});
+    struct Probe final : net::Endpoint {
+      std::vector<std::pair<net::NodeId, std::int64_t>>* log = nullptr;
+      net::NodeId self = 0;
+      sim::Simulation* simulation = nullptr;
+      void deliver(const net::Envelope&) override {
+        log->push_back({self, simulation->now().count()});
+      }
+      [[nodiscard]] bool endpoint_alive() const override { return true; }
+    };
+    std::vector<std::pair<net::NodeId, std::int64_t>> log;
+    Probe probes[4];
+    for (net::NodeId id = 0; id < 4; ++id) {
+      probes[id].log = &log;
+      probes[id].self = id;
+      probes[id].simulation = &simulation;
+      network.attach(id, &probes[id]);
+    }
+    auto payload = std::make_shared<const net::ControlPayload>(
+        net::ControlPayload::Kind::kPing);
+    for (int i = 0; i < 200; ++i) {
+      network.send(static_cast<net::NodeId>(i % 4),
+                   static_cast<net::NodeId>((i + 1) % 4), payload);
+    }
+    simulation.run();
+    return log;
+  };
+  EXPECT_EQ(delivery_trace(3), delivery_trace(3));
+}
+
+}  // namespace
+}  // namespace stabl

@@ -1,0 +1,118 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stabl::sim {
+namespace {
+
+class TestProcess final : public Process {
+ public:
+  using Process::Process;
+  using Process::set_timer;
+
+  int starts = 0;
+  int crashes = 0;
+
+ protected:
+  void on_start() override { ++starts; }
+  void on_crash() override { ++crashes; }
+};
+
+TEST(Process, StartsDeadThenBoots) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  EXPECT_FALSE(process.alive());
+  process.start();
+  EXPECT_TRUE(process.alive());
+  EXPECT_EQ(process.starts, 1);
+  EXPECT_EQ(process.restarts(), 0);
+}
+
+TEST(Process, DoubleStartIsNoOp) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.start();
+  process.start();
+  EXPECT_EQ(process.starts, 1);
+}
+
+TEST(Process, KillCancelsTimers) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.start();
+  bool fired = false;
+  process.set_timer(ms(10), [&] { fired = true; });
+  process.kill();
+  EXPECT_EQ(process.crashes, 1);
+  simulation.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Process, KillWhenDeadIsNoOp) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.kill();
+  EXPECT_EQ(process.crashes, 0);
+}
+
+TEST(Process, RestartCountsCycles) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.start();
+  process.kill();
+  process.start();
+  EXPECT_EQ(process.restarts(), 1);
+  EXPECT_EQ(process.starts, 2);
+  EXPECT_EQ(process.crashes, 1);
+}
+
+TEST(Process, TimerFiresWhileAlive) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.start();
+  bool fired = false;
+  process.set_timer(ms(5), [&] { fired = true; });
+  simulation.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Process, TimerOnDeadProcessNeverSchedules) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  bool fired = false;
+  EXPECT_EQ(process.set_timer(ms(5), [&] { fired = true; }), kInvalidTimer);
+  simulation.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Process, TimersSurviveRestartBoundary) {
+  // Timers set before a kill never fire; timers set after restart do.
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.start();
+  int fired = 0;
+  process.set_timer(ms(10), [&] { fired += 1; });
+  simulation.schedule_after(ms(5), [&] {
+    process.kill();
+    process.start();
+    process.set_timer(ms(10), [&] { fired += 10; });
+  });
+  simulation.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Process, TimerCallbackCanKillOwnProcess) {
+  Simulation simulation(1);
+  TestProcess process(simulation, 0);
+  process.start();
+  bool second_fired = false;
+  process.set_timer(ms(10), [&] { process.kill(); });
+  process.set_timer(ms(10), [&] { second_fired = true; });
+  simulation.run();
+  // The sibling timer scheduled for the same instant must not run after
+  // the crash.
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace stabl::sim

@@ -1,0 +1,119 @@
+// Secure/verified clients under adverse conditions: combinations the
+// individual §7 and §4-6 experiments do not cover.
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "chains/redbelly/redbelly.hpp"
+#include "core/experiment.hpp"
+
+namespace stabl::core {
+namespace {
+
+using testing::Harness;
+
+void build_redbelly(Harness& harness) {
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 77;
+  harness.nodes = redbelly::make_cluster(harness.simulation,
+                                         harness.network, node_config);
+}
+
+ClientMachine* add_client(Harness& harness, std::vector<net::NodeId> eps,
+                          std::size_t matching) {
+  ClientConfig config;
+  config.id = static_cast<net::NodeId>(10 + harness.clients.size());
+  config.account = static_cast<chain::AccountId>(harness.clients.size());
+  config.recipient = 999;
+  config.endpoints = std::move(eps);
+  config.tps = 20.0;
+  config.stop_at = sim::sec(20);
+  config.required_matching = matching;
+  config.tx_seed = chain::mix64(5);
+  harness.clients.push_back(std::make_unique<ClientMachine>(
+      harness.simulation, harness.network, config));
+  return harness.clients.back().get();
+}
+
+TEST(SecureClientFaults, TooManyLiarsMeansNoAcceptanceNotWrongAcceptance) {
+  // 2 Byzantine RPC endpoints out of 4 with a 3-matching rule: honest
+  // answers can only ever reach 2 matches, so the verified client accepts
+  // nothing — it fails SAFE rather than accepting a fabricated result.
+  Harness harness;
+  build_redbelly(harness);
+  harness.nodes[0]->set_rpc_byzantine(true);
+  harness.nodes[1]->set_rpc_byzantine(true);
+  auto* client = add_client(harness, {0, 1, 2, 3}, /*matching=*/3);
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(25));
+  EXPECT_EQ(client->committed(), 0u);
+  for (const auto& [id, hash] : client->accepted_hashes()) {
+    FAIL() << "accepted " << id << " without a matching quorum";
+  }
+}
+
+TEST(SecureClientFaults, TwoLiarsWithDistinctLiesCannotForgeAQuorum) {
+  // Each Byzantine endpoint fabricates its own hash (they are keyed by the
+  // transaction), so even two liars never form a 2-matching quorum of
+  // wrong answers; a 2-matching client still commits on the honest pair.
+  Harness harness;
+  build_redbelly(harness);
+  harness.nodes[0]->set_rpc_byzantine(true);
+  harness.nodes[1]->set_rpc_byzantine(true);
+  auto* client = add_client(harness, {0, 1, 2, 3}, /*matching=*/2);
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(25));
+  EXPECT_GT(client->committed(), 300u);
+  std::uint64_t wrong = 0;
+  for (const auto& [id, hash] : client->accepted_hashes()) {
+    if (!harness.nodes[2]->ledger().is_committed(id)) ++wrong;
+  }
+  EXPECT_EQ(wrong, 0u);
+}
+
+TEST(SecureClientFaults, SecureClientSurvivesCrashOfNonEndpointNodes) {
+  // The paper's secure client during the §4 crash experiment: endpoints
+  // are the never-faulted nodes, so redundancy plus crashes compose.
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(60);
+  config.inject_at = sim::sec(20);
+  config.fault = FaultType::kCrash;
+  config.client_fanout = 4;
+  config.vcpus = 8.0;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_TRUE(result.live_at_end);
+  EXPECT_GT(result.committed, 10500u);
+}
+
+TEST(SecureClientFaults, MatchingClientToleratesOneCrashedEndpoint) {
+  // An endpoint that crashes is simply silent; a 3-of-4 matching client
+  // keeps committing, while a wait-for-all client stalls.
+  Harness harness;
+  build_redbelly(harness);
+  auto* wait_all = add_client(harness, {0, 1, 2, 3}, /*matching=*/0);
+  auto* matching = add_client(harness, {0, 1, 2, 3}, /*matching=*/3);
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(5));
+  harness.nodes[3]->kill();
+  harness.simulation.run_until(sim::sec(30));
+  EXPECT_GT(matching->committed(), 300u);
+  // The wait-for-all client stops at the crash point (node 3 never acks).
+  EXPECT_LT(wait_all->committed(), matching->committed());
+}
+
+TEST(SecureClientFaults, ExperimentLevelMatchingClientWorks) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(40);
+  config.fault = FaultType::kSecureClient;
+  config.client_fanout = 4;
+  config.client_matching = 3;
+  config.vcpus = 8.0;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_TRUE(result.live_at_end);
+  EXPECT_GT(result.committed, 7300u);
+}
+
+}  // namespace
+}  // namespace stabl::core

@@ -1,0 +1,245 @@
+// Tests for the sensitivity metric (paper §3), including the properties
+// the paper claims for it: it captures amplitude and duration, resists
+// outliers, needs no interpretation parameter, and is comparable across
+// chains. Property-style sweeps use parameterized tests.
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace stabl::core {
+namespace {
+
+std::vector<double> constant(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+// ------------------------------------------------------------------- eCDF
+
+TEST(Ecdf, StepsAtSamples) {
+  Ecdf ecdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(100.0), 1.0);
+}
+
+TEST(Ecdf, EmptySampleIsZero) {
+  Ecdf ecdf({});
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 0.0);
+}
+
+TEST(Ecdf, SummaryStatistics) {
+  Ecdf ecdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ecdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 3.0);
+}
+
+TEST(Ecdf, MonotoneNonDecreasing) {
+  sim::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 30.0));
+  Ecdf ecdf(xs);
+  double prev = -1.0;
+  for (double x = 0.0; x < 31.0; x += 0.25) {
+    const double y = ecdf(x);
+    ASSERT_GE(y, prev);
+    prev = y;
+  }
+}
+
+// ------------------------------------------------- super-cumulative / area
+
+TEST(SuperCumulative, MatchesHandComputedSum) {
+  // F(0)=0, F(1)=0.5, F(2)=0.5, F(3)=1 for samples {1, 3}.
+  Ecdf ecdf({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(super_cumulative(ecdf, 3.0, 1.0), 0.0 + 0.5 + 0.5 + 1.0);
+  EXPECT_DOUBLE_EQ(super_cumulative(ecdf, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(super_cumulative(ecdf, -1.0, 1.0), 0.0);
+}
+
+TEST(SuperCumulative, FinerStepScalesTermCount) {
+  Ecdf ecdf({1.0, 3.0});
+  const double coarse = super_cumulative(ecdf, 3.0, 1.0);
+  const double fine = super_cumulative(ecdf, 3.0, 0.5);
+  // Twice the grid points, roughly twice the sum.
+  EXPECT_NEAR(fine, 2.0 * coarse, 1.0);
+}
+
+TEST(EcdfIntegral, EqualsUpperMinusMeanBeyondMax) {
+  Ecdf ecdf({2.0, 4.0, 6.0});
+  const double upper = 10.0;
+  EXPECT_NEAR(ecdf_integral(ecdf, upper), upper - ecdf.mean(), 1e-9);
+}
+
+TEST(EcdfIntegral, ZeroBelowAllSamples) {
+  Ecdf ecdf({5.0, 6.0});
+  EXPECT_DOUBLE_EQ(ecdf_integral(ecdf, 4.0), 0.0);
+}
+
+// ------------------------------------------------------------ sensitivity
+
+TEST(Sensitivity, IdenticalDistributionsScoreZero) {
+  const auto xs = constant(100, 2.5);
+  const auto score = sensitivity(xs, xs);
+  EXPECT_DOUBLE_EQ(score.value, 0.0);
+  EXPECT_FALSE(score.infinite);
+  EXPECT_FALSE(score.benefits);
+}
+
+TEST(Sensitivity, WorseLatenciesGivePositiveScore) {
+  const auto score = sensitivity(constant(100, 1.0), constant(100, 6.0));
+  EXPECT_GT(score.value, 4.0);
+  EXPECT_FALSE(score.benefits);
+}
+
+TEST(Sensitivity, BetterLatenciesFlagBenefits) {
+  const auto score = sensitivity(constant(100, 6.0), constant(100, 1.0));
+  EXPECT_GT(score.value, 0.0);
+  EXPECT_TRUE(score.benefits) << "striped bar: altered improved latency";
+}
+
+TEST(Sensitivity, DeadChainIsInfinite) {
+  const auto score =
+      sensitivity(constant(100, 1.0), constant(100, 1.0), false);
+  EXPECT_TRUE(score.infinite);
+  EXPECT_TRUE(std::isinf(score.value));
+  EXPECT_EQ(format_score(score), "inf");
+}
+
+TEST(Sensitivity, EmptyAlteredIsInfinite) {
+  const auto score = sensitivity(constant(100, 1.0), {});
+  EXPECT_TRUE(score.infinite);
+}
+
+TEST(Sensitivity, CapturesDurationOfDegradation) {
+  // Same peak amplitude, longer degradation => larger score.
+  std::vector<double> base(1000, 1.0);
+  std::vector<double> brief = base;
+  std::vector<double> lasting = base;
+  for (int i = 0; i < 50; ++i) brief[i] = 20.0;
+  for (int i = 0; i < 400; ++i) lasting[i] = 20.0;
+  const double brief_score = sensitivity(base, brief).value;
+  const double lasting_score = sensitivity(base, lasting).value;
+  EXPECT_GT(lasting_score, brief_score * 3.0);
+}
+
+TEST(Sensitivity, CapturesAmplitudeOfDegradation) {
+  std::vector<double> base(1000, 1.0);
+  std::vector<double> mild = base;
+  std::vector<double> severe = base;
+  for (int i = 0; i < 200; ++i) mild[i] = 5.0;
+  for (int i = 0; i < 200; ++i) severe[i] = 50.0;
+  EXPECT_GT(sensitivity(base, severe).value,
+            sensitivity(base, mild).value * 3.0);
+}
+
+TEST(Sensitivity, ResilientToOutliersUnderCommonEndpoint) {
+  // The paper: "a smaller fraction of particular latency values does not
+  // contribute significantly". One huge outlier must barely move the
+  // common-endpoint score...
+  std::vector<double> base(10000, 1.0);
+  std::vector<double> altered = base;
+  altered[0] = 500.0;
+  const auto score = sensitivity(base, altered);
+  EXPECT_LT(score.value, 1.0);
+}
+
+TEST(Sensitivity, PerDistributionEndpointIsOutlierSensitive) {
+  // ...whereas the literal per-endpoint variant moves by O(outlier) —
+  // which is why common-endpoint is the default (see DESIGN.md §2).
+  std::vector<double> base(10000, 1.0);
+  std::vector<double> altered = base;
+  altered[0] = 500.0;
+  SensitivityOptions options;
+  options.endpoint = ScoreEndpoint::kPerDistribution;
+  const auto score = sensitivity(base, altered, true, options);
+  EXPECT_GT(score.value, 100.0);
+}
+
+TEST(Sensitivity, FormatMarksBenefits) {
+  const auto score = sensitivity(constant(10, 6.0), constant(10, 1.0));
+  const std::string text = format_score(score);
+  EXPECT_EQ(text.back(), '*');
+}
+
+// ------------------------------- property sweeps (parameterized, TEST_P)
+
+struct ShiftCase {
+  double shift;
+};
+
+class SensitivityShift : public ::testing::TestWithParam<ShiftCase> {};
+
+TEST_P(SensitivityShift, ScoreGrowsWithShift) {
+  // Shifting the whole distribution right by s seconds yields a score of
+  // roughly s / step (the paper's "absolute metric" property: the score is
+  // a direct function of transaction latencies).
+  sim::Rng rng(17);
+  std::vector<double> base;
+  for (int i = 0; i < 4000; ++i) base.push_back(rng.uniform(0.5, 2.5));
+  std::vector<double> shifted;
+  shifted.reserve(base.size());
+  for (const double x : base) shifted.push_back(x + GetParam().shift);
+  SensitivityOptions unit_grid;
+  unit_grid.step = 1.0;
+  const auto score = sensitivity(base, shifted, true, unit_grid);
+  EXPECT_NEAR(score.value, GetParam().shift, 1.0 + 0.2 * GetParam().shift);
+  EXPECT_FALSE(score.benefits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, SensitivityShift,
+                         ::testing::Values(ShiftCase{2.0}, ShiftCase{5.0},
+                                           ShiftCase{10.0}, ShiftCase{20.0},
+                                           ShiftCase{40.0}));
+
+class SensitivitySymmetry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SensitivitySymmetry, AbsoluteValueMakesOrderIrrelevant) {
+  // |S1 - S2| == |S2 - S1| for arbitrary random samples.
+  sim::Rng rng(GetParam());
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.exponential(2.0));
+    b.push_back(rng.exponential(3.0));
+  }
+  const auto ab = sensitivity(a, b);
+  const auto ba = sensitivity(b, a);
+  EXPECT_NEAR(ab.value, ba.value, 1e-9);
+  EXPECT_NE(ab.benefits, ba.benefits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivitySymmetry,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+class SensitivityNonNegative : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SensitivityNonNegative, ScoreIsAlwaysNonNegative) {
+  sim::Rng rng(GetParam());
+  std::vector<double> a;
+  std::vector<double> b;
+  const int na = 100 + static_cast<int>(rng.uniform_int(0, 900));
+  const int nb = 100 + static_cast<int>(rng.uniform_int(0, 900));
+  for (int i = 0; i < na; ++i) a.push_back(rng.lognormal_median(2.0, 0.8));
+  for (int i = 0; i < nb; ++i) b.push_back(rng.lognormal_median(3.0, 0.8));
+  EXPECT_GE(sensitivity(a, b).value, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivityNonNegative,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace stabl::core

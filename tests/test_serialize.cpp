@@ -1,0 +1,81 @@
+// Tests for the machine-readable output (CSV rows and JSON documents).
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stabl::core {
+namespace {
+
+SensitivityRun sample_run() {
+  SensitivityRun run;
+  run.baseline.submitted = 100;
+  run.baseline.committed = 99;
+  run.baseline.mean_latency_s = 1.25;
+  run.baseline.live_at_end = true;
+  run.baseline.throughput = {10.0, 20.0, 30.0};
+  run.altered.submitted = 100;
+  run.altered.committed = 80;
+  run.altered.mean_latency_s = 4.5;
+  run.altered.live_at_end = true;
+  run.altered.recovery_seconds = 7.0;
+  run.altered.throughput = {10.0, 0.0, 60.0};
+  run.score.value = 3.25;
+  return run;
+}
+
+TEST(SerializeCsv, HeaderAndRowAlign) {
+  const std::string header = summary_csv_header();
+  const std::string row =
+      summary_csv_row(ChainKind::kRedbelly, FaultType::kTransient,
+                      sample_run());
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(row.find("redbelly,transient,3.2500,0,1,7.00"),
+            std::string::npos);
+}
+
+TEST(SerializeCsv, InfiniteScore) {
+  SensitivityRun run = sample_run();
+  run.score.infinite = true;
+  run.score.value = std::numeric_limits<double>::infinity();
+  run.altered.live_at_end = false;
+  const std::string row =
+      summary_csv_row(ChainKind::kSolana, FaultType::kPartition, run);
+  EXPECT_NE(row.find("solana,partition,inf,0,0"), std::string::npos);
+}
+
+TEST(SerializeCsv, ThroughputSeries) {
+  const std::string csv = throughput_csv(sample_run().altered);
+  EXPECT_NE(csv.find("second,tps\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,10\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,60\n"), std::string::npos);
+}
+
+TEST(SerializeJson, ContainsAllSections) {
+  const std::string json =
+      to_json(ChainKind::kAptos, FaultType::kSecureClient, sample_run());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"chain\":\"aptos\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault\":\"secure-client\""), std::string::npos);
+  EXPECT_NE(json.find("\"baseline\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"altered\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"score\":3.250000"), std::string::npos);
+  EXPECT_NE(json.find("\"throughput\":[10,0,60]"), std::string::npos);
+}
+
+TEST(SerializeJson, InfiniteScoreIsQuoted) {
+  SensitivityRun run = sample_run();
+  run.score.infinite = true;
+  const std::string json =
+      to_json(ChainKind::kAvalanche, FaultType::kTransient, run);
+  EXPECT_NE(json.find("\"score\":\"inf\""), std::string::npos);
+}
+
+TEST(SerializeJson, EscapesStrings) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace stabl::core

@@ -1,0 +1,106 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stabl::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation simulation(1);
+  EXPECT_EQ(simulation.now(), Time{0});
+  EXPECT_EQ(simulation.events_processed(), 0u);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation simulation(1);
+  simulation.schedule_after(ms(50), [] {});
+  simulation.schedule_after(ms(150), [] {});
+  EXPECT_TRUE(simulation.step());
+  EXPECT_EQ(simulation.now(), ms(50));
+  EXPECT_TRUE(simulation.step());
+  EXPECT_EQ(simulation.now(), ms(150));
+  EXPECT_FALSE(simulation.step());
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation simulation(1);
+  int fired = 0;
+  simulation.schedule_after(ms(10), [&] { ++fired; });
+  simulation.schedule_after(ms(100), [&] { ++fired; });
+  simulation.schedule_after(ms(200), [&] { ++fired; });
+  simulation.run_until(ms(100));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulation.now(), ms(100));
+  // The 200ms event survives for a later run.
+  simulation.run_until(ms(300));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(simulation.now(), ms(300));
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation simulation(1);
+  simulation.run_until(sec(5));
+  EXPECT_EQ(simulation.now(), sec(5));
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation simulation(1);
+  std::vector<Time> fire_times;
+  simulation.schedule_after(ms(10), [&] {
+    fire_times.push_back(simulation.now());
+    simulation.schedule_after(ms(10), [&] {
+      fire_times.push_back(simulation.now());
+    });
+  });
+  simulation.run();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], ms(10));
+  EXPECT_EQ(fire_times[1], ms(20));
+}
+
+TEST(Simulation, PastSchedulingClampsToNow) {
+  Simulation simulation(1);
+  simulation.schedule_after(ms(100), [&] {
+    // Scheduling "in the past" runs immediately after the current event.
+    simulation.schedule_at(ms(1), [&] {
+      EXPECT_EQ(simulation.now(), ms(100));
+    });
+  });
+  simulation.run();
+  EXPECT_EQ(simulation.events_processed(), 2u);
+}
+
+TEST(Simulation, NegativeDelayClamps) {
+  Simulation simulation(1);
+  bool fired = false;
+  simulation.schedule_after(ms(-5), [&] { fired = true; });
+  simulation.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(simulation.now(), Time{0});
+}
+
+TEST(Simulation, CancelScheduled) {
+  Simulation simulation(1);
+  bool fired = false;
+  const TimerId id = simulation.schedule_after(ms(10), [&] { fired = true; });
+  simulation.cancel(id);
+  simulation.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, EventCountTracksExecution) {
+  Simulation simulation(1);
+  for (int i = 0; i < 25; ++i) simulation.schedule_after(ms(i), [] {});
+  simulation.run();
+  EXPECT_EQ(simulation.events_processed(), 25u);
+}
+
+TEST(FormatTime, RendersSeconds) {
+  EXPECT_EQ(format_time(ms(1500)), "1.500s");
+  EXPECT_EQ(format_time(Time{0}), "0.000s");
+}
+
+}  // namespace
+}  // namespace stabl::sim

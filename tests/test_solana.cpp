@@ -1,0 +1,166 @@
+// Solana model tests: leader schedule, forwarding without a mempool,
+// crash sawtooth, rooting, and the EAH panic with its epoch-length fix.
+#include "chains/solana/solana.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+
+namespace stabl::solana {
+namespace {
+
+using testing::Harness;
+
+void build(Harness& harness, std::size_t n = 10, SolanaConfig config = {}) {
+  chain::NodeConfig node_config;
+  node_config.n = n;
+  node_config.network_seed = 41;
+  harness.nodes =
+      make_cluster(harness.simulation, harness.network, node_config, config);
+}
+
+const SolanaNode& node_at(const Harness& harness, std::size_t index) {
+  return static_cast<const SolanaNode&>(*harness.nodes[index]);
+}
+
+TEST(Solana, BaselineFastCommits) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(30));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(32));
+  EXPECT_GT(harness.total_client_committed(), 5700u);
+  // Sub-second latency: the fastest baseline of the five chains.
+  double worst = 0.0;
+  for (const auto& client : harness.clients) {
+    for (const double latency : client->latencies()) {
+      worst = std::max(worst, latency);
+    }
+  }
+  EXPECT_LT(worst, 3.0);
+  testing::expect_prefix_consistent(harness);
+}
+
+TEST(Solana, LeaderScheduleIsDeterministicAndGrouped) {
+  Harness harness;
+  build(harness);
+  const auto& node = node_at(harness, 0);
+  const auto& other = node_at(harness, 5);
+  std::set<net::NodeId> leaders;
+  for (std::uint64_t slot = 0; slot < 400; ++slot) {
+    ASSERT_EQ(node.leader_of_slot(slot), other.leader_of_slot(slot));
+    leaders.insert(node.leader_of_slot(slot));
+    // NUM_CONSECUTIVE_LEADER_SLOTS: whole groups share one leader.
+    ASSERT_EQ(node.leader_of_slot(slot),
+              node.leader_of_slot(slot - slot % 4));
+  }
+  EXPECT_EQ(leaders.size(), 10u);
+}
+
+TEST(Solana, CrashedLeadersBlankTheirSlots) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(60));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(20));
+  for (net::NodeId id = 5; id < 8; ++id) harness.nodes[id]->kill();  // f=t
+  harness.simulation.run_until(sim::sec(60));
+  // Still live (7/10 > 2/3) but with sawtooth gaps: some forwarded
+  // transactions wait multiple leader groups.
+  EXPECT_GT(harness.total_client_committed(), 8000u);
+  double worst = 0.0;
+  for (const auto& client : harness.clients) {
+    for (const double latency : client->latencies()) {
+      worst = std::max(worst, latency);
+    }
+  }
+  EXPECT_GT(worst, 1.5) << "dead leader groups delay transactions";
+  // No panic: rooting continued.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(node_at(harness, i).panicked());
+  }
+}
+
+TEST(Solana, RootingLagsFinalization) {
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(30));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(30));
+  const auto& node = node_at(harness, 0);
+  const std::uint64_t tip = node.ledger().blocks().back().round;
+  EXPECT_LT(node.last_rooted_slot(), tip);
+  EXPECT_GE(node.last_rooted_slot() + 55, tip);
+}
+
+TEST(Solana, EahPanicKillsEveryNodeAfterQuorumLoss) {
+  // The paper's headline Solana result: halting f = t+1 nodes during a
+  // short warm-up epoch stops rooting; at the 3/4-epoch EAH integration
+  // point every remaining validator panics.
+  Harness harness;
+  build(harness);
+  harness.add_clients(5, 40.0, sim::sec(400));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(133));
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->kill();
+  // Epoch 3 (256 slots) ends its EAH window at slot 416 = 166.4 s.
+  harness.simulation.run_until(sim::sec(170));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(node_at(harness, i).panicked()) << "node " << i;
+    EXPECT_FALSE(harness.nodes[i]->alive());
+  }
+  // Restarting the originally-halted nodes cannot save the network.
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->start();
+  const auto committed = harness.nodes[0]->ledger().tx_count();
+  harness.simulation.run_until(sim::sec(400));
+  EXPECT_EQ(harness.nodes[0]->ledger().tx_count(), committed);
+}
+
+TEST(Solana, AblationLongEpochsPreventThePanic) {
+  // The agave fix: >= 360 slots per epoch. Without warm-up epochs the EAH
+  // window of the 400 s run never closes, so no panic occurs and the
+  // network resumes once the nodes return.
+  SolanaConfig config;
+  config.warmup_epochs = false;
+  Harness harness;
+  build(harness, 10, config);
+  harness.add_clients(5, 40.0, sim::sec(300));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(133));
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->kill();
+  harness.simulation.run_until(sim::sec(200));
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->start();
+  harness.simulation.run_until(sim::sec(300));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(node_at(harness, i).panicked());
+  }
+  EXPECT_GT(harness.nodes[0]->ledger().tx_count(), 40000u)
+      << "network recovers and drains the backlog";
+}
+
+TEST(Solana, SecureClientChangesLittle) {
+  // All entry nodes forward to the same deterministic leaders, which
+  // deduplicate — redundancy neither helps nor hurts much (paper §7).
+  auto mean_latency = [](int fanout) {
+    Harness harness;
+    build(harness);
+    harness.add_clients(5, 40.0, sim::sec(30), fanout);
+    harness.start_all();
+    harness.simulation.run_until(sim::sec(32));
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& client : harness.clients) {
+      for (const double latency : client->latencies()) {
+        sum += latency;
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double base = mean_latency(1);
+  const double secure = mean_latency(4);
+  EXPECT_NEAR(secure, base, 0.15);
+}
+
+}  // namespace
+}  // namespace stabl::solana

@@ -1,0 +1,145 @@
+// Edge-of-window tests: multi-chunk state sync, and the timing boundary of
+// Solana's EAH panic (the fault must stop rooting *before* the EAH window
+// opens at 1/4 of the epoch for the 3/4-point integration to fail).
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "chain/node.hpp"
+#include "chains/solana/solana.hpp"
+
+namespace stabl {
+namespace {
+
+using testing::Harness;
+
+// -------------------------------------------------- multi-chunk sync
+
+class StubNode final : public chain::BlockchainNode {
+ public:
+  using BlockchainNode::BlockchainNode;
+  using BlockchainNode::commit_block;
+  using BlockchainNode::request_sync;
+
+ protected:
+  void start_protocol() override {}
+  void on_app_message(const net::Envelope&) override {}
+};
+
+TEST(SyncBoundaries, LedgerSyncSpansMultipleChunks) {
+  sim::Simulation simulation(3);
+  net::Network network(simulation, net::LatencyConfig{});
+  chain::NodeConfig config;
+  config.n = 2;
+  config.network_seed = 9;
+  config.id = 0;
+  StubNode source(simulation, network, config);
+  config.id = 1;
+  StubNode target(simulation, network, config);
+  source.start();
+  target.start();
+  simulation.run_until(sim::ms(100));
+  // 600 blocks: needs three 256-block sync chunks.
+  for (std::uint64_t h = 0; h < 600; ++h) {
+    chain::Transaction tx;
+    tx.id = 1000 + h;
+    tx.from = 1;
+    tx.nonce = h;
+    tx.amount = 1;
+    tx.to = 2;
+    source.commit_block({tx}, 0, h);
+  }
+  ASSERT_EQ(source.ledger().height(), 600u);
+  target.request_sync(0);
+  simulation.run_until(simulation.now() + sim::sec(2));
+  EXPECT_EQ(target.ledger().height(), 600u);
+  EXPECT_EQ(target.ledger().tx_count(), 600u);
+  EXPECT_EQ(target.accounts().next_nonce(1), 600u);
+}
+
+TEST(SyncBoundaries, SyncIsIdempotentUnderConcurrentRequests) {
+  sim::Simulation simulation(3);
+  net::Network network(simulation, net::LatencyConfig{});
+  chain::NodeConfig config;
+  config.n = 3;
+  config.network_seed = 9;
+  config.id = 0;
+  StubNode source(simulation, network, config);
+  config.id = 1;
+  StubNode other(simulation, network, config);
+  config.id = 2;
+  StubNode target(simulation, network, config);
+  source.start();
+  other.start();
+  target.start();
+  simulation.run_until(sim::ms(100));
+  for (std::uint64_t h = 0; h < 50; ++h) {
+    chain::Transaction tx;
+    tx.id = 1000 + h;
+    tx.from = 1;
+    tx.nonce = h;
+    tx.amount = 1;
+    tx.to = 2;
+    source.commit_block({tx}, 0, h);
+    other.commit_block({tx}, 0, h);
+  }
+  // Ask both replicas at once: responses overlap; the ledger must not
+  // double-apply or fork.
+  target.request_sync(0);
+  target.request_sync(1);
+  simulation.run_until(simulation.now() + sim::sec(2));
+  EXPECT_EQ(target.ledger().height(), 50u);
+  EXPECT_EQ(target.ledger().tx_count(), 50u);
+}
+
+// ------------------------------------------------- Solana EAH boundary
+
+void run_solana_kill_at(double kill_s, bool expect_panic) {
+  Harness harness;
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 41;
+  harness.nodes = solana::make_cluster(harness.simulation, harness.network,
+                                       node_config);
+  harness.add_clients(5, 40.0, sim::sec(250));
+  harness.start_all();
+  harness.simulation.run_until(sim::seconds(kill_s));
+  for (net::NodeId id = 5; id < 9; ++id) harness.nodes[id]->kill();
+  // Epoch 3 integrates the EAH at slot 416 = 166.4 s.
+  harness.simulation.run_until(sim::sec(175));
+  const auto& node =
+      static_cast<const solana::SolanaNode&>(*harness.nodes[0]);
+  EXPECT_EQ(node.panicked(), expect_panic) << "kill at " << kill_s << "s";
+}
+
+TEST(SolanaEahBoundary, QuorumLossBeforeTheWindowPanics) {
+  // Rooting stops 50 slots behind the tip; killing at 133 s leaves the
+  // last root short of the 115.2 s window start => panic at 166.4 s.
+  run_solana_kill_at(133.0, /*expect_panic=*/true);
+}
+
+TEST(SolanaEahBoundary, QuorumLossAfterTheWindowOpenedSurvivesThisEpoch) {
+  // Killing late enough that a bank *inside* the window already rooted
+  // (root lag 50 slots = 20 s past the 115.2 s window start) means the
+  // EAH was computed: no panic at this epoch's integration point.
+  run_solana_kill_at(150.0, /*expect_panic=*/false);
+}
+
+TEST(SolanaEahBoundary, HealthyClusterNeverPanics) {
+  Harness harness;
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 41;
+  harness.nodes = solana::make_cluster(harness.simulation, harness.network,
+                                       node_config);
+  harness.add_clients(5, 40.0, sim::sec(400));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(400));
+  for (const auto& node : harness.nodes) {
+    EXPECT_FALSE(
+        static_cast<const solana::SolanaNode&>(*node).panicked());
+    EXPECT_TRUE(node->alive());
+  }
+}
+
+}  // namespace
+}  // namespace stabl

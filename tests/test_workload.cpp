@@ -1,0 +1,114 @@
+// Workload shape tests: average preservation, phase behaviour, and the
+// client actually producing the requested processes.
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain_test_util.hpp"
+#include "chains/redbelly/redbelly.hpp"
+#include "core/experiment.hpp"
+
+namespace stabl::core {
+namespace {
+
+double average_rate(const WorkloadConfig& config, sim::Duration duration,
+                    int samples = 4000) {
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const auto at = sim::Duration{duration.count() * i / samples};
+    sum += workload_rate(config, at, duration);
+  }
+  return sum / samples;
+}
+
+TEST(Workload, ConstantIsConstant) {
+  WorkloadConfig config;
+  config.tps = 40.0;
+  for (int s = 0; s < 400; s += 13) {
+    EXPECT_DOUBLE_EQ(workload_rate(config, sim::sec(s), sim::sec(400)),
+                     40.0);
+  }
+}
+
+TEST(Workload, BurstyAlternatesPhases) {
+  WorkloadConfig config;
+  config.shape = WorkloadShape::kBursty;
+  config.tps = 40.0;
+  config.burst_period = sim::sec(20);
+  config.burst_factor = 3.0;
+  const double high = workload_rate(config, sim::sec(5), sim::sec(400));
+  const double low = workload_rate(config, sim::sec(25), sim::sec(400));
+  EXPECT_NEAR(high, 60.0, 1e-9);
+  EXPECT_NEAR(low, 20.0, 1e-9);
+  EXPECT_NEAR(high / low, 3.0, 1e-9);
+}
+
+TEST(Workload, BurstyPreservesAverage) {
+  WorkloadConfig config;
+  config.shape = WorkloadShape::kBursty;
+  config.tps = 40.0;
+  EXPECT_NEAR(average_rate(config, sim::sec(400)), 40.0, 0.5);
+}
+
+TEST(Workload, RampGrowsAndPreservesAverage) {
+  WorkloadConfig config;
+  config.shape = WorkloadShape::kRamp;
+  config.tps = 40.0;
+  config.ramp_start_fraction = 0.2;
+  const double early = workload_rate(config, sim::sec(0), sim::sec(400));
+  const double late = workload_rate(config, sim::sec(399), sim::sec(400));
+  EXPECT_NEAR(early, 8.0, 0.5);
+  EXPECT_NEAR(late, 72.0, 0.5);
+  EXPECT_NEAR(average_rate(config, sim::sec(400)), 40.0, 0.5);
+}
+
+TEST(Workload, IntervalInvertsRate) {
+  WorkloadConfig config;
+  config.tps = 50.0;
+  EXPECT_EQ(workload_interval(config, sim::sec(1), sim::sec(100)),
+            sim::us(20000));
+}
+
+TEST(Workload, ClientFollowsBurstyShape) {
+  testing::Harness harness;
+  chain::NodeConfig node_config;
+  node_config.n = 10;
+  node_config.network_seed = 77;
+  harness.nodes = redbelly::make_cluster(harness.simulation,
+                                         harness.network, node_config);
+  ClientConfig config;
+  config.id = 10;
+  config.account = 0;
+  config.recipient = 999;
+  config.endpoints = {0};
+  config.tps = 40.0;
+  config.stop_at = sim::sec(40);
+  config.workload.shape = WorkloadShape::kBursty;
+  config.workload.burst_period = sim::sec(10);
+  config.workload.burst_factor = 3.0;
+  harness.clients.push_back(std::make_unique<ClientMachine>(
+      harness.simulation, harness.network, config));
+  harness.start_all();
+  harness.simulation.run_until(sim::sec(10));
+  const auto high_phase = harness.clients[0]->submitted();
+  harness.simulation.run_until(sim::sec(20));
+  const auto low_phase = harness.clients[0]->submitted() - high_phase;
+  EXPECT_NEAR(static_cast<double>(high_phase), 570.0, 60.0);  // ~60 tps
+  EXPECT_NEAR(static_cast<double>(low_phase), 200.0, 40.0);   // ~20 tps
+}
+
+TEST(Workload, ExperimentRunsBurstyAlteredAgainstConstantBaseline) {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.duration = sim::sec(40);
+  config.workload.shape = WorkloadShape::kBursty;
+  config.workload.burst_period = sim::sec(10);
+  const SensitivityRun run = run_sensitivity(config);
+  // Same average load: both runs commit nearly everything...
+  EXPECT_GT(run.altered.committed, 7000u);
+  // ...and the burst-induced queueing yields a small positive score.
+  EXPECT_FALSE(run.score.infinite);
+}
+
+}  // namespace
+}  // namespace stabl::core
