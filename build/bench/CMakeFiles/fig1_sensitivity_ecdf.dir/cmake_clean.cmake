@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sensitivity_ecdf.dir/fig1_sensitivity_ecdf.cpp.o"
+  "CMakeFiles/fig1_sensitivity_ecdf.dir/fig1_sensitivity_ecdf.cpp.o.d"
+  "fig1_sensitivity_ecdf"
+  "fig1_sensitivity_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sensitivity_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

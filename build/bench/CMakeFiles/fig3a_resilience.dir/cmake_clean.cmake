@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_resilience.dir/fig3a_resilience.cpp.o"
+  "CMakeFiles/fig3a_resilience.dir/fig3a_resilience.cpp.o.d"
+  "fig3a_resilience"
+  "fig3a_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

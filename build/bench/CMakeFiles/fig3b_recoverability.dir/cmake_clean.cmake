@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_recoverability.dir/fig3b_recoverability.cpp.o"
+  "CMakeFiles/fig3b_recoverability.dir/fig3b_recoverability.cpp.o.d"
+  "fig3b_recoverability"
+  "fig3b_recoverability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_recoverability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

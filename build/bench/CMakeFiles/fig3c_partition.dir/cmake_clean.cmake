@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_partition.dir/fig3c_partition.cpp.o"
+  "CMakeFiles/fig3c_partition.dir/fig3c_partition.cpp.o.d"
+  "fig3c_partition"
+  "fig3c_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_byzantine.dir/fig3d_byzantine.cpp.o"
+  "CMakeFiles/fig3d_byzantine.dir/fig3d_byzantine.cpp.o.d"
+  "fig3d_byzantine"
+  "fig3d_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

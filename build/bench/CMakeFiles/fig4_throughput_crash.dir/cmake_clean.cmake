@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_crash.dir/fig4_throughput_crash.cpp.o"
+  "CMakeFiles/fig4_throughput_crash.dir/fig4_throughput_crash.cpp.o.d"
+  "fig4_throughput_crash"
+  "fig4_throughput_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

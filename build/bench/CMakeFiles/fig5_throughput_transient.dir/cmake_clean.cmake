@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_throughput_transient.dir/fig5_throughput_transient.cpp.o"
+  "CMakeFiles/fig5_throughput_transient.dir/fig5_throughput_transient.cpp.o.d"
+  "fig5_throughput_transient"
+  "fig5_throughput_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_throughput_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_throughput_transient.
+# This may be replaced when dependencies are built.

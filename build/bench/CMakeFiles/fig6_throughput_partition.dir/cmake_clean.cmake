@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_throughput_partition.dir/fig6_throughput_partition.cpp.o"
+  "CMakeFiles/fig6_throughput_partition.dir/fig6_throughput_partition.cpp.o.d"
+  "fig6_throughput_partition"
+  "fig6_throughput_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_throughput_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_radar.dir/fig7_radar.cpp.o"
+  "CMakeFiles/fig7_radar.dir/fig7_radar.cpp.o.d"
+  "fig7_radar"
+  "fig7_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_byzantine_rpc.dir/micro_ablation_byzantine_rpc.cpp.o"
+  "CMakeFiles/micro_ablation_byzantine_rpc.dir/micro_ablation_byzantine_rpc.cpp.o.d"
+  "micro_ablation_byzantine_rpc"
+  "micro_ablation_byzantine_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_byzantine_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_fanout.dir/micro_ablation_fanout.cpp.o"
+  "CMakeFiles/micro_ablation_fanout.dir/micro_ablation_fanout.cpp.o.d"
+  "micro_ablation_fanout"
+  "micro_ablation_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_redbelly_idle.dir/micro_ablation_redbelly_idle.cpp.o"
+  "CMakeFiles/micro_ablation_redbelly_idle.dir/micro_ablation_redbelly_idle.cpp.o.d"
+  "micro_ablation_redbelly_idle"
+  "micro_ablation_redbelly_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_redbelly_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_score_defs.dir/micro_ablation_score_defs.cpp.o"
+  "CMakeFiles/micro_ablation_score_defs.dir/micro_ablation_score_defs.cpp.o.d"
+  "micro_ablation_score_defs"
+  "micro_ablation_score_defs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_score_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_ablation_score_defs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_solana_epochs.dir/micro_ablation_solana_epochs.cpp.o"
+  "CMakeFiles/micro_ablation_solana_epochs.dir/micro_ablation_solana_epochs.cpp.o.d"
+  "micro_ablation_solana_epochs"
+  "micro_ablation_solana_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_solana_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

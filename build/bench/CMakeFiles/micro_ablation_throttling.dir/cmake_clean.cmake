@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_throttling.dir/micro_ablation_throttling.cpp.o"
+  "CMakeFiles/micro_ablation_throttling.dir/micro_ablation_throttling.cpp.o.d"
+  "micro_ablation_throttling"
+  "micro_ablation_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_delay_sensitivity.dir/micro_delay_sensitivity.cpp.o"
+  "CMakeFiles/micro_delay_sensitivity.dir/micro_delay_sensitivity.cpp.o.d"
+  "micro_delay_sensitivity"
+  "micro_delay_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_delay_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scale_sweep.dir/micro_scale_sweep.cpp.o"
+  "CMakeFiles/micro_scale_sweep.dir/micro_scale_sweep.cpp.o.d"
+  "micro_scale_sweep"
+  "micro_scale_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scale_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

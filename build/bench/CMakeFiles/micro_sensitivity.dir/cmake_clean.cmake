@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sensitivity.dir/micro_sensitivity.cpp.o"
+  "CMakeFiles/micro_sensitivity.dir/micro_sensitivity.cpp.o.d"
+  "micro_sensitivity"
+  "micro_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_study.dir/partition_study.cpp.o"
+  "CMakeFiles/partition_study.dir/partition_study.cpp.o.d"
+  "partition_study"
+  "partition_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_gate.dir/regression_gate.cpp.o"
+  "CMakeFiles/regression_gate.dir/regression_gate.cpp.o.d"
+  "regression_gate"
+  "regression_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

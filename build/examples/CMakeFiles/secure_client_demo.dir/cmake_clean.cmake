@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_client_demo.dir/secure_client_demo.cpp.o"
+  "CMakeFiles/secure_client_demo.dir/secure_client_demo.cpp.o.d"
+  "secure_client_demo"
+  "secure_client_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_client_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

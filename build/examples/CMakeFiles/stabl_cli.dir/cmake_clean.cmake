@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_cli.dir/stabl_cli.cpp.o"
+  "CMakeFiles/stabl_cli.dir/stabl_cli.cpp.o.d"
+  "stabl_cli"
+  "stabl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("chain")
+subdirs("chains/algorand")
+subdirs("chains/aptos")
+subdirs("chains/avalanche")
+subdirs("chains/redbelly")
+subdirs("chains/solana")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/account.cpp" "src/chain/CMakeFiles/stabl_chain.dir/account.cpp.o" "gcc" "src/chain/CMakeFiles/stabl_chain.dir/account.cpp.o.d"
+  "/root/repo/src/chain/cpu.cpp" "src/chain/CMakeFiles/stabl_chain.dir/cpu.cpp.o" "gcc" "src/chain/CMakeFiles/stabl_chain.dir/cpu.cpp.o.d"
+  "/root/repo/src/chain/ledger.cpp" "src/chain/CMakeFiles/stabl_chain.dir/ledger.cpp.o" "gcc" "src/chain/CMakeFiles/stabl_chain.dir/ledger.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/stabl_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/stabl_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/node.cpp" "src/chain/CMakeFiles/stabl_chain.dir/node.cpp.o" "gcc" "src/chain/CMakeFiles/stabl_chain.dir/node.cpp.o.d"
+  "/root/repo/src/chain/vrf.cpp" "src/chain/CMakeFiles/stabl_chain.dir/vrf.cpp.o" "gcc" "src/chain/CMakeFiles/stabl_chain.dir/vrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/stabl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stabl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

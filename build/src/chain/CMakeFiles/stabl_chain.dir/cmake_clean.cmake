@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_chain.dir/account.cpp.o"
+  "CMakeFiles/stabl_chain.dir/account.cpp.o.d"
+  "CMakeFiles/stabl_chain.dir/cpu.cpp.o"
+  "CMakeFiles/stabl_chain.dir/cpu.cpp.o.d"
+  "CMakeFiles/stabl_chain.dir/ledger.cpp.o"
+  "CMakeFiles/stabl_chain.dir/ledger.cpp.o.d"
+  "CMakeFiles/stabl_chain.dir/mempool.cpp.o"
+  "CMakeFiles/stabl_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/stabl_chain.dir/node.cpp.o"
+  "CMakeFiles/stabl_chain.dir/node.cpp.o.d"
+  "CMakeFiles/stabl_chain.dir/vrf.cpp.o"
+  "CMakeFiles/stabl_chain.dir/vrf.cpp.o.d"
+  "libstabl_chain.a"
+  "libstabl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

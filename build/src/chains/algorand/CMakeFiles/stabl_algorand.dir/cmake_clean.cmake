@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_algorand.dir/algorand.cpp.o"
+  "CMakeFiles/stabl_algorand.dir/algorand.cpp.o.d"
+  "libstabl_algorand.a"
+  "libstabl_algorand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_algorand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstabl_algorand.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_aptos.dir/aptos.cpp.o"
+  "CMakeFiles/stabl_aptos.dir/aptos.cpp.o.d"
+  "libstabl_aptos.a"
+  "libstabl_aptos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_aptos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_avalanche.dir/avalanche.cpp.o"
+  "CMakeFiles/stabl_avalanche.dir/avalanche.cpp.o.d"
+  "CMakeFiles/stabl_avalanche.dir/throttler.cpp.o"
+  "CMakeFiles/stabl_avalanche.dir/throttler.cpp.o.d"
+  "libstabl_avalanche.a"
+  "libstabl_avalanche.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_avalanche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stabl_avalanche.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_redbelly.dir/redbelly.cpp.o"
+  "CMakeFiles/stabl_redbelly.dir/redbelly.cpp.o.d"
+  "libstabl_redbelly.a"
+  "libstabl_redbelly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_redbelly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chains/solana/epoch_schedule.cpp" "src/chains/solana/CMakeFiles/stabl_solana.dir/epoch_schedule.cpp.o" "gcc" "src/chains/solana/CMakeFiles/stabl_solana.dir/epoch_schedule.cpp.o.d"
+  "/root/repo/src/chains/solana/solana.cpp" "src/chains/solana/CMakeFiles/stabl_solana.dir/solana.cpp.o" "gcc" "src/chains/solana/CMakeFiles/stabl_solana.dir/solana.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/stabl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stabl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stabl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_solana.dir/epoch_schedule.cpp.o"
+  "CMakeFiles/stabl_solana.dir/epoch_schedule.cpp.o.d"
+  "CMakeFiles/stabl_solana.dir/solana.cpp.o"
+  "CMakeFiles/stabl_solana.dir/solana.cpp.o.d"
+  "libstabl_solana.a"
+  "libstabl_solana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_solana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

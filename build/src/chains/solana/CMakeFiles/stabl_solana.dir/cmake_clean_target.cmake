@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstabl_solana.a"
+)

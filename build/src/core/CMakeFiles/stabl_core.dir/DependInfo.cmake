@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/stabl_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/stabl_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/stabl_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/observer.cpp" "src/core/CMakeFiles/stabl_core.dir/observer.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/observer.cpp.o.d"
+  "/root/repo/src/core/radar.cpp" "src/core/CMakeFiles/stabl_core.dir/radar.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/radar.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/stabl_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/stabl_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/stabl_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/throughput.cpp" "src/core/CMakeFiles/stabl_core.dir/throughput.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/throughput.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/stabl_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/stabl_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/stabl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/algorand/CMakeFiles/stabl_algorand.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/aptos/CMakeFiles/stabl_aptos.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/avalanche/CMakeFiles/stabl_avalanche.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/redbelly/CMakeFiles/stabl_redbelly.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/solana/CMakeFiles/stabl_solana.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stabl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stabl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

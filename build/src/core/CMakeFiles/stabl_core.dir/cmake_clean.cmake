@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_core.dir/campaign.cpp.o"
+  "CMakeFiles/stabl_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/client.cpp.o"
+  "CMakeFiles/stabl_core.dir/client.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/experiment.cpp.o"
+  "CMakeFiles/stabl_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/observer.cpp.o"
+  "CMakeFiles/stabl_core.dir/observer.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/radar.cpp.o"
+  "CMakeFiles/stabl_core.dir/radar.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/report.cpp.o"
+  "CMakeFiles/stabl_core.dir/report.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/stabl_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/serialize.cpp.o"
+  "CMakeFiles/stabl_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/throughput.cpp.o"
+  "CMakeFiles/stabl_core.dir/throughput.cpp.o.d"
+  "CMakeFiles/stabl_core.dir/workload.cpp.o"
+  "CMakeFiles/stabl_core.dir/workload.cpp.o.d"
+  "libstabl_core.a"
+  "libstabl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstabl_core.a"
+)

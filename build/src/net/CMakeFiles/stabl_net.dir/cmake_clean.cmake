@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_net.dir/connection.cpp.o"
+  "CMakeFiles/stabl_net.dir/connection.cpp.o.d"
+  "CMakeFiles/stabl_net.dir/latency.cpp.o"
+  "CMakeFiles/stabl_net.dir/latency.cpp.o.d"
+  "CMakeFiles/stabl_net.dir/network.cpp.o"
+  "CMakeFiles/stabl_net.dir/network.cpp.o.d"
+  "libstabl_net.a"
+  "libstabl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

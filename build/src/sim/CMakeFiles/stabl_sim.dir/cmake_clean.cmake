@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabl_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/stabl_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/stabl_sim.dir/process.cpp.o"
+  "CMakeFiles/stabl_sim.dir/process.cpp.o.d"
+  "CMakeFiles/stabl_sim.dir/rng.cpp.o"
+  "CMakeFiles/stabl_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/stabl_sim.dir/simulation.cpp.o"
+  "CMakeFiles/stabl_sim.dir/simulation.cpp.o.d"
+  "libstabl_sim.a"
+  "libstabl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorand.dir/test_algorand.cpp.o"
+  "CMakeFiles/test_algorand.dir/test_algorand.cpp.o.d"
+  "test_algorand"
+  "test_algorand.pdb"
+  "test_algorand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

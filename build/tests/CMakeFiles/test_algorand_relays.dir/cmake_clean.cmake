@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorand_relays.dir/test_algorand_relays.cpp.o"
+  "CMakeFiles/test_algorand_relays.dir/test_algorand_relays.cpp.o.d"
+  "test_algorand_relays"
+  "test_algorand_relays.pdb"
+  "test_algorand_relays[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorand_relays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aptos.dir/test_aptos.cpp.o"
+  "CMakeFiles/test_aptos.dir/test_aptos.cpp.o.d"
+  "test_aptos"
+  "test_aptos.pdb"
+  "test_aptos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aptos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avalanche.dir/test_avalanche.cpp.o"
+  "CMakeFiles/test_avalanche.dir/test_avalanche.cpp.o.d"
+  "test_avalanche"
+  "test_avalanche.pdb"
+  "test_avalanche[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avalanche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

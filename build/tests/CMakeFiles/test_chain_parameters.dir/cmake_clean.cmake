@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_parameters.dir/test_chain_parameters.cpp.o"
+  "CMakeFiles/test_chain_parameters.dir/test_chain_parameters.cpp.o.d"
+  "test_chain_parameters"
+  "test_chain_parameters.pdb"
+  "test_chain_parameters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

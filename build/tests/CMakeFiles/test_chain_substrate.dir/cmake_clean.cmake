@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_substrate.dir/test_chain_substrate.cpp.o"
+  "CMakeFiles/test_chain_substrate.dir/test_chain_substrate.cpp.o.d"
+  "test_chain_substrate"
+  "test_chain_substrate.pdb"
+  "test_chain_substrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

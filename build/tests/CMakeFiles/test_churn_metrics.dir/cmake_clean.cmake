@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn_metrics.dir/test_churn_metrics.cpp.o"
+  "CMakeFiles/test_churn_metrics.dir/test_churn_metrics.cpp.o.d"
+  "test_churn_metrics"
+  "test_churn_metrics.pdb"
+  "test_churn_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connection_policy.dir/test_connection_policy.cpp.o"
+  "CMakeFiles/test_connection_policy.dir/test_connection_policy.cpp.o.d"
+  "test_connection_policy"
+  "test_connection_policy.pdb"
+  "test_connection_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connection_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

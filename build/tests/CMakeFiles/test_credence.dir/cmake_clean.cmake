@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credence.dir/test_credence.cpp.o"
+  "CMakeFiles/test_credence.dir/test_credence.cpp.o.d"
+  "test_credence"
+  "test_credence.pdb"
+  "test_credence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_fault.dir/test_delay_fault.cpp.o"
+  "CMakeFiles/test_delay_fault.dir/test_delay_fault.cpp.o.d"
+  "test_delay_fault"
+  "test_delay_fault.pdb"
+  "test_delay_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

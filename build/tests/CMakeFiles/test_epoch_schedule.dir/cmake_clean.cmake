@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_schedule.dir/test_epoch_schedule.cpp.o"
+  "CMakeFiles/test_epoch_schedule.dir/test_epoch_schedule.cpp.o.d"
+  "test_epoch_schedule"
+  "test_epoch_schedule.pdb"
+  "test_epoch_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

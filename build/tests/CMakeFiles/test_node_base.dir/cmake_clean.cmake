@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_base.dir/test_node_base.cpp.o"
+  "CMakeFiles/test_node_base.dir/test_node_base.cpp.o.d"
+  "test_node_base"
+  "test_node_base.pdb"
+  "test_node_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

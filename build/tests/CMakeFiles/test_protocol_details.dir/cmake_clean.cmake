@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_details.dir/test_protocol_details.cpp.o"
+  "CMakeFiles/test_protocol_details.dir/test_protocol_details.cpp.o.d"
+  "test_protocol_details"
+  "test_protocol_details.pdb"
+  "test_protocol_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

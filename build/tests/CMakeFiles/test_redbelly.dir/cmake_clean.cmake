@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redbelly.dir/test_redbelly.cpp.o"
+  "CMakeFiles/test_redbelly.dir/test_redbelly.cpp.o.d"
+  "test_redbelly"
+  "test_redbelly.pdb"
+  "test_redbelly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redbelly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_client_faults.dir/test_secure_client_faults.cpp.o"
+  "CMakeFiles/test_secure_client_faults.dir/test_secure_client_faults.cpp.o.d"
+  "test_secure_client_faults"
+  "test_secure_client_faults.pdb"
+  "test_secure_client_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_client_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

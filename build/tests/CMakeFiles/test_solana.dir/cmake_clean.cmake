@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solana.dir/test_solana.cpp.o"
+  "CMakeFiles/test_solana.dir/test_solana.cpp.o.d"
+  "test_solana"
+  "test_solana.pdb"
+  "test_solana[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

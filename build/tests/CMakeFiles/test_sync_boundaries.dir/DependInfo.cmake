@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sync_boundaries.cpp" "tests/CMakeFiles/test_sync_boundaries.dir/test_sync_boundaries.cpp.o" "gcc" "tests/CMakeFiles/test_sync_boundaries.dir/test_sync_boundaries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stabl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/algorand/CMakeFiles/stabl_algorand.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/aptos/CMakeFiles/stabl_aptos.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/avalanche/CMakeFiles/stabl_avalanche.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/redbelly/CMakeFiles/stabl_redbelly.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/solana/CMakeFiles/stabl_solana.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/stabl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stabl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stabl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_boundaries.dir/test_sync_boundaries.cpp.o"
+  "CMakeFiles/test_sync_boundaries.dir/test_sync_boundaries.cpp.o.d"
+  "test_sync_boundaries"
+  "test_sync_boundaries.pdb"
+  "test_sync_boundaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throughput_report.dir/test_throughput_report.cpp.o"
+  "CMakeFiles/test_throughput_report.dir/test_throughput_report.cpp.o.d"
+  "test_throughput_report"
+  "test_throughput_report.pdb"
+  "test_throughput_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throughput_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
