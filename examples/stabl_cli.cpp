@@ -6,14 +6,23 @@
 //   stabl_cli [--chain NAME] [--fault NAME] [--duration S] [--seed N]
 //             [--fanout K] [--matching K] [--workload constant|bursty|ramp]
 //             [--vcpus N] [--format text|csv|json]
+//             [--fault-targets IDS]
+//             [--extra-fault NAME]... [--loss-prob P] [--gray-delay S]
+//             [--throttle-bps BYTES] [--resilient] [--commit-timeout S]
 //             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
 //
 // Examples:
 //   stabl_cli --chain solana --fault transient
 //   stabl_cli --chain redbelly --fault partition --max-idle 30 --format json
+//   # Fault engine v2: packet loss composed on top of the partition, with
+//   # resilient (timeout + failover + backoff) clients:
+//   stabl_cli --chain redbelly --fault partition --extra-fault loss
+//             --loss-prob 0.3 --resilient          (one line in the shell)
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "core/experiment.hpp"
@@ -29,10 +38,13 @@ using namespace stabl;
       stderr,
       "usage: %s [--chain algorand|aptos|avalanche|redbelly|solana]\n"
       "          [--fault none|crash|transient|partition|secure-client|"
-      "delay|churn]\n"
+      "delay|churn|loss|throttle|gray]\n"
       "          [--duration seconds] [--seed n] [--fanout k]\n"
       "          [--matching k] [--workload constant|bursty|ramp]\n"
       "          [--vcpus n] [--format text|csv|json]\n"
+      "          [--fault-targets ids] [--extra-fault name]...\n"
+      "          [--loss-prob p] [--gray-delay s]\n"
+      "          [--throttle-bps bytes] [--resilient] [--commit-timeout s]\n"
       "          [--no-throttling] [--no-warmup-epochs] [--max-idle s]\n",
       argv0);
   std::exit(2);
@@ -50,7 +62,8 @@ core::FaultType parse_fault(const std::string& name, const char* argv0) {
        {core::FaultType::kNone, core::FaultType::kCrash,
         core::FaultType::kTransient, core::FaultType::kPartition,
         core::FaultType::kSecureClient, core::FaultType::kDelay,
-        core::FaultType::kChurn}) {
+        core::FaultType::kChurn, core::FaultType::kLoss,
+        core::FaultType::kThrottle, core::FaultType::kGray}) {
     if (core::to_string(fault) == name) return fault;
   }
   usage(argv0);
@@ -96,6 +109,37 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--format") {
       format = value();
+    } else if (arg == "--fault-targets") {
+      // Comma-separated node ids, e.g. "0,1" to fault entry nodes.
+      const std::string list = value();
+      config.fault_targets.clear();
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string token =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (token.empty()) usage(argv[0]);
+        config.fault_targets.push_back(
+            static_cast<net::NodeId>(std::strtoul(token.c_str(), nullptr, 10)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (config.fault_targets.empty()) usage(argv[0]);
+    } else if (arg == "--extra-fault") {
+      core::FaultPlan plan;
+      plan.type = parse_fault(value(), argv[0]);
+      config.extra_faults.add(plan);  // window/targets default in the runner
+    } else if (arg == "--loss-prob") {
+      config.loss_probability = std::atof(value().c_str());
+    } else if (arg == "--gray-delay") {
+      config.gray_latency = sim::seconds(std::atof(value().c_str()));
+    } else if (arg == "--throttle-bps") {
+      config.throttle_bytes_per_s = std::atof(value().c_str());
+    } else if (arg == "--resilient") {
+      config.resilience.enabled = true;
+    } else if (arg == "--commit-timeout") {
+      config.resilience.retry.commit_timeout =
+          sim::seconds(std::atof(value().c_str()));
     } else if (arg == "--no-throttling") {
       config.tuning.avalanche_throttling = false;
     } else if (arg == "--no-warmup-epochs") {
@@ -110,13 +154,29 @@ int main(int argc, char** argv) {
   config.duration = sim::sec(duration_s);
   config.inject_at = sim::sec(duration_s / 3);
   config.recover_at = sim::sec(2 * duration_s / 3);
+  // Composed plans share the primary fault window and knob values; the
+  // runner fills in their default targets.
+  for (core::FaultPlan& plan : config.extra_faults.plans) {
+    plan.inject_at = config.inject_at;
+    plan.recover_at = config.recover_at;
+    plan.loss_probability = config.loss_probability;
+    plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
+    plan.gray_latency = config.gray_latency;
+  }
   if (config.fault == core::FaultType::kSecureClient &&
       config.client_fanout == 1) {
     config.client_fanout = 4;
     config.vcpus = 8.0;
   }
 
-  const core::SensitivityRun run = core::run_sensitivity(config);
+  core::SensitivityRun run;
+  try {
+    run = core::run_sensitivity(config);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s: invalid fault plan: %s\n", argv[0],
+                 error.what());
+    return 2;
+  }
 
   if (format == "json") {
     std::printf("%s\n", core::to_json(config.chain, config.fault, run).c_str());
@@ -144,6 +204,18 @@ int main(int argc, char** argv) {
   std::printf("%s", table.to_string().c_str());
   std::printf("sensitivity score: %s\n",
               core::format_score(run.score).c_str());
+  if (config.resilience.enabled) {
+    const core::ResilienceStats& rs = run.altered.resilience;
+    std::printf(
+        "resilient client: %ju resubmissions, %ju failovers, %ju recovered, "
+        "%ju lost, %ju duplicate commits\n",
+        static_cast<std::uintmax_t>(rs.resubmissions),
+        static_cast<std::uintmax_t>(rs.failovers),
+        static_cast<std::uintmax_t>(rs.recovered),
+        static_cast<std::uintmax_t>(run.altered.submitted -
+                                    run.altered.committed),
+        static_cast<std::uintmax_t>(rs.duplicate_commits));
+  }
   if (run.altered.recovery_seconds >= 0) {
     std::printf("recovery: %.1fs after the fault cleared\n",
                 run.altered.recovery_seconds);

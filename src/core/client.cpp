@@ -10,9 +10,13 @@ namespace stabl::core {
 ClientMachine::ClientMachine(sim::Simulation& simulation,
                              net::Network& network, ClientConfig config)
     : Process(simulation, config.id), config_(std::move(config)),
-      net_(network) {
+      net_(network), rng_(simulation.rng().fork()) {
   assert(!config_.endpoints.empty());
-  assert(config_.endpoints.size() <= 32);
+  if (config_.resilience.enabled) {
+    failover_.emplace(config_.endpoints, config_.resilience.breaker);
+  } else {
+    assert(config_.endpoints.size() <= 32);  // ack_mask is 32-bit
+  }
   network.attach(config_.id, this);
 }
 
@@ -30,11 +34,19 @@ void ClientMachine::submit_next() {
   tx.submitted_at = now();
   tx.id = chain::hash_combine(
       chain::hash_combine(config_.tx_seed, config_.account), tx.nonce);
-  pending_.emplace(tx.id, Pending{now(), 0, {}});
   ++submitted_;
-  auto payload = std::make_shared<const chain::SubmitTxPayload>(tx);
-  for (const net::NodeId endpoint : config_.endpoints) {
-    net_.send(id(), endpoint, payload, 192);
+  if (config_.resilience.enabled) {
+    Pending pending;
+    pending.submitted_at = now();
+    pending.tx = tx;
+    pending_.emplace(tx.id, std::move(pending));
+    submit_attempt(tx.id);
+  } else {
+    pending_.emplace(tx.id, Pending{now(), 0, {}, {}, 0, 0, 0});
+    auto payload = std::make_shared<const chain::SubmitTxPayload>(tx);
+    for (const net::NodeId endpoint : config_.endpoints) {
+      net_.send(id(), endpoint, payload, 192);
+    }
   }
   WorkloadConfig workload = config_.workload;
   workload.tps = config_.tps;
@@ -43,7 +55,95 @@ void ClientMachine::submit_next() {
   set_timer(interval, [this] { submit_next(); });
 }
 
+void ClientMachine::submit_attempt(chain::TxId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.endpoint = failover_->select(now());
+  ++pending.attempts;
+  if (pending.attempts > 1) ++stats_.resubmissions;
+  net_.send(this->id(), pending.endpoint,
+            std::make_shared<const chain::SubmitTxPayload>(pending.tx), 192);
+  pending.timer = set_timer(config_.resilience.retry.commit_timeout,
+                            [this, id] { on_commit_timeout(id); });
+}
+
+void ClientMachine::on_commit_timeout(chain::TxId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.timer = sim::kInvalidTimer;
+  ++stats_.timeouts;
+  if (failover_->on_failure(pending.endpoint, now())) ++stats_.circuit_opens;
+  if (pending.attempts >= config_.resilience.retry.max_attempts) {
+    ++stats_.exhausted;
+    pending_.erase(it);
+    return;
+  }
+  const auto backoff =
+      config_.resilience.retry.backoff(pending.attempts, rng_);
+  pending.timer = set_timer(backoff, [this, id] { submit_attempt(id); });
+}
+
+void ClientMachine::on_endpoint_reset(net::NodeId endpoint) {
+  ++stats_.resets;
+  if (failover_->on_failure(endpoint, now())) ++stats_.circuit_opens;
+  // Everything awaiting a commit from the dead endpoint will never be
+  // answered; resubmit with backoff instead of sitting out the timeout.
+  std::vector<chain::TxId> abandoned;
+  for (auto& [id, pending] : pending_) {
+    if (pending.endpoint != endpoint || pending.timer == sim::kInvalidTimer) {
+      continue;
+    }
+    cancel_timer(pending.timer);
+    pending.timer = sim::kInvalidTimer;
+    if (pending.attempts >= config_.resilience.retry.max_attempts) {
+      abandoned.push_back(id);
+      continue;
+    }
+    const auto backoff =
+        config_.resilience.retry.backoff(pending.attempts, rng_);
+    const chain::TxId tx_id = id;
+    pending.timer =
+        set_timer(backoff, [this, tx_id] { submit_attempt(tx_id); });
+  }
+  for (const chain::TxId id : abandoned) {
+    ++stats_.exhausted;
+    pending_.erase(id);
+  }
+}
+
+void ClientMachine::handle_resilient(const net::Envelope& envelope) {
+  if (const auto* control = dynamic_cast<const net::ControlPayload*>(
+          envelope.payload.get())) {
+    if (control->kind == net::ControlPayload::Kind::kRst) {
+      on_endpoint_reset(envelope.from);
+    }
+    return;
+  }
+  const auto* notify =
+      dynamic_cast<const chain::CommitNotifyPayload*>(envelope.payload.get());
+  if (notify == nullptr) return;
+  const auto it = pending_.find(notify->id);
+  if (it == pending_.end()) {
+    // A resubmitted copy committed (or notified) a second time; the chain
+    // deduplicates execution, the client just counts the evidence.
+    if (accepted_hashes_.contains(notify->id)) ++stats_.duplicate_commits;
+    return;
+  }
+  Pending& pending = it->second;
+  if (pending.timer != sim::kInvalidTimer) cancel_timer(pending.timer);
+  failover_->on_success(envelope.from);
+  if (pending.attempts > 1) ++stats_.recovered;
+  accept(notify->id, pending, notify->result_hash);
+  pending_.erase(it);
+}
+
 void ClientMachine::deliver(const net::Envelope& envelope) {
+  if (config_.resilience.enabled) {
+    handle_resilient(envelope);
+    return;
+  }
   const auto* notify =
       dynamic_cast<const chain::CommitNotifyPayload*>(envelope.payload.get());
   if (notify == nullptr) return;  // control frames etc.
@@ -104,6 +204,12 @@ void ClientMachine::accept(chain::TxId id, Pending& pending,
   latencies_.push_back(sim::to_seconds(now() - pending.submitted_at));
   last_commit_at_ = now();
   ++committed_;
+}
+
+ResilienceStats ClientMachine::resilience_stats() const {
+  ResilienceStats stats = stats_;
+  if (failover_.has_value()) stats.failovers = failover_->failovers();
+  return stats;
 }
 
 }  // namespace stabl::core

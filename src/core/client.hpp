@@ -9,14 +9,24 @@
 // responded" — the defence against trusting a single, possibly Byzantine,
 // node. Deduplication in the chain keeps execution single; the latency
 // effect of the redundancy is exactly what Fig. 3d measures.
+//
+// The resilient client (ResilienceConfig.enabled) treats `endpoints` as a
+// failover candidate list instead: it submits each transaction to one
+// endpoint, waits commit_timeout for the notification, and on timeout (or
+// an immediate TCP RST from a dead endpoint) resubmits with exponential
+// backoff, failing over to the next candidate whose circuit breaker admits
+// traffic. Latency is measured from the first submission, so the cost of
+// every retry shows up in the sensitivity score.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "chain/types.hpp"
+#include "core/resilience.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
 #include "sim/process.hpp"
@@ -27,7 +37,9 @@ struct ClientConfig {
   net::NodeId id = 0;               // this client machine's network id
   chain::AccountId account = 0;     // sender account (one per client)
   chain::AccountId recipient = 0;   // transfer sink
-  std::vector<net::NodeId> endpoints;  // 1 node, or t+1 for secure client
+  std::vector<net::NodeId> endpoints;  // 1 node, t+1 for secure client, or
+                                       // the failover candidate list for a
+                                       // resilient client
   double tps = 40.0;
   sim::Time start_at = sim::ms(500);
   sim::Time stop_at = sim::sec(400);
@@ -43,6 +55,10 @@ struct ClientConfig {
   ///    reported the SAME result hash (use k = t+1 so one Byzantine
   ///    responder can never fabricate an acceptance).
   std::size_t required_matching = 0;
+
+  /// Timeout/failover/backoff/breaker policies; disabled = the paper's
+  /// naive client above.
+  ResilienceConfig resilience{};
 };
 
 class ClientMachine final : public sim::Process, public net::Endpoint {
@@ -71,12 +87,28 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
   accepted_hashes() const {
     return accepted_hashes_;
   }
+  /// Resubmission bookkeeping (zeros for a naive client). Transactions
+  /// never committed are `submitted() - committed()`: those abandoned after
+  /// max_attempts are in `exhausted`, the rest were still pending at the
+  /// end of the run.
+  [[nodiscard]] ResilienceStats resilience_stats() const;
+  /// Transactions still awaiting a commit notification.
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
 
  protected:
   void on_start() final;
 
  private:
   void submit_next();
+  /// Resilient mode: (re)send a pending transaction to the current
+  /// failover choice and arm its commit timer.
+  void submit_attempt(chain::TxId id);
+  void on_commit_timeout(chain::TxId id);
+  /// Resilient mode: an RST arrived from `endpoint` — its process is dead.
+  /// Fail the breaker and resubmit everything in flight there without
+  /// waiting for commit timeouts (TCP tells us immediately).
+  void on_endpoint_reset(net::NodeId endpoint);
+  void handle_resilient(const net::Envelope& envelope);
 
   ClientConfig config_;
   net::Network& net_;
@@ -90,6 +122,11 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
     std::uint32_t ack_mask = 0;  // bit i = endpoint i confirmed
     // result hash -> endpoints that reported it
     std::map<std::uint64_t, std::uint32_t> hash_masks;
+    // Resilient mode only:
+    chain::Transaction tx{};     // retained for resubmission
+    net::NodeId endpoint = 0;    // target of the current attempt
+    int attempts = 0;            // submissions sent so far
+    sim::TimerId timer = 0;      // commit timeout or pending resubmit
   };
   void accept(chain::TxId id, Pending& pending, std::uint64_t hash);
 
@@ -97,6 +134,11 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
   std::vector<double> latencies_;
   std::uint64_t conflicting_responses_ = 0;
   std::unordered_map<chain::TxId, std::uint64_t> accepted_hashes_;
+
+  // Resilient mode only.
+  std::optional<EndpointFailover> failover_;
+  sim::Rng rng_;
+  ResilienceStats stats_;
 };
 
 }  // namespace stabl::core

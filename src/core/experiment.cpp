@@ -64,6 +64,40 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_chain_nodes(
   return {};
 }
 
+/// Paper default fault size: t for crash-style faults, t+1 for the
+/// transient/network conditions ("one more failure than tolerated").
+std::size_t default_fault_count(FaultType fault, std::size_t t) {
+  switch (fault) {
+    case FaultType::kCrash:
+    case FaultType::kChurn:
+      return t;
+    case FaultType::kTransient:
+    case FaultType::kPartition:
+    case FaultType::kDelay:
+    case FaultType::kLoss:
+    case FaultType::kThrottle:
+    case FaultType::kGray:
+      return t + 1;
+    case FaultType::kNone:
+    case FaultType::kSecureClient:
+      return 0;
+  }
+  return 0;
+}
+
+/// Default targets for a plan: f nodes starting right after the entry
+/// nodes, "this way, faulty nodes never receive transactions they would
+/// otherwise lose" (paper §3).
+std::vector<net::NodeId> default_targets(std::size_t f,
+                                         std::size_t entry_nodes) {
+  std::vector<net::NodeId> targets;
+  targets.reserve(f);
+  for (std::size_t k = 0; k < f; ++k) {
+    targets.push_back(static_cast<net::NodeId>(entry_nodes + k));
+  }
+  return targets;
+}
+
 }  // namespace
 
 std::string to_string(ChainKind chain) {
@@ -114,43 +148,71 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     client_config.required_matching = config.client_matching;
     client_config.stop_at = config.duration;
     client_config.tx_seed = chain::mix64(config.seed ^ 0xC11E57ull);
-    const int fanout = std::max(1, config.client_fanout);
-    for (int k = 0; k < fanout; ++k) {
-      client_config.endpoints.push_back(static_cast<net::NodeId>(
-          (i + static_cast<std::size_t>(k)) % entry_nodes));
+    client_config.resilience = config.resilience;
+    // Resilient clients fail over across every entry node (rotated so
+    // client i starts on its paper-default endpoint); naive/secure clients
+    // submit to `fanout` endpoints in parallel.
+    const std::size_t fanout =
+        config.resilience.enabled
+            ? entry_nodes
+            : static_cast<std::size_t>(std::max(1, config.client_fanout));
+    for (std::size_t k = 0; k < fanout; ++k) {
+      client_config.endpoints.push_back(
+          static_cast<net::NodeId>((i + k) % entry_nodes));
     }
     clients.push_back(std::make_unique<ClientMachine>(simulation, network,
                                                       client_config));
     clients.back()->start();
   }
 
-  // Observers inject the faults on nodes that take no client traffic.
+  // Observers inject the faults on nodes that take no client traffic. The
+  // client machine ids are handed over so that netfilter-style rules also
+  // cover client RPC links to the targets, as tc/netem would.
   std::vector<chain::BlockchainNode*> node_ptrs;
   node_ptrs.reserve(nodes.size());
   for (auto& node : nodes) node_ptrs.push_back(node.get());
-  Observers observers(simulation, network, node_ptrs);
+  std::vector<net::NodeId> client_ids;
+  client_ids.reserve(clients.size());
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    client_ids.push_back(static_cast<net::NodeId>(config.n + i));
+  }
+  Observers observers(simulation, network, node_ptrs,
+                      std::move(client_ids));
   FaultPlan plan;
   plan.type = config.fault;
   plan.inject_at = config.inject_at;
   plan.recover_at = config.recover_at;
+  plan.loss_probability = config.loss_probability;
+  plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
+  plan.gray_latency = config.gray_latency;
   const std::size_t t = fault_tolerance(config.chain, config.n);
-  std::size_t f = 0;
-  if (config.fault == FaultType::kCrash ||
-      config.fault == FaultType::kChurn) {
-    f = t;
+  if (!config.fault_targets.empty()) {
+    // Explicit override: the caller is deliberately faulting specific
+    // nodes — possibly entry nodes, to study client-side mitigations.
+    plan.targets = config.fault_targets;
+  } else {
+    std::size_t f = default_fault_count(config.fault, t);
+    if (config.fault_count >= 0) {
+      f = static_cast<std::size_t>(config.fault_count);
+    }
+    assert(entry_nodes + f <= config.n &&
+           "faulty nodes must not take client traffic");
+    plan.targets = default_targets(f, entry_nodes);
   }
-  if (config.fault == FaultType::kTransient ||
-      config.fault == FaultType::kPartition ||
-      config.fault == FaultType::kDelay) {
-    f = t + 1;
+  FaultSchedule schedule;
+  if (plan.type != FaultType::kNone &&
+      plan.type != FaultType::kSecureClient && !plan.targets.empty()) {
+    schedule.add(plan);
   }
-  if (config.fault_count >= 0) f = static_cast<std::size_t>(config.fault_count);
-  assert(entry_nodes + f <= config.n &&
-         "faulty nodes must not take client traffic");
-  for (std::size_t k = 0; k < f; ++k) {
-    plan.targets.push_back(static_cast<net::NodeId>(entry_nodes + k));
+  for (FaultPlan extra : config.extra_faults.plans) {
+    if (extra.targets.empty()) {
+      extra.targets =
+          default_targets(default_fault_count(extra.type, t), entry_nodes);
+      if (extra.targets.empty()) continue;  // t = 0: nothing to fault
+    }
+    schedule.add(std::move(extra));
   }
-  observers.arm(plan);
+  observers.arm(schedule);
 
   simulation.run_until(config.duration);
 
@@ -159,6 +221,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& client : clients) {
     result.submitted += client->submitted();
     result.committed += client->committed();
+    result.resilience += client->resilience_stats();
+    result.in_flight_at_end += client->in_flight();
     result.latencies.insert(result.latencies.end(),
                             client->latencies().begin(),
                             client->latencies().end());
@@ -178,10 +242,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.live_at_end =
       result.committed > 0 && last_tx_commit >= config.duration - window;
 
-  if (config.fault == FaultType::kTransient ||
-      config.fault == FaultType::kPartition ||
-      config.fault == FaultType::kDelay ||
-      config.fault == FaultType::kChurn) {
+  if (uses_recovery_window(config.fault)) {
     result.recovery_seconds = recovery_seconds(
         series, sim::to_seconds(config.recover_at),
         0.5 * config.tps_per_client * static_cast<double>(config.clients),
@@ -208,6 +269,8 @@ SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
                                const SensitivityOptions& options) {
   ExperimentConfig baseline_config = altered_config;
   baseline_config.fault = FaultType::kNone;
+  baseline_config.fault_targets.clear();
+  baseline_config.extra_faults.plans.clear();
   baseline_config.client_fanout = 1;
   baseline_config.workload.shape = WorkloadShape::kConstant;
 

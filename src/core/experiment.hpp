@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "core/resilience.hpp"
 #include "core/sensitivity.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
@@ -69,6 +70,26 @@ struct ExperimentConfig {
   int fault_count = -1;
   sim::Duration inject_at = sim::sec(133);
   sim::Duration recover_at = sim::sec(266);
+  /// Explicit target override for the primary fault; empty selects the
+  /// paper's default (nodes that take no client traffic). Targeting an
+  /// entry node is how the resilient client's failover is studied.
+  std::vector<net::NodeId> fault_targets{};
+  /// kLoss: per-packet drop probability between targets and the rest.
+  double loss_probability = 0.2;
+  /// kThrottle: link bandwidth in bytes/s between targets and the rest.
+  double throttle_bytes_per_s = 64.0 * 1024.0;
+  /// kGray: service latency added to all traffic touching a target.
+  sim::Duration gray_latency = sim::sec(2);
+  /// Additional fault plans armed alongside the primary `fault` (engine
+  /// v2 composition: loss during a partition, churn plus delay, ...).
+  /// Plans with empty targets get the same default target selection as
+  /// the primary fault of their type.
+  FaultSchedule extra_faults{};
+  /// Client-side timeouts + failover + backoff + circuit breaker. When
+  /// enabled, every client gets all entry nodes as failover candidates
+  /// (rotated so client i starts at entry node i) and client_fanout is
+  /// ignored — submissions go to one endpoint at a time.
+  ResilienceConfig resilience{};
   ChainTuning tuning{};
   /// Submission shape (average rate stays tps_per_client). The paper uses
   /// the constant shape; the others quantify its §8 limitation.
@@ -92,6 +113,11 @@ struct ExperimentResult {
   std::uint64_t blocks = 0;
   std::uint64_t events = 0;
   net::NetworkStats net_stats{};
+  /// Resubmission bookkeeping summed over all clients: lost vs. recovered
+  /// vs. duplicate-committed transactions (all zeros for naive clients).
+  ResilienceStats resilience{};
+  /// Transactions still awaiting a commit notification at the end.
+  std::uint64_t in_flight_at_end = 0;
   /// Chain-specific diagnostic counters, summed over all nodes (the
   /// paper's log-derived quantities: "speculative_aborts",
   /// "throttled_dropped", "panicked", ...). Keys depend on the chain.

@@ -1,0 +1,102 @@
+#include "core/fault.hpp"
+
+#include <sstream>
+
+namespace stabl::core {
+namespace {
+
+bool is_targeted(FaultType type) {
+  return type != FaultType::kNone && type != FaultType::kSecureClient;
+}
+
+}  // namespace
+
+std::string to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kNone: return "none";
+    case FaultType::kCrash: return "crash";
+    case FaultType::kTransient: return "transient";
+    case FaultType::kPartition: return "partition";
+    case FaultType::kSecureClient: return "secure-client";
+    case FaultType::kDelay: return "delay";
+    case FaultType::kChurn: return "churn";
+    case FaultType::kLoss: return "loss";
+    case FaultType::kThrottle: return "throttle";
+    case FaultType::kGray: return "gray";
+  }
+  return "?";
+}
+
+bool uses_recovery_window(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+    case FaultType::kSecureClient:
+    case FaultType::kCrash:
+      return false;
+    case FaultType::kTransient:
+    case FaultType::kPartition:
+    case FaultType::kDelay:
+    case FaultType::kChurn:
+    case FaultType::kLoss:
+    case FaultType::kThrottle:
+    case FaultType::kGray:
+      return true;
+  }
+  return false;
+}
+
+std::string validate(const FaultPlan& plan, std::size_t n) {
+  std::ostringstream error;
+  const std::string name = to_string(plan.type);
+  if (is_targeted(plan.type) && plan.targets.empty()) {
+    error << name << " plan needs at least one target node";
+    return error.str();
+  }
+  for (const net::NodeId target : plan.targets) {
+    if (target >= n) {
+      error << name << " plan targets node " << target
+            << " but the cluster only has nodes 0.." << (n - 1);
+      return error.str();
+    }
+  }
+  if (uses_recovery_window(plan.type) && plan.inject_at >= plan.recover_at) {
+    error << name << " plan injects at " << sim::format_time(plan.inject_at)
+          << " which does not precede its recovery at "
+          << sim::format_time(plan.recover_at);
+    return error.str();
+  }
+  switch (plan.type) {
+    case FaultType::kChurn:
+      if (plan.churn_down <= sim::Duration::zero() ||
+          plan.churn_up <= sim::Duration::zero()) {
+        error << "churn plan needs positive churn_down and churn_up";
+      }
+      break;
+    case FaultType::kDelay:
+      if (plan.delay_amount <= sim::Duration::zero()) {
+        error << "delay plan needs a positive delay_amount";
+      }
+      break;
+    case FaultType::kLoss:
+      if (!(plan.loss_probability > 0.0 && plan.loss_probability <= 1.0)) {
+        error << "loss plan needs loss_probability in (0, 1], got "
+              << plan.loss_probability;
+      }
+      break;
+    case FaultType::kThrottle:
+      if (!(plan.throttle_bytes_per_s > 0.0)) {
+        error << "throttle plan needs a positive throttle_bytes_per_s";
+      }
+      break;
+    case FaultType::kGray:
+      if (plan.gray_latency <= sim::Duration::zero()) {
+        error << "gray plan needs a positive gray_latency";
+      }
+      break;
+    default:
+      break;
+  }
+  return error.str();
+}
+
+}  // namespace stabl::core

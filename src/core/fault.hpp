@@ -1,8 +1,12 @@
-// Fault plans (paper §3, Table 1 and Fig. 2).
+// Fault plans (paper §3, Table 1 and Fig. 2) and fault engine v2.
 //
 // The primary machine decides when to trigger a failure and signals the
 // observers deployed on the blockchain machines; observers kill/restart the
-// blockchain process or install/remove netfilter rules.
+// blockchain process or install/remove netfilter rules. Engine v2 extends
+// the single scripted outage to a FaultSchedule — an arbitrary list of
+// plans whose windows may overlap and compose (packet loss during a
+// partition, churn plus delay, ...), the chaos-engineering shape realistic
+// resilience assessment needs.
 #pragma once
 
 #include <string>
@@ -25,6 +29,13 @@ enum class FaultType {
   kChurn,      // crash-recovery churn: f = t nodes repeatedly killed and
                // restarted during the fault window (Table 1's transient
                // failure model, iterated)
+  kLoss,       // probabilistic packet loss between the targets and the
+               // rest (tc-netem loss): every packet survives the rule
+               // independently with probability 1 - loss_probability
+  kThrottle,   // per-link bandwidth throttling between the targets and the
+               // rest: packets queue behind a serialization delay
+  kGray,       // gray failure: the targets stay alive but serve all their
+               // traffic with inflated latency (slow disk / saturated NIC)
 };
 
 std::string to_string(FaultType type);
@@ -39,6 +50,35 @@ struct FaultPlan {
   /// kChurn only: how long the targets stay down / up per cycle.
   sim::Duration churn_down = sim::sec(10);
   sim::Duration churn_up = sim::sec(15);
+  /// kLoss only: per-packet drop probability in (0, 1].
+  double loss_probability = 0.2;
+  /// kThrottle only: link bandwidth in bytes per second.
+  double throttle_bytes_per_s = 64.0 * 1024.0;
+  /// kGray only: service latency added to all traffic touching a target.
+  sim::Duration gray_latency = sim::sec(2);
+};
+
+/// Whether the plan's recover_at action means anything (kCrash never
+/// recovers; kNone/kSecureClient inject nothing).
+[[nodiscard]] bool uses_recovery_window(FaultType type);
+
+/// Validate a plan against a cluster of `n` blockchain nodes. Returns an
+/// empty string when the plan is well-formed, else a human-readable error
+/// ("loss plan needs at least one target node", ...). Observers::arm
+/// rejects invalid plans with exactly this message.
+[[nodiscard]] std::string validate(const FaultPlan& plan, std::size_t n);
+
+/// An arbitrary list of fault plans armed together. Windows may overlap:
+/// each plan installs and lifts its own rules/process actions
+/// independently of the others.
+struct FaultSchedule {
+  std::vector<FaultPlan> plans;
+
+  FaultSchedule& add(FaultPlan plan) {
+    plans.push_back(std::move(plan));
+    return *this;
+  }
+  [[nodiscard]] bool empty() const { return plans.empty(); }
 };
 
 }  // namespace stabl::core

@@ -1,25 +1,32 @@
 #include "core/observer.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 namespace stabl::core {
 
-std::string to_string(FaultType type) {
-  switch (type) {
-    case FaultType::kNone: return "none";
-    case FaultType::kCrash: return "crash";
-    case FaultType::kTransient: return "transient";
-    case FaultType::kPartition: return "partition";
-    case FaultType::kSecureClient: return "secure-client";
-    case FaultType::kDelay: return "delay";
-    case FaultType::kChurn: return "churn";
-  }
-  return "?";
-}
-
 Observers::Observers(sim::Simulation& simulation, net::Network& network,
-                     std::vector<chain::BlockchainNode*> nodes)
-    : sim_(simulation), net_(network), nodes_(std::move(nodes)) {}
+                     std::vector<chain::BlockchainNode*> nodes,
+                     std::vector<net::NodeId> client_ids)
+    : sim_(simulation),
+      net_(network),
+      nodes_(std::move(nodes)),
+      client_ids_(std::move(client_ids)) {}
+
+std::vector<net::NodeId> Observers::others(
+    const std::vector<net::NodeId>& targets) const {
+  std::vector<net::NodeId> rest;
+  rest.reserve(nodes_.size());
+  for (const auto* node : nodes_) {
+    const bool targeted =
+        std::find(targets.begin(), targets.end(), node->node_id()) !=
+        targets.end();
+    if (!targeted) rest.push_back(node->node_id());
+  }
+  rest.insert(rest.end(), client_ids_.begin(), client_ids_.end());
+  return rest;
+}
 
 void Observers::churn_kill(const FaultPlan& plan, sim::Time at) {
   for (const net::NodeId id : plan.targets) nodes_.at(id)->kill();
@@ -37,7 +44,13 @@ void Observers::churn_kill(const FaultPlan& plan, sim::Time at) {
   });
 }
 
+void Observers::arm(const FaultSchedule& schedule) {
+  for (const FaultPlan& plan : schedule.plans) arm(plan);
+}
+
 void Observers::arm(const FaultPlan& plan) {
+  const std::string error = validate(plan, nodes_.size());
+  if (!error.empty()) throw std::invalid_argument(error);
   switch (plan.type) {
     case FaultType::kNone:
     case FaultType::kSecureClient:
@@ -61,26 +74,39 @@ void Observers::arm(const FaultPlan& plan) {
       });
       return;
     case FaultType::kPartition:
-    case FaultType::kDelay: {
-      sim_.schedule_at(
-          plan.inject_at,
-          [this, targets = plan.targets, type = plan.type,
-           extra = plan.delay_amount] {
-            std::vector<net::NodeId> rest;
-            for (const auto* node : nodes_) {
-              bool isolated = false;
-              for (const net::NodeId t : targets) {
-                if (node->node_id() == t) isolated = true;
-              }
-              if (!isolated) rest.push_back(node->node_id());
-            }
-            active_rule_ = type == FaultType::kPartition
-                               ? net_.add_partition(targets, rest)
-                               : net_.add_delay(targets, rest, extra);
-          });
-      sim_.schedule_at(plan.recover_at, [this] {
-        net_.remove_rule(active_rule_);
-        active_rule_ = 0;
+    case FaultType::kDelay:
+    case FaultType::kLoss:
+    case FaultType::kThrottle:
+    case FaultType::kGray: {
+      // Each plan owns its rule handle, shared between the install and
+      // lift events, so overlapping plans never clobber each other.
+      auto rule = std::make_shared<net::RuleId>(0);
+      sim_.schedule_at(plan.inject_at, [this, plan, rule] {
+        const std::vector<net::NodeId> rest = others(plan.targets);
+        switch (plan.type) {
+          case FaultType::kPartition:
+            *rule = net_.add_partition(plan.targets, rest);
+            break;
+          case FaultType::kDelay:
+            *rule = net_.add_delay(plan.targets, rest, plan.delay_amount);
+            break;
+          case FaultType::kLoss:
+            *rule = net_.add_loss(plan.targets, rest,
+                                  plan.loss_probability);
+            break;
+          case FaultType::kThrottle:
+            *rule = net_.add_bandwidth(plan.targets, rest,
+                                       plan.throttle_bytes_per_s);
+            break;
+          case FaultType::kGray:
+            *rule = net_.add_gray(plan.targets, plan.gray_latency);
+            break;
+          default:
+            break;
+        }
+      });
+      sim_.schedule_at(plan.recover_at, [this, rule] {
+        if (*rule != 0) net_.remove_rule(*rule);
       });
       return;
     }

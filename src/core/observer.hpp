@@ -4,7 +4,9 @@
 // the primary. To inject a crash it kills the blockchain process on its
 // node; to create a partition it installs netfilter rules dropping all IP
 // packets from and to the other side; it can later remove the rules or
-// restart the process.
+// restart the process. Fault engine v2 arms whole schedules: every plan
+// keeps its own rule handle, so overlapping plans (loss during a
+// partition, churn plus delay) install and lift their rules independently.
 #pragma once
 
 #include <vector>
@@ -18,20 +20,33 @@ namespace stabl::core {
 
 class Observers {
  public:
+  /// `client_ids` lists the client machines: netfilter/tc rules drop or
+  /// shape ALL IP packets from and to the targeted side, so rule-based
+  /// faults (partition, delay, loss, throttle) also sever client RPC links
+  /// to the targets. Clients themselves are never fault targets.
   Observers(sim::Simulation& simulation, net::Network& network,
-            std::vector<chain::BlockchainNode*> nodes);
+            std::vector<chain::BlockchainNode*> nodes,
+            std::vector<net::NodeId> client_ids = {});
 
-  /// Schedule the plan's kill/restart/partition actions. Call before the
-  /// simulation runs.
+  /// Schedule the plan's kill/restart/rule actions. Call before the
+  /// simulation runs. Throws std::invalid_argument with the validate()
+  /// message when the plan is malformed (empty targets on a targeted
+  /// fault, out-of-range target ids, inject_at >= recover_at, ...).
   void arm(const FaultPlan& plan);
+
+  /// Arm every plan of the schedule; plans may overlap freely.
+  void arm(const FaultSchedule& schedule);
 
  private:
   void churn_kill(const FaultPlan& plan, sim::Time at);
+  /// Nodes outside the plan's target set (the "rest" side of a rule).
+  [[nodiscard]] std::vector<net::NodeId> others(
+      const std::vector<net::NodeId>& targets) const;
 
   sim::Simulation& sim_;
   net::Network& net_;
   std::vector<chain::BlockchainNode*> nodes_;
-  net::RuleId active_rule_ = 0;
+  std::vector<net::NodeId> client_ids_;
 };
 
 }  // namespace stabl::core

@@ -1,0 +1,105 @@
+#include "core/resilience.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace stabl::core {
+
+sim::Duration RetryPolicy::backoff(int attempt, sim::Rng& rng) const {
+  assert(attempt >= 1);
+  const double scale =
+      std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  const double capped =
+      std::min(static_cast<double>(backoff_base.count()) * scale,
+               static_cast<double>(backoff_cap.count()));
+  const double jitter = 1.0 + jitter_frac * (rng.uniform() - 0.5) * 2.0;
+  return sim::Duration{static_cast<std::int64_t>(capped * jitter)};
+}
+
+bool CircuitBreaker::allow(sim::Time now) {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) return false;
+      state_ = State::kHalfOpen;  // quarantine over: admit one probe
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+bool CircuitBreaker::on_failure(sim::Time now) {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to quarantine.
+    state_ = State::kOpen;
+    open_until_ = now + policy_.open_duration;
+    return true;
+  }
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_ = now + policy_.open_duration;
+    return true;
+  }
+  return false;
+}
+
+EndpointFailover::EndpointFailover(std::vector<net::NodeId> candidates,
+                                   CircuitBreakerPolicy policy)
+    : candidates_(std::move(candidates)) {
+  assert(!candidates_.empty());
+  breakers_.resize(candidates_.size(), CircuitBreaker{policy});
+}
+
+net::NodeId EndpointFailover::select(sim::Time now) {
+  for (std::size_t k = 0; k < candidates_.size(); ++k) {
+    const std::size_t index = (primary_ + k) % candidates_.size();
+    if (!breakers_[index].allow(now)) continue;
+    if (index != primary_) {
+      primary_ = index;
+      ++failovers_;
+    }
+    return candidates_[index];
+  }
+  return candidates_[primary_];
+}
+
+bool EndpointFailover::on_failure(net::NodeId id, sim::Time now) {
+  return breakers_[index_of(id)].on_failure(now);
+}
+
+void EndpointFailover::on_success(net::NodeId id) {
+  breakers_[index_of(id)].on_success();
+}
+
+const CircuitBreaker& EndpointFailover::breaker(net::NodeId id) const {
+  return breakers_[index_of(id)];
+}
+
+std::size_t EndpointFailover::index_of(net::NodeId id) const {
+  const auto it = std::find(candidates_.begin(), candidates_.end(), id);
+  assert(it != candidates_.end() && "endpoint outside the candidate list");
+  return static_cast<std::size_t>(it - candidates_.begin());
+}
+
+ResilienceStats& ResilienceStats::operator+=(const ResilienceStats& other) {
+  timeouts += other.timeouts;
+  resets += other.resets;
+  resubmissions += other.resubmissions;
+  failovers += other.failovers;
+  circuit_opens += other.circuit_opens;
+  recovered += other.recovered;
+  exhausted += other.exhausted;
+  duplicate_commits += other.duplicate_commits;
+  return *this;
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,126 @@
+// Client-side resilience policies (the mitigation layer STABL evaluates).
+//
+// The paper's Diablo-style clients pin one endpoint forever: when that node
+// is killed, every in-flight and future transaction from the client is
+// silently lost. This layer gives a client the standard production
+// defences so the harness can *study mitigations* instead of only
+// reproducing failure curves:
+//
+//  * per-request commit timeouts with exponential backoff and
+//    deterministic jitter (the ConnectionManager retry idiom);
+//  * automatic endpoint failover across a candidate node list;
+//  * a per-endpoint circuit breaker that quarantines an endpoint after
+//    consecutive timeouts and probes it for recovery (half-open state);
+//  * resubmission bookkeeping so the observer can report lost vs.
+//    recovered vs. duplicate-committed transactions per run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+struct RetryPolicy {
+  /// How long a submission waits for a commit notification before the
+  /// attempt counts as failed and the transaction is resubmitted.
+  sim::Duration commit_timeout = sim::sec(10);
+  /// Delay before the first resubmission; doubles per attempt up to the cap.
+  sim::Duration backoff_base = sim::ms(500);
+  double backoff_multiplier = 2.0;
+  sim::Duration backoff_cap = sim::sec(30);
+  /// Deterministic per-attempt jitter, as a fraction of the delay.
+  double jitter_frac = 0.1;
+  /// Submission attempts per transaction before it is abandoned (>= 1).
+  int max_attempts = 8;
+
+  /// Backoff before resubmission attempt `attempt` (1 = first retry).
+  [[nodiscard]] sim::Duration backoff(int attempt, sim::Rng& rng) const;
+};
+
+struct CircuitBreakerPolicy {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// Quarantine span before a half-open probe is admitted.
+  sim::Duration open_duration = sim::sec(20);
+};
+
+/// Per-endpoint breaker: closed (normal) -> open (quarantined) ->
+/// half-open (one probe in flight) -> closed on success / open on failure.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerPolicy policy = {})
+      : policy_(policy) {}
+
+  /// True when traffic may be sent to the endpoint now. An open breaker
+  /// whose quarantine elapsed moves to half-open and admits the probe.
+  bool allow(sim::Time now);
+
+  void on_success();
+  /// Returns true when this failure newly opened (or re-opened) the breaker.
+  bool on_failure(sim::Time now);
+
+  [[nodiscard]] State state() const { return state_; }
+
+ private:
+  CircuitBreakerPolicy policy_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  sim::Time open_until_{0};
+};
+
+/// Rotates a client's primary endpoint through a candidate list, skipping
+/// quarantined endpoints via per-endpoint circuit breakers.
+class EndpointFailover {
+ public:
+  EndpointFailover(std::vector<net::NodeId> candidates,
+                   CircuitBreakerPolicy policy);
+
+  /// Endpoint to submit to now: the current primary when its breaker
+  /// admits traffic, else the next admissible candidate (the primary moves
+  /// with the failover). With every breaker open the primary is returned
+  /// unchanged — the client keeps trying rather than going silent.
+  net::NodeId select(sim::Time now);
+
+  [[nodiscard]] net::NodeId primary() const { return candidates_[primary_]; }
+  /// Returns true when the endpoint's breaker newly opened.
+  bool on_failure(net::NodeId id, sim::Time now);
+  void on_success(net::NodeId id);
+  [[nodiscard]] const CircuitBreaker& breaker(net::NodeId id) const;
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(net::NodeId id) const;
+
+  std::vector<net::NodeId> candidates_;
+  std::vector<CircuitBreaker> breakers_;
+  std::size_t primary_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+struct ResilienceConfig {
+  bool enabled = false;
+  RetryPolicy retry{};
+  CircuitBreakerPolicy breaker{};
+};
+
+/// Resubmission bookkeeping, per client (summed per run by the harness).
+struct ResilienceStats {
+  std::uint64_t timeouts = 0;        // attempts that hit commit_timeout
+  std::uint64_t resets = 0;          // attempts answered by a TCP RST
+  std::uint64_t resubmissions = 0;   // total retry submissions sent
+  std::uint64_t failovers = 0;       // primary endpoint changes
+  std::uint64_t circuit_opens = 0;   // breaker trips (incl. re-opens)
+  std::uint64_t recovered = 0;       // committed after >= 1 resubmission
+  std::uint64_t exhausted = 0;       // abandoned after max_attempts
+  std::uint64_t duplicate_commits = 0;  // notifications after acceptance
+
+  ResilienceStats& operator+=(const ResilienceStats& other);
+};
+
+}  // namespace stabl::core

@@ -24,7 +24,13 @@ void append_result_json(std::ostringstream& out, const char* name,
       << ",\"p99_latency_s\":" << Table::num(result.p99_latency_s, 6)
       << ",\"live_at_end\":" << (result.live_at_end ? "true" : "false")
       << ",\"recovery_seconds\":"
-      << Table::num(result.recovery_seconds, 3) << ",\"throughput\":[";
+      << Table::num(result.recovery_seconds, 3)
+      << ",\"lost\":" << (result.submitted - result.committed)
+      << ",\"recovered\":" << result.resilience.recovered
+      << ",\"duplicate_commits\":" << result.resilience.duplicate_commits
+      << ",\"resubmissions\":" << result.resilience.resubmissions
+      << ",\"failovers\":" << result.resilience.failovers
+      << ",\"throughput\":[";
   for (std::size_t i = 0; i < result.throughput.size(); ++i) {
     if (i > 0) out << ',';
     out << Table::num(result.throughput[i], 0);

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -20,8 +21,9 @@ void Network::send(NodeId from, NodeId to, PayloadPtr payload,
     ++stats_.dropped_partition;
     return;
   }
-  const sim::Duration delay =
-      latency_.sample(rng_, bytes) + extra_delay(from, to);
+  const sim::Duration delay = latency_.sample(rng_, bytes) +
+                              extra_delay(from, to) +
+                              throttle_delay(from, to, bytes);
   Envelope envelope{from, to, bytes, std::move(payload)};
   sim_.schedule_after(delay, [this, envelope = std::move(envelope)]() {
     deliver(envelope);
@@ -33,6 +35,14 @@ void Network::deliver(const Envelope& envelope) {
   // packet is in flight still drops it (netfilter matches on ingress too).
   if (!permitted(envelope.from, envelope.to)) {
     ++stats_.dropped_partition;
+    return;
+  }
+  // Random loss samples once per packet, at the delivery end of the link,
+  // so rules installed mid-flight apply and the RNG stream stays one draw
+  // per lossy packet (determinism under a fixed seed).
+  const double loss = loss_probability(envelope.from, envelope.to);
+  if (loss > 0.0 && rng_.chance(loss)) {
+    ++stats_.dropped_loss;
     return;
   }
   const auto it = endpoints_.find(envelope.to);
@@ -64,34 +74,99 @@ void Network::send_rst(NodeId dead, NodeId to) {
        /*bytes=*/64);
 }
 
-RuleId Network::add_partition(std::vector<NodeId> group_a,
-                              std::vector<NodeId> group_b) {
-  Rule rule;
-  rule.group_a.insert(group_a.begin(), group_a.end());
-  rule.group_b.insert(group_b.begin(), group_b.end());
+RuleId Network::install(Rule rule) {
   const RuleId id = next_rule_++;
   rules_.emplace(id, std::move(rule));
   return id;
+}
+
+RuleId Network::add_partition(std::vector<NodeId> group_a,
+                              std::vector<NodeId> group_b) {
+  Rule rule;
+  rule.kind = Rule::Kind::kPartition;
+  rule.group_a.insert(group_a.begin(), group_a.end());
+  rule.group_b.insert(group_b.begin(), group_b.end());
+  return install(std::move(rule));
 }
 
 RuleId Network::add_delay(std::vector<NodeId> group_a,
                           std::vector<NodeId> group_b, sim::Duration extra) {
   assert(extra > sim::Duration::zero());
   Rule rule;
+  rule.kind = Rule::Kind::kDelay;
   rule.group_a.insert(group_a.begin(), group_a.end());
   rule.group_b.insert(group_b.begin(), group_b.end());
   rule.extra_delay = extra;
-  const RuleId id = next_rule_++;
-  rules_.emplace(id, std::move(rule));
-  return id;
+  return install(std::move(rule));
+}
+
+RuleId Network::add_loss(std::vector<NodeId> group_a,
+                         std::vector<NodeId> group_b, double probability) {
+  assert(probability > 0.0 && probability <= 1.0);
+  Rule rule;
+  rule.kind = Rule::Kind::kLoss;
+  rule.group_a.insert(group_a.begin(), group_a.end());
+  rule.group_b.insert(group_b.begin(), group_b.end());
+  rule.loss_probability = probability;
+  return install(std::move(rule));
+}
+
+RuleId Network::add_bandwidth(std::vector<NodeId> group_a,
+                              std::vector<NodeId> group_b,
+                              double bytes_per_second) {
+  assert(bytes_per_second > 0.0);
+  Rule rule;
+  rule.kind = Rule::Kind::kBandwidth;
+  rule.group_a.insert(group_a.begin(), group_a.end());
+  rule.group_b.insert(group_b.begin(), group_b.end());
+  rule.bytes_per_second = bytes_per_second;
+  return install(std::move(rule));
+}
+
+RuleId Network::add_gray(std::vector<NodeId> nodes, sim::Duration extra) {
+  assert(extra > sim::Duration::zero());
+  Rule rule;
+  rule.kind = Rule::Kind::kGray;
+  rule.group_a.insert(nodes.begin(), nodes.end());
+  rule.extra_delay = extra;
+  return install(std::move(rule));
 }
 
 sim::Duration Network::extra_delay(NodeId a, NodeId b) const {
   sim::Duration total{0};
   for (const auto& [id, rule] : rules_) {
-    if (rule.extra_delay > sim::Duration::zero() && rule.matches(a, b)) {
+    if ((rule.kind == Rule::Kind::kDelay ||
+         rule.kind == Rule::Kind::kGray) &&
+        rule.matches(a, b)) {
       total += rule.extra_delay;
     }
+  }
+  return total;
+}
+
+double Network::loss_probability(NodeId a, NodeId b) const {
+  double survive = 1.0;
+  for (const auto& [id, rule] : rules_) {
+    if (rule.kind == Rule::Kind::kLoss && rule.matches(a, b)) {
+      survive *= 1.0 - rule.loss_probability;
+    }
+  }
+  return 1.0 - survive;
+}
+
+sim::Duration Network::throttle_delay(NodeId from, NodeId to,
+                                      std::uint32_t bytes) {
+  sim::Duration total{0};
+  for (auto& [id, rule] : rules_) {
+    if (rule.kind != Rule::Kind::kBandwidth || !rule.matches(from, to)) {
+      continue;
+    }
+    const auto serialization = sim::seconds(
+        static_cast<double>(bytes) / rule.bytes_per_second);
+    const sim::Time depart = std::max(sim_.now(), rule.busy_until);
+    rule.busy_until = depart + serialization;
+    total += (depart - sim_.now()) + serialization;
+    ++stats_.throttled;
   }
   return total;
 }
@@ -102,7 +177,7 @@ void Network::clear_rules() { rules_.clear(); }
 
 bool Network::permitted(NodeId a, NodeId b) const {
   for (const auto& [id, rule] : rules_) {
-    if (rule.extra_delay == sim::Duration::zero() && rule.matches(a, b)) {
+    if (rule.kind == Rule::Kind::kPartition && rule.matches(a, b)) {
       return false;
     }
   }

@@ -1,12 +1,16 @@
 // The simulated network fabric.
 //
 // Point-to-point delivery with a latency model, plus a netfilter-equivalent
-// rule table for partitions: STABL's observers install rules that drop any
-// IP packet between two groups of machines, exactly as the paper does with
-// tc/netem (100% loss on matched traffic). Packets to a dead process draw
-// an RST control frame in response, mirroring the OS behaviour after a
-// process is killed — this is what makes crash recovery *active* and
-// partition recovery *passive* in the connection layer.
+// rule table: STABL's observers install rules that drop any IP packet
+// between two groups of machines, exactly as the paper does with tc/netem
+// (100% loss on matched traffic). Fault engine v2 adds the other tc-netem
+// perturbations: probabilistic packet loss, per-link bandwidth throttling
+// (a serialization queue per rule) and gray-failure latency inflation on
+// everything a node serves. Rules stack: overlapping delay rules add up,
+// overlapping loss rules compound. Packets to a dead process draw an RST
+// control frame in response, mirroring the OS behaviour after a process is
+// killed — this is what makes crash recovery *active* and partition
+// recovery *passive* in the connection layer.
 #pragma once
 
 #include <cstdint>
@@ -20,14 +24,16 @@
 
 namespace stabl::net {
 
-/// Handle to an installed partition rule, for later removal.
+/// Handle to an installed rule, for later removal.
 using RuleId = std::uint64_t;
 
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_loss = 0;  // packets lost to a loss rule
   std::uint64_t dropped_dead = 0;  // packets that hit a dead endpoint
+  std::uint64_t throttled = 0;     // packets delayed by a bandwidth rule
   std::uint64_t rst_sent = 0;
 };
 
@@ -43,8 +49,9 @@ class Network {
   void attach(NodeId id, Endpoint* endpoint);
 
   /// Send a payload from one machine to another. The packet is dropped when
-  /// a partition rule matches at send or delivery time. Delivery to a dead
-  /// endpoint produces an RST control frame back to the sender.
+  /// a partition rule matches at send or delivery time, or a loss rule
+  /// samples a drop at delivery time. Delivery to a dead endpoint produces
+  /// an RST control frame back to the sender.
   void send(NodeId from, NodeId to, PayloadPtr payload,
             std::uint32_t bytes = 256);
 
@@ -60,14 +67,40 @@ class Network {
   RuleId add_delay(std::vector<NodeId> group_a, std::vector<NodeId> group_b,
                    sim::Duration extra);
 
-  /// Total extra delay rules impose on a->b traffic right now.
+  /// Install a rule dropping each packet between the two groups
+  /// independently with `probability` (tc-netem random loss). Sampled once
+  /// per packet at delivery time from the network's forked RNG, so a run
+  /// is deterministic under a fixed seed. Overlapping loss rules compound:
+  /// a packet survives only if it survives every matching rule.
+  RuleId add_loss(std::vector<NodeId> group_a, std::vector<NodeId> group_b,
+                  double probability);
+
+  /// Install a rule throttling traffic between the two groups to
+  /// `bytes_per_second`: each matched packet serializes over the link for
+  /// bytes/rate seconds and queues behind earlier matched packets (tc tbf).
+  RuleId add_bandwidth(std::vector<NodeId> group_a,
+                       std::vector<NodeId> group_b, double bytes_per_second);
+
+  /// Install a gray-failure rule: every packet sent or received by one of
+  /// `nodes` is delayed by `extra`. The node stays alive and keeps
+  /// answering — it just serves everything slowly.
+  RuleId add_gray(std::vector<NodeId> nodes, sim::Duration extra);
+
+  /// Total extra delay that delay and gray rules impose on a->b traffic
+  /// right now (excludes bandwidth queueing, which depends on the packet).
   [[nodiscard]] sim::Duration extra_delay(NodeId a, NodeId b) const;
+
+  /// Compound drop probability loss rules impose on a->b traffic.
+  [[nodiscard]] double loss_probability(NodeId a, NodeId b) const;
 
   /// Remove one rule (observers lifting the netfilter configuration).
   void remove_rule(RuleId id);
 
   /// Remove all rules.
   void clear_rules();
+
+  /// Number of installed rules (fault-engine bookkeeping in tests).
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
 
   /// True when no active rule blocks a->b.
   [[nodiscard]] bool permitted(NodeId a, NodeId b) const;
@@ -77,19 +110,36 @@ class Network {
 
  private:
   struct Rule {
+    enum class Kind : std::uint8_t {
+      kPartition,  // drop every matched packet
+      kDelay,      // add extra_delay to every matched packet
+      kLoss,       // drop matched packets with loss_probability
+      kBandwidth,  // serialize matched packets at bytes_per_second
+      kGray,       // extra_delay on everything touching group_a
+    };
+
+    Kind kind = Kind::kPartition;
     std::unordered_set<NodeId> group_a;
-    std::unordered_set<NodeId> group_b;
-    /// zero => drop (partition); positive => added latency (netem delay).
-    sim::Duration extra_delay{0};
+    std::unordered_set<NodeId> group_b;  // unused for kGray
+    sim::Duration extra_delay{0};        // kDelay, kGray
+    double loss_probability = 0.0;       // kLoss
+    double bytes_per_second = 0.0;       // kBandwidth
+    sim::Time busy_until{0};             // kBandwidth serialization queue
 
     [[nodiscard]] bool matches(NodeId a, NodeId b) const {
+      if (kind == Kind::kGray) {
+        return group_a.contains(a) || group_a.contains(b);
+      }
       return (group_a.contains(a) && group_b.contains(b)) ||
              (group_b.contains(a) && group_a.contains(b));
     }
   };
 
+  RuleId install(Rule rule);
   void deliver(const Envelope& envelope);
   void send_rst(NodeId dead, NodeId to);
+  [[nodiscard]] sim::Duration throttle_delay(NodeId from, NodeId to,
+                                             std::uint32_t bytes);
 
   sim::Simulation& sim_;
   LatencyModel latency_;
