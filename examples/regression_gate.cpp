@@ -1,14 +1,16 @@
 // regression_gate — the CI use case the paper pitches STABL for: run the
 // fault-tolerance matrix on every build and fail the pipeline when a
 // chain's sensitivity regresses past the gate, or when a chain that used
-// to survive a condition stops doing so.
+// to survive a condition stops doing so. Multi-seed sweeps gate on the
+// WORST seed, and the matrix fans out across worker threads.
 //
-// Usage: regression_gate [duration_seconds] [seed]
+// Usage: regression_gate [duration_seconds] [seed] [num_seeds] [jobs]
 // Exit code 0 = gate passed, 1 = violations found.
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/campaign.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 
 int main(int argc, char** argv) {
@@ -16,21 +18,39 @@ int main(int argc, char** argv) {
   const long duration_s = argc > 1 ? std::atol(argv[1]) : 400;
   const unsigned long seed =
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 42;
+  const long num_seeds = argc > 3 ? std::atol(argv[3]) : 1;
+  const long jobs =
+      argc > 4 ? std::atol(argv[4]) : static_cast<long>(core::default_jobs());
+  if (duration_s < 30 || num_seeds < 1 || jobs < 1) {
+    std::fprintf(stderr,
+                 "usage: %s [duration_seconds>=30] [seed] [num_seeds>=1] "
+                 "[jobs>=1]\n",
+                 argv[0]);
+    return 2;
+  }
 
   core::CampaignConfig config;
   config.base.seed = seed;
   config.base.duration = sim::sec(duration_s);
   config.base.inject_at = sim::sec(duration_s / 3);
   config.base.recover_at = sim::sec(2 * duration_s / 3);
+  config.num_seeds = static_cast<std::size_t>(num_seeds);
+  config.jobs = static_cast<unsigned>(jobs);
   config.on_cell_done = [](core::ChainKind chain, core::FaultType fault,
+                           std::uint64_t cell_seed,
                            const core::SensitivityRun& run) {
-    std::printf("  %-9s %-13s -> %s\n", core::to_string(chain).c_str(),
+    std::printf("  %-9s %-13s seed %-6llu -> %s\n",
+                core::to_string(chain).c_str(),
                 core::to_string(fault).c_str(),
+                static_cast<unsigned long long>(cell_seed),
                 core::format_score(run.score).c_str());
   };
 
-  std::printf("running the STABL matrix (%lds per run, seed %lu)...\n",
-              duration_s, seed);
+  std::printf(
+      "running the STABL matrix (%lds per run, seeds %lu..%lu, %ld jobs)"
+      "...\n",
+      duration_s, seed, seed + static_cast<unsigned long>(num_seeds) - 1,
+      jobs);
   const core::CampaignResult result = core::run_campaign(config);
 
   // The gate encodes the paper's measured shape with headroom. The shape
@@ -65,9 +85,15 @@ int main(int argc, char** argv) {
 
   const auto violations = core::check_gate(result, gate);
   std::printf("\n%s\n", result.radar.to_table().c_str());
+  if (num_seeds > 1) {
+    std::printf("seed sweep (mean+-stddev [min..max], inf = liveness "
+                "losses):\n%s\n",
+                result.radar.sweep_table().c_str());
+  }
   if (violations.empty()) {
-    std::printf("gate PASSED: all %zu cells within bounds\n",
-                result.runs.size());
+    std::printf("gate PASSED: all %zu cells within bounds (worst of %ld "
+                "seed%s per cell)\n",
+                result.runs.size(), num_seeds, num_seeds == 1 ? "" : "s");
     return 0;
   }
   std::printf("gate FAILED (%zu violations):\n", violations.size());

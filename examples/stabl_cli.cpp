@@ -4,12 +4,17 @@
 //
 // Usage:
 //   stabl_cli [--chain NAME] [--fault NAME] [--duration S] [--seed N]
+//             [--seeds N] [--jobs N]
 //             [--fanout K] [--matching K] [--workload constant|bursty|ramp]
 //             [--vcpus N] [--format text|csv|json]
 //             [--fault-targets IDS]
 //             [--extra-fault NAME]... [--loss-prob P] [--gray-delay S]
 //             [--throttle-bps BYTES] [--resilient] [--commit-timeout S]
 //             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
+//
+// --seeds N sweeps N consecutive seeds starting at --seed and reports the
+// per-seed scores plus mean/min/max/stddev aggregates; --jobs N fans the
+// (seed) grid across N threads (output is identical for any jobs value).
 //
 // Examples:
 //   stabl_cli --chain solana --fault transient
@@ -25,6 +30,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
@@ -39,7 +45,8 @@ using namespace stabl;
       "usage: %s [--chain algorand|aptos|avalanche|redbelly|solana]\n"
       "          [--fault none|crash|transient|partition|secure-client|"
       "delay|churn|loss|throttle|gray]\n"
-      "          [--duration seconds] [--seed n] [--fanout k]\n"
+      "          [--duration seconds] [--seed n] [--seeds n] [--jobs n]\n"
+      "          [--fanout k]\n"
       "          [--matching k] [--workload constant|bursty|ramp]\n"
       "          [--vcpus n] [--format text|csv|json]\n"
       "          [--fault-targets ids] [--extra-fault name]...\n"
@@ -75,6 +82,8 @@ int main(int argc, char** argv) {
   core::ExperimentConfig config;
   std::string format = "text";
   long duration_s = 400;
+  long num_seeds = 1;
+  long jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +100,12 @@ int main(int argc, char** argv) {
       if (duration_s < 30) usage(argv[0]);
     } else if (arg == "--seed") {
       config.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--seeds") {
+      num_seeds = std::atol(value().c_str());
+      if (num_seeds < 1) usage(argv[0]);
+    } else if (arg == "--jobs") {
+      jobs = std::atol(value().c_str());
+      if (jobs < 1) usage(argv[0]);
     } else if (arg == "--fanout") {
       config.client_fanout = std::atoi(value().c_str());
     } else if (arg == "--matching") {
@@ -167,6 +182,58 @@ int main(int argc, char** argv) {
       config.client_fanout == 1) {
     config.client_fanout = 4;
     config.vcpus = 8.0;
+  }
+
+  if (num_seeds > 1 || jobs > 1) {
+    // Seed sweep / parallel path: run the single (chain, fault) cell as a
+    // one-cell campaign so the sweep aggregation and the thread pool are
+    // the same code CI uses. Output is identical for any --jobs value.
+    core::CampaignConfig campaign;
+    campaign.chains = {config.chain};
+    campaign.faults = {config.fault};
+    campaign.base = config;
+    campaign.num_seeds = static_cast<std::size_t>(num_seeds);
+    campaign.jobs = static_cast<unsigned>(jobs);
+    core::CampaignResult result;
+    try {
+      result = core::run_campaign(campaign);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s: invalid fault plan: %s\n", argv[0],
+                   error.what());
+      return 2;
+    }
+    if (format == "json") {
+      std::printf("%s\n", result.to_json().c_str());
+      return 0;
+    }
+    if (format == "csv") {
+      std::printf("%s", result.to_csv().c_str());
+      return 0;
+    }
+    std::printf("%s under %s, %ld seeds starting at %llu\n",
+                core::to_string(config.chain).c_str(),
+                core::to_string(config.fault).c_str(), num_seeds,
+                static_cast<unsigned long long>(config.seed));
+    const auto& seed_runs =
+        result.seed_runs.at({config.chain, config.fault});
+    core::Table table({"seed", "score", "committed", "live", "recovery"});
+    for (std::size_t i = 0; i < seed_runs.size(); ++i) {
+      const core::SensitivityRun& run = seed_runs[i];
+      table.add_row({std::to_string(result.seeds[i]),
+                     core::format_score(run.score),
+                     std::to_string(run.altered.committed),
+                     run.altered.live_at_end ? "yes" : "NO",
+                     core::Table::num(run.altered.recovery_seconds, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    const core::SeedSweepStats* stats =
+        result.sweep(config.chain, config.fault);
+    std::printf(
+        "sweep: mean %.2f  stddev %.2f  min %.2f  max %.2f  "
+        "liveness losses %zu/%zu\n",
+        stats->mean, stats->stddev, stats->min, stats->max,
+        stats->liveness_losses, stats->seeds);
+    return 0;
   }
 
   core::SensitivityRun run;

@@ -1,11 +1,83 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <mutex>
 #include <sstream>
 
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
 
 namespace stabl::core {
+namespace {
+
+std::string sweep_csv_suffix(const SeedSweepStats& stats) {
+  return csv_join({std::to_string(stats.seeds),
+                   Table::num(stats.mean, 4), Table::num(stats.min, 4),
+                   Table::num(stats.max, 4), Table::num(stats.stddev, 4),
+                   std::to_string(stats.liveness_losses)});
+}
+
+std::string sweep_json(const SeedSweepStats& stats) {
+  std::ostringstream out;
+  out << "{\"seeds\":" << stats.seeds << ",\"finite\":" << stats.finite
+      << ",\"liveness_losses\":" << stats.liveness_losses
+      << ",\"invalid_baseline\":"
+      << (stats.any_invalid_baseline ? "true" : "false")
+      << ",\"score_mean\":" << Table::num(stats.mean, 6)
+      << ",\"score_min\":" << Table::num(stats.min, 6)
+      << ",\"score_max\":" << Table::num(stats.max, 6)
+      << ",\"score_stddev\":" << Table::num(stats.stddev, 6) << '}';
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> CampaignConfig::seed_list() const {
+  if (!seeds.empty()) return seeds;
+  std::vector<std::uint64_t> list;
+  const std::size_t count = std::max<std::size_t>(num_seeds, 1);
+  list.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    list.push_back(base.seed + static_cast<std::uint64_t>(i));
+  }
+  return list;
+}
+
+SeedSweepStats aggregate_seed_sweep(const std::vector<SensitivityRun>& runs) {
+  SeedSweepStats stats;
+  stats.seeds = runs.size();
+  double sum = 0.0;
+  for (const SensitivityRun& run : runs) {
+    if (run.score.invalid_baseline) stats.any_invalid_baseline = true;
+    if (run.score.infinite) {
+      ++stats.liveness_losses;
+      continue;
+    }
+    if (stats.finite == 0) {
+      stats.min = stats.max = run.score.value;
+    } else {
+      stats.min = std::min(stats.min, run.score.value);
+      stats.max = std::max(stats.max, run.score.value);
+    }
+    ++stats.finite;
+    sum += run.score.value;
+  }
+  if (stats.finite > 0) {
+    stats.mean = sum / static_cast<double>(stats.finite);
+  }
+  if (stats.finite > 1) {
+    double sq = 0.0;
+    for (const SensitivityRun& run : runs) {
+      if (run.score.infinite) continue;
+      const double d = run.score.value - stats.mean;
+      sq += d * d;
+    }
+    stats.stddev = std::sqrt(sq / static_cast<double>(stats.finite - 1));
+  }
+  return stats;
+}
 
 const SensitivityRun* CampaignResult::get(ChainKind chain,
                                           FaultType fault) const {
@@ -13,11 +85,25 @@ const SensitivityRun* CampaignResult::get(ChainKind chain,
   return it == runs.end() ? nullptr : &it->second;
 }
 
+const SeedSweepStats* CampaignResult::sweep(ChainKind chain,
+                                            FaultType fault) const {
+  const auto it = sweeps.find({chain, fault});
+  return it == sweeps.end() ? nullptr : &it->second;
+}
+
 std::string CampaignResult::to_csv() const {
   std::ostringstream out;
-  out << summary_csv_header() << '\n';
+  out << summary_csv_header()
+      << ",seeds,score_mean,score_min,score_max,score_stddev,"
+         "liveness_losses\n";
   for (const auto& [key, run] : runs) {
-    out << summary_csv_row(key.first, key.second, run) << '\n';
+    out << summary_csv_row(key.first, key.second, run);
+    const auto it = sweeps.find(key);
+    out << ','
+        << sweep_csv_suffix(it == sweeps.end()
+                                ? aggregate_seed_sweep({run})
+                                : it->second)
+        << '\n';
   }
   return out.str();
 }
@@ -29,28 +115,70 @@ std::string CampaignResult::to_json() const {
   for (const auto& [key, run] : runs) {
     if (!first) out << ',';
     first = false;
-    out << stabl::core::to_json(key.first, key.second, run);
+    std::string doc = stabl::core::to_json(key.first, key.second, run);
+    doc.pop_back();  // reopen the cell document to append the aggregate
+    out << doc << ",\"seed_sweep\":";
+    const auto it = sweeps.find(key);
+    out << sweep_json(it == sweeps.end() ? aggregate_seed_sweep({run})
+                                         : it->second)
+        << '}';
   }
   out << ']';
   return out.str();
 }
 
 CampaignResult run_campaign(const CampaignConfig& config) {
-  CampaignResult result;
+  const std::vector<std::uint64_t> seeds = config.seed_list();
+
+  struct Cell {
+    ChainKind chain;
+    FaultType fault;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> grid;
+  grid.reserve(config.chains.size() * config.faults.size() * seeds.size());
   for (const ChainKind chain : config.chains) {
     for (const FaultType fault : config.faults) {
-      ExperimentConfig cell = config.base;
-      cell.chain = chain;
-      cell.fault = fault;
-      if (fault == FaultType::kSecureClient) {
-        cell.client_fanout = 4;
-        cell.vcpus = 8.0;
+      for (const std::uint64_t seed : seeds) {
+        grid.push_back({chain, fault, seed});
       }
-      SensitivityRun run = run_sensitivity(cell);
-      result.radar.record(chain, fault, run.score);
-      if (config.on_cell_done) config.on_cell_done(chain, fault, run);
-      result.runs.emplace(std::make_pair(chain, fault), std::move(run));
     }
+  }
+
+  // Fan the grid out: each cell writes only its own slot, so gathering by
+  // index below is deterministic regardless of completion order.
+  std::vector<SensitivityRun> slots(grid.size());
+  std::mutex progress_mutex;
+  ThreadPool pool(config.jobs);
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    ExperimentConfig cell = config.base;
+    cell.chain = grid[i].chain;
+    cell.fault = grid[i].fault;
+    cell.seed = grid[i].seed;
+    if (cell.fault == FaultType::kSecureClient) {
+      cell.client_fanout = 4;
+      cell.vcpus = 8.0;
+    }
+    SensitivityRun run = run_sensitivity(cell);
+    if (config.on_cell_done) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      config.on_cell_done(grid[i].chain, grid[i].fault, grid[i].seed, run);
+    }
+    slots[i] = std::move(run);
+  });
+
+  CampaignResult result;
+  result.seeds = seeds;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    result.seed_runs[{grid[i].chain, grid[i].fault}].push_back(
+        std::move(slots[i]));
+  }
+  for (const auto& [key, cell_runs] : result.seed_runs) {
+    result.radar.record(key.first, key.second, cell_runs.front().score);
+    const SeedSweepStats stats = aggregate_seed_sweep(cell_runs);
+    result.radar.record_sweep(key.first, key.second, stats);
+    result.sweeps.emplace(key, stats);
+    result.runs.emplace(key, cell_runs.front());
   }
   return result;
 }
@@ -68,24 +196,38 @@ std::vector<std::string> check_gate(const CampaignResult& result,
     const auto [chain, fault] = key;
     const std::string name =
         to_string(chain) + "/" + to_string(fault);
+    const auto sweep_it = result.sweeps.find(key);
+    const SeedSweepStats stats = sweep_it == result.sweeps.end()
+                                     ? aggregate_seed_sweep({run})
+                                     : sweep_it->second;
+    const std::string worst =
+        stats.seeds > 1 ? " (worst of " + std::to_string(stats.seeds) +
+                              " seeds)"
+                        : "";
     if (expects_infinite(chain, fault)) {
-      if (!run.score.infinite) {
+      // Gate on the worst seed: every seed must have lost liveness.
+      if (stats.finite > 0) {
         violations.push_back(name + ": expected liveness loss, got score " +
-                             format_score(run.score));
+                             Table::num(stats.max, 2) + worst);
       }
       continue;
     }
-    if (run.score.infinite) {
+    if (stats.liveness_losses > 0) {
       if (gate.flag_unexpected_liveness_loss) {
-        violations.push_back(name + ": unexpected liveness loss");
+        violations.push_back(
+            name + ": unexpected liveness loss" +
+            (stats.seeds > 1
+                 ? " in " + std::to_string(stats.liveness_losses) + "/" +
+                       std::to_string(stats.seeds) + " seeds"
+                 : ""));
       }
       continue;
     }
     const auto limit = gate.max_score.find(fault);
-    if (limit != gate.max_score.end() &&
-        run.score.value > limit->second) {
-      violations.push_back(name + ": score " + format_score(run.score) +
-                           " exceeds gate " +
+    if (limit != gate.max_score.end() && stats.finite > 0 &&
+        stats.max > limit->second) {
+      violations.push_back(name + ": score " + Table::num(stats.max, 2) +
+                           worst + " exceeds gate " +
                            Table::num(limit->second, 2));
     }
   }

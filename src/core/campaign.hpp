@@ -2,8 +2,17 @@
 // chain x every dimension) and collect the radar, CSV and JSON outputs in
 // one call — the entry point a CI pipeline would use ("STABL, pluggable in
 // continuous integration pipelines", §1).
+//
+// The (chain x fault x seed) cell grid is embarrassingly parallel — every
+// cell is an independent, deterministic DES — so `run_campaign` fans it
+// out across `jobs` threads and gathers results into index-addressed slots
+// in deterministic order: parallel output is byte-identical to serial
+// output for the same config. Seed sweeps aggregate per-cell runs into
+// `SeedSweepStats` (mean / min / max / sample stddev of the score plus the
+// liveness-loss count), and the CI gate judges the *worst* seed.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -25,30 +34,84 @@ struct CampaignConfig {
   /// Template applied to every run; chain/fault/fanout/vcpus are set per
   /// cell (secure-client cells get fanout 4 and 8 vCPUs, as in §7).
   ExperimentConfig base{};
-  /// Invoked after each cell completes (progress reporting); may be empty.
-  std::function<void(ChainKind, FaultType, const SensitivityRun&)>
+  /// Explicit seeds to sweep per cell. When empty, `num_seeds` consecutive
+  /// seeds starting at base.seed are used (the default 1 keeps the single
+  /// point estimate of the paper).
+  std::vector<std::uint64_t> seeds{};
+  std::size_t num_seeds = 1;
+  /// Worker lanes for the (chain x fault x seed) grid, including the
+  /// calling thread; 1 = serial. Output is byte-identical for any value.
+  unsigned jobs = 1;
+  /// Invoked after each (cell, seed) completes (progress reporting); may
+  /// be empty. Serialized behind an internal mutex — at most one
+  /// invocation runs at a time — but with jobs > 1 the *completion order*
+  /// across cells is nondeterministic.
+  std::function<void(ChainKind, FaultType, std::uint64_t /*seed*/,
+                     const SensitivityRun&)>
       on_cell_done;
+
+  /// The effective seed list (explicit `seeds`, or `num_seeds` consecutive
+  /// seeds from base.seed).
+  [[nodiscard]] std::vector<std::uint64_t> seed_list() const;
 };
 
+/// Per-cell aggregate over a seed sweep. The moment statistics cover the
+/// seeds with a *finite* score; seeds whose altered run lost liveness
+/// (infinite score) are counted separately.
+struct SeedSweepStats {
+  std::size_t seeds = 0;            ///< Seeds evaluated for the cell.
+  std::size_t finite = 0;           ///< Seeds with a finite score.
+  std::size_t liveness_losses = 0;  ///< Seeds with an infinite score.
+  /// True when any seed's baseline measured nothing (invalid cell).
+  bool any_invalid_baseline = false;
+  /// Over the finite-score seeds (0 when none are finite).
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (0 for < 2 seeds).
+};
+
+/// Aggregate one cell's per-seed runs (in seed-list order).
+SeedSweepStats aggregate_seed_sweep(const std::vector<SensitivityRun>& runs);
+
 struct CampaignResult {
+  using CellKey = std::pair<ChainKind, FaultType>;
+
   RadarSummary radar;
-  std::map<std::pair<ChainKind, FaultType>, SensitivityRun> runs;
+  /// Representative run per cell: the FIRST seed of the sweep (the full
+  /// per-seed list is in `seed_runs`). Single-seed campaigns behave
+  /// exactly as before.
+  std::map<CellKey, SensitivityRun> runs;
+  /// Every seed's run per cell, in seed-list order.
+  std::map<CellKey, std::vector<SensitivityRun>> seed_runs;
+  /// Aggregate statistics per cell.
+  std::map<CellKey, SeedSweepStats> sweeps;
+  /// The seed list the campaign actually swept.
+  std::vector<std::uint64_t> seeds;
 
   [[nodiscard]] const SensitivityRun* get(ChainKind chain,
                                           FaultType fault) const;
-  /// Full campaign as CSV (header + one row per cell).
+  [[nodiscard]] const SeedSweepStats* sweep(ChainKind chain,
+                                            FaultType fault) const;
+  /// Full campaign as CSV (header + one row per cell; the representative
+  /// first-seed columns are followed by the seed-sweep aggregate columns).
   [[nodiscard]] std::string to_csv() const;
-  /// Full campaign as a JSON array of per-cell documents.
+  /// Full campaign as a JSON array of per-cell documents, each carrying a
+  /// "seed_sweep" aggregate object.
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Run every (chain, fault) cell of the matrix. Deterministic given
-/// config.base.seed.
+/// Run every (chain, fault, seed) cell of the matrix across `config.jobs`
+/// threads. Deterministic given the config: any jobs value produces
+/// byte-identical to_csv()/to_json() output.
 CampaignResult run_campaign(const CampaignConfig& config);
 
 /// CI gate: true when every cell satisfies the paper-shaped expectations
 /// passed in `max_score` (per fault type; cells expected to be infinite
 /// are listed in `expected_infinite`). Used by examples/regression_gate.
+/// Seed sweeps gate on the WORST seed: a cell violates its bound when any
+/// seed's finite score exceeds it, loses liveness when any seed does, and
+/// an expected-infinite cell must lose liveness at every seed.
 struct CampaignGate {
   std::map<FaultType, double> max_score;
   std::vector<std::pair<ChainKind, FaultType>> expected_infinite;

@@ -1,0 +1,95 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+
+namespace stabl::core {
+
+unsigned default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned jobs) {
+  const unsigned lanes = std::max(1u, jobs);
+  workers_.reserve(lanes - 1);
+  for (unsigned i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (failed_ || cursor_ >= count_) return;
+      index = cursor_++;
+    }
+    try {
+      (*body_)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!failed_) {
+        failed_ = true;
+        error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    cursor_ = 0;
+    failed_ = false;
+    error_ = nullptr;
+    active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  drain();  // the caller is a lane too
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace stabl::core

@@ -1,6 +1,7 @@
 // Fig. 7 aggregation: all sensitivity scores of all chains across the four
 // dimensions (crash, transient, partition, Byzantine-node-tolerance
-// mechanism), rendered as a text radar table.
+// mechanism), rendered as a text radar table. Seed-sweep campaigns also
+// record per-cell aggregates, rendered as a second mean±stddev table.
 #pragma once
 
 #include <map>
@@ -12,20 +13,43 @@
 
 namespace stabl::core {
 
+struct SeedSweepStats;  // core/campaign.hpp
+
+/// Per-cell seed-sweep aggregate as the radar stores it (a trimmed copy of
+/// SeedSweepStats, kept here so radar.hpp need not include campaign.hpp).
+struct RadarSweepCell {
+  std::size_t seeds = 0;
+  std::size_t liveness_losses = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
 class RadarSummary {
  public:
   void record(ChainKind chain, FaultType dimension,
               const SensitivityScore& score);
+  /// Record a cell's seed-sweep aggregate (shown by sweep_table()).
+  void record_sweep(ChainKind chain, FaultType dimension,
+                    const SeedSweepStats& stats);
 
   [[nodiscard]] const SensitivityScore* get(ChainKind chain,
                                             FaultType dimension) const;
+  [[nodiscard]] const RadarSweepCell* get_sweep(ChainKind chain,
+                                                FaultType dimension) const;
 
   /// Table with one row per chain and one column per dimension; scores
   /// rendered like the paper's figures ("inf", trailing '*' = benefits).
   [[nodiscard]] std::string to_table() const;
+  /// Seed-sweep companion table: "mean±sd [min..max]" per cell, with the
+  /// liveness-loss fraction when any seed died. Cells without a recorded
+  /// sweep render as "-".
+  [[nodiscard]] std::string sweep_table() const;
 
  private:
   std::map<std::pair<ChainKind, FaultType>, SensitivityScore> scores_;
+  std::map<std::pair<ChainKind, FaultType>, RadarSweepCell> sweeps_;
 };
 
 }  // namespace stabl::core

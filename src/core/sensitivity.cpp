@@ -10,9 +10,15 @@
 namespace stabl::core {
 
 Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  // Drop non-finite samples BEFORE sorting: a NaN anywhere in the input
+  // breaks std::sort's strict-weak-ordering requirement (UB), and the old
+  // front()/back() assert both ran after the sort and vanished in release
+  // builds. Dropping is deterministic — the same inputs always keep the
+  // same sample subset.
+  samples_.erase(std::remove_if(samples_.begin(), samples_.end(),
+                                [](double v) { return !std::isfinite(v); }),
+                 samples_.end());
   std::sort(samples_.begin(), samples_.end());
-  assert(samples_.empty() ||
-         (std::isfinite(samples_.front()) && std::isfinite(samples_.back())));
 }
 
 double Ecdf::operator()(double x) const {
@@ -32,11 +38,16 @@ double Ecdf::mean() const {
 }
 
 double Ecdf::quantile(double q) const {
+  // Linear interpolation between ranks (the R-7 / NumPy default). The old
+  // nearest-rank-with-round-half-up variant biased even-sized medians to
+  // the upper element (median of {1,2,3,4} came out as 3, not 2.5).
   if (samples_.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto index = static_cast<std::size_t>(
-      q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[index];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (frac == 0.0 || lo + 1 >= samples_.size()) return samples_[lo];
+  return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
 }
 
 double super_cumulative(const Ecdf& ecdf, double x, double step) {
@@ -78,6 +89,16 @@ SensitivityScore sensitivity(const std::vector<double>& baseline,
     score.value = std::numeric_limits<double>::infinity();
     return score;
   }
+  if (baseline.empty()) {
+    // An empty baseline means the baseline run lost liveness or measured
+    // nothing: baseline_area would be 0 and ANY altered run would score a
+    // plausible-looking number with benefits=true. Report the pair as
+    // invalid instead of pretending to have compared something.
+    score.infinite = true;
+    score.invalid_baseline = true;
+    score.value = std::numeric_limits<double>::infinity();
+    return score;
+  }
   const Ecdf base(baseline);
   const Ecdf alt(altered);
   double b1 = base.max();
@@ -93,6 +114,7 @@ SensitivityScore sensitivity(const std::vector<double>& baseline,
 }
 
 std::string format_score(const SensitivityScore& score) {
+  if (score.invalid_baseline) return "invalid";
   if (score.infinite) return "inf";
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.2f%s", score.value,

@@ -27,7 +27,8 @@ namespace stabl::core {
 /// Empirical cumulative distribution function over a latency sample.
 class Ecdf {
  public:
-  /// Takes ownership of the samples; sorts them. Samples must be finite.
+  /// Takes ownership of the samples; drops non-finite entries (NaN, ±inf)
+  /// deterministically, then sorts the rest.
   explicit Ecdf(std::vector<double> samples);
 
   /// Fraction of samples <= x. Zero for an empty sample.
@@ -39,6 +40,9 @@ class Ecdf {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
+  /// Quantile by linear interpolation between ranks (R-7 convention): the
+  /// median of an even-sized sample is the midpoint of the two central
+  /// elements, not the upper one.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] const std::vector<double>& sorted_samples() const {
     return samples_;
@@ -76,6 +80,11 @@ struct SensitivityScore {
   /// committing transactions after a failure event has an infinite
   /// sensitivity score").
   bool infinite = false;
+  /// The BASELINE sample was empty — the baseline run lost liveness or
+  /// measured nothing, so no comparison is possible. The score is reported
+  /// infinite with this flag set (rendered "invalid") rather than as a
+  /// plausible-looking benefits=true number against a zero baseline area.
+  bool invalid_baseline = false;
   /// Ŝ2 > Ŝ1: the altered environment *improved* latencies (the paper's
   /// striped bars — Redbelly and Avalanche under the secure client).
   bool benefits = false;
@@ -91,7 +100,8 @@ SensitivityScore sensitivity(const std::vector<double>& baseline,
                              const SensitivityOptions& options = {});
 
 /// Render a score the way the paper's figures do: number, "inf", with a
-/// trailing '*' for striped (benefits) bars.
+/// trailing '*' for striped (benefits) bars; "invalid" when the baseline
+/// measured nothing.
 std::string format_score(const SensitivityScore& score);
 
 }  // namespace stabl::core

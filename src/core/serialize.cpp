@@ -9,6 +9,7 @@ namespace stabl::core {
 namespace {
 
 std::string score_field(const SensitivityScore& score) {
+  if (score.invalid_baseline) return "invalid";
   if (score.infinite) return "inf";
   return Table::num(score.value, 4);
 }
@@ -88,10 +89,14 @@ std::string to_json(ChainKind chain, FaultType fault,
   std::ostringstream out;
   out << "{\"chain\":\"" << json_escape(to_string(chain)) << "\","
       << "\"fault\":\"" << json_escape(to_string(fault)) << "\","
-      << "\"score\":" << (run.score.infinite
-                              ? std::string("\"inf\"")
-                              : Table::num(run.score.value, 6))
-      << ",\"benefits\":" << (run.score.benefits ? "true" : "false") << ',';
+      << "\"score\":"
+      << (run.score.invalid_baseline
+              ? std::string("\"invalid\"")
+              : run.score.infinite ? std::string("\"inf\"")
+                                   : Table::num(run.score.value, 6))
+      << ",\"benefits\":" << (run.score.benefits ? "true" : "false")
+      << ",\"invalid_baseline\":"
+      << (run.score.invalid_baseline ? "true" : "false") << ',';
   append_result_json(out, "baseline", run.baseline);
   out << ',';
   append_result_json(out, "altered", run.altered);

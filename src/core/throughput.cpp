@@ -20,9 +20,15 @@ ThroughputSeries::ThroughputSeries(const chain::Ledger& ledger,
 }
 
 double ThroughputSeries::average(double from_s, double to_s) const {
+  // Bin convention: bin t covers [t, t+1). The window's lower bound is
+  // floored and the upper bound is CEILED, so every bin the window touches
+  // contributes — a fractional to_s used to be truncated, silently
+  // dropping the final partial bin (a 10.5 s window averaged only the
+  // first 10 bins).
   const auto lo = static_cast<std::size_t>(std::max(0.0, from_s));
-  const auto hi = std::min(bins_.size(),
-                           static_cast<std::size_t>(std::max(0.0, to_s)));
+  const auto hi = std::min(
+      bins_.size(),
+      static_cast<std::size_t>(std::ceil(std::max(0.0, to_s))));
   if (lo >= hi) return 0.0;
   const double sum = std::accumulate(bins_.begin() + lo, bins_.begin() + hi,
                                      0.0);
@@ -48,7 +54,11 @@ double recovery_seconds(const ThroughputSeries& series, double after_s,
   // actual commit rather than to a window that merely contains one.
   const auto& bins = series.bins();
   const auto window = static_cast<std::size_t>(std::max(1.0, window_s));
-  const auto start = static_cast<std::size_t>(std::max(0.0, after_s));
+  // Scan from the first WHOLE bin at or after the fault clears: flooring a
+  // fractional after_s used to admit the bin containing the fault-clear
+  // instant, reporting recovery up to ~1 s early (even negative).
+  const auto start =
+      static_cast<std::size_t>(std::ceil(std::max(0.0, after_s)));
   for (std::size_t t = start; t + window <= bins.size(); ++t) {
     if (bins[t] <= 0.0) continue;
     const double avg =

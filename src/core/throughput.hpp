@@ -21,7 +21,9 @@ class ThroughputSeries {
 
   [[nodiscard]] const std::vector<double>& bins() const { return bins_; }
 
-  /// Average TPS over [from, to) seconds.
+  /// Average TPS over the bins touched by [from, to): bin t covers
+  /// [t, t+1), the lower bound floors and the upper bound CEILS, so a
+  /// fractional `to_s` includes its final partial bin.
   [[nodiscard]] double average(double from_s, double to_s) const;
 
   /// Mean of the series over its whole span.
@@ -34,9 +36,12 @@ class ThroughputSeries {
   std::vector<double> bins_;
 };
 
-/// First commit-carrying second at or after `after_s` from which the next
-/// `window_s` seconds average at least `threshold_tps`, minus `after_s`.
-/// Returns a negative value when the series never recovers.
+/// First commit-carrying second at or after ceil(`after_s`) from which the
+/// next `window_s` seconds average at least `threshold_tps`, minus
+/// `after_s`. The scan starts at the first whole bin after the fault
+/// clears, so a fractional fault-clear time can never yield a recovery
+/// earlier than the clearing itself. Returns a negative value when the
+/// series never recovers.
 double recovery_seconds(const ThroughputSeries& series, double after_s,
                         double threshold_tps, double window_s = 3.0);
 

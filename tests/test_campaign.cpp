@@ -20,7 +20,7 @@ CampaignConfig small_campaign() {
 TEST(Campaign, RunsEveryCellAndRecordsRadar) {
   int cells = 0;
   CampaignConfig config = small_campaign();
-  config.on_cell_done = [&](ChainKind, FaultType,
+  config.on_cell_done = [&](ChainKind, FaultType, std::uint64_t,
                             const SensitivityRun&) { ++cells; };
   const CampaignResult result = run_campaign(config);
   EXPECT_EQ(cells, 2);

@@ -1,0 +1,274 @@
+// Tests for the parallel campaign engine: the work-stealing-free thread
+// pool, byte-identical serial-vs-parallel campaign output, seed-sweep
+// aggregation, worst-seed gating, and EventQueue bookkeeping when a
+// simulation is constructed per worker thread.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "sim/event_queue.hpp"
+
+namespace stabl::core {
+namespace {
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleJobIsSerialOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no lock needed: serial by construction
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no indexes to run"; });
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("cell failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives the failed batch.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ClampsZeroJobsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.jobs(), 1u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(3, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+// ------------------------------------------- EventQueue per worker thread
+// Each worker constructs its own simulation state; the lazy-cancel
+// bookkeeping (size()/empty() shedding cancelled heap heads) must stay
+// consistent with no sharing between threads.
+
+TEST(EventQueuePerThread, LazyCancelBookkeepingStaysConsistent) {
+  ThreadPool pool(4);
+  pool.parallel_for(8, [](std::size_t lane) {
+    sim::EventQueue queue;
+    std::vector<sim::TimerId> ids;
+    const int n = 300 + static_cast<int>(lane);
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(queue.schedule(sim::ms(i % 50), [] {}));
+    }
+    std::size_t live = ids.size();
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+      queue.cancel(ids[i]);
+      --live;
+    }
+    ASSERT_EQ(queue.size(), live);
+    EXPECT_FALSE(queue.empty());
+    sim::Time at{};
+    sim::Time last{-1};
+    std::size_t popped = 0;
+    while (!queue.empty()) {
+      ASSERT_GE(queue.next_time(), last);
+      last = queue.next_time();
+      queue.pop(at)();
+      ++popped;
+      ASSERT_EQ(queue.size(), live - popped);
+    }
+    EXPECT_EQ(popped, live);
+    EXPECT_EQ(queue.size(), 0u);
+  });
+}
+
+// ------------------------------------------------- campaign determinism
+
+CampaignConfig tiny_campaign() {
+  CampaignConfig config;
+  config.chains = {ChainKind::kRedbelly};
+  config.faults = {FaultType::kNone, FaultType::kCrash};
+  config.base.duration = sim::sec(30);
+  config.base.inject_at = sim::sec(10);
+  config.base.recover_at = sim::sec(20);
+  config.num_seeds = 2;
+  return config;
+}
+
+TEST(CampaignParallel, ParallelOutputByteIdenticalToSerial) {
+  CampaignConfig serial = tiny_campaign();
+  serial.jobs = 1;
+  CampaignConfig parallel = tiny_campaign();
+  parallel.jobs = 4;
+  const CampaignResult a = run_campaign(serial);
+  const CampaignResult b = run_campaign(parallel);
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.radar.to_table(), b.radar.to_table());
+  EXPECT_EQ(a.radar.sweep_table(), b.radar.sweep_table());
+}
+
+TEST(CampaignParallel, CallbackSerializedAndCalledPerCellSeed) {
+  CampaignConfig config = tiny_campaign();
+  config.jobs = 4;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> calls{0};
+  config.on_cell_done = [&](ChainKind, FaultType, std::uint64_t,
+                            const SensitivityRun&) {
+    EXPECT_EQ(concurrent.fetch_add(1), 0) << "callback must be serialized";
+    calls.fetch_add(1);
+    concurrent.fetch_sub(1);
+  };
+  run_campaign(config);
+  EXPECT_EQ(calls.load(), 4);  // 1 chain x 2 faults x 2 seeds
+}
+
+// ------------------------------------------------------------ seed sweep
+
+TEST(CampaignSweep, AggregatesAcrossSeeds) {
+  const CampaignResult result = run_campaign(tiny_campaign());
+  EXPECT_EQ(result.seeds, (std::vector<std::uint64_t>{42, 43}));
+  const SeedSweepStats* stats =
+      result.sweep(ChainKind::kRedbelly, FaultType::kCrash);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->seeds, 2u);
+  EXPECT_EQ(stats->finite, 2u) << "Redbelly survives f = t crashes";
+  EXPECT_EQ(stats->liveness_losses, 0u);
+  EXPECT_LE(stats->min, stats->mean);
+  EXPECT_LE(stats->mean, stats->max);
+  EXPECT_GE(stats->stddev, 0.0);
+  const auto& runs =
+      result.seed_runs.at({ChainKind::kRedbelly, FaultType::kCrash});
+  ASSERT_EQ(runs.size(), 2u);
+  // The representative run is the first seed's.
+  const SensitivityRun* rep =
+      result.get(ChainKind::kRedbelly, FaultType::kCrash);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->score.value, runs.front().score.value);
+}
+
+TEST(CampaignSweep, ExplicitSeedListWinsOverNumSeeds) {
+  CampaignConfig config;
+  config.seeds = {7, 99, 3};
+  config.num_seeds = 10;
+  EXPECT_EQ(config.seed_list(), (std::vector<std::uint64_t>{7, 99, 3}));
+  config.seeds.clear();
+  config.num_seeds = 3;
+  config.base.seed = 5;
+  EXPECT_EQ(config.seed_list(), (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(AggregateSeedSweep, StatsOverFiniteScoresOnly) {
+  SensitivityRun finite1;
+  finite1.score.value = 2.0;
+  SensitivityRun finite2;
+  finite2.score.value = 6.0;
+  SensitivityRun dead;
+  dead.score.infinite = true;
+  dead.score.value = std::numeric_limits<double>::infinity();
+  const SeedSweepStats stats =
+      aggregate_seed_sweep({finite1, dead, finite2});
+  EXPECT_EQ(stats.seeds, 3u);
+  EXPECT_EQ(stats.finite, 2u);
+  EXPECT_EQ(stats.liveness_losses, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 6.0);
+  EXPECT_NEAR(stats.stddev, 2.828427, 1e-5);  // sample stddev of {2, 6}
+}
+
+// ---------------------------------------------------- worst-seed gating
+
+CampaignResult hand_built_result(double min_score, double max_score,
+                                 std::size_t losses) {
+  CampaignResult result;
+  const CampaignResult::CellKey key{ChainKind::kRedbelly,
+                                    FaultType::kCrash};
+  SensitivityRun rep;
+  rep.score.value = min_score;
+  rep.altered.live_at_end = true;
+  result.runs.emplace(key, rep);
+  SeedSweepStats stats;
+  stats.seeds = 3;
+  stats.finite = 3 - losses;
+  stats.liveness_losses = losses;
+  stats.mean = (min_score + max_score) / 2.0;
+  stats.min = min_score;
+  stats.max = max_score;
+  result.sweeps.emplace(key, stats);
+  return result;
+}
+
+TEST(CampaignGateCheck, GatesOnWorstSeed) {
+  CampaignGate gate;
+  gate.max_score[FaultType::kCrash] = 4.0;
+  // Representative (first-seed) score 1.0 passes, but the worst seed
+  // scored 9.0: the gate must flag the cell.
+  const auto violations =
+      check_gate(hand_built_result(1.0, 9.0, 0), gate);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("exceeds gate"), std::string::npos);
+  EXPECT_NE(violations[0].find("worst of 3 seeds"), std::string::npos);
+  // All seeds within the bound: no violation.
+  EXPECT_TRUE(check_gate(hand_built_result(1.0, 3.5, 0), gate).empty());
+}
+
+TEST(CampaignGateCheck, AnySeedLivenessLossIsFlagged) {
+  CampaignGate gate;
+  gate.max_score[FaultType::kCrash] = 1e9;
+  const auto violations =
+      check_gate(hand_built_result(1.0, 2.0, 1), gate);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("unexpected liveness loss"),
+            std::string::npos);
+  EXPECT_NE(violations[0].find("1/3 seeds"), std::string::npos);
+}
+
+TEST(CampaignGateCheck, ExpectedInfiniteRequiresEverySeedDead) {
+  CampaignGate gate;
+  gate.expected_infinite = {{ChainKind::kRedbelly, FaultType::kCrash}};
+  // One seed survived: violation.
+  const auto violations =
+      check_gate(hand_built_result(1.0, 2.0, 2), gate);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("expected liveness loss"),
+            std::string::npos);
+  // Every seed dead: passes.
+  EXPECT_TRUE(check_gate(hand_built_result(0.0, 0.0, 3), gate).empty());
+}
+
+}  // namespace
+}  // namespace stabl::core

@@ -46,6 +46,43 @@ TEST(Ecdf, SummaryStatistics) {
   EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 3.0);
 }
 
+TEST(Ecdf, DropsNonFiniteSamplesBeforeSorting) {
+  // Regression: NaN in the input used to reach std::sort (strict-weak-
+  // ordering UB) and the finiteness assert only ran after the sort. The
+  // ctor now drops NaN/±inf deterministically before sorting.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Ecdf ecdf({3.0, nan, 1.0, inf, 2.0, -inf, nan});
+  ASSERT_EQ(ecdf.sorted_samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(ecdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 2.0);
+  // Same inputs, any order: the same finite subset survives.
+  Ecdf again({nan, inf, 2.0, 1.0, 3.0});
+  EXPECT_EQ(ecdf.sorted_samples(), again.sorted_samples());
+}
+
+TEST(Ecdf, AllNonFiniteBecomesEmpty) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Ecdf ecdf({nan, std::numeric_limits<double>::infinity()});
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.0);
+}
+
+TEST(Ecdf, QuantileInterpolatesEvenSizedMedian) {
+  // Regression: the nearest-rank +0.5 rounding biased even-sized medians
+  // to the upper element — median of {1,2,3,4} came out as 3.
+  Ecdf even({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(even.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(even.quantile(0.25), 1.75);
+  EXPECT_DOUBLE_EQ(even.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(even.quantile(1.0), 4.0);
+  // Odd sizes keep landing exactly on a sample at the median.
+  Ecdf odd({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(odd.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(odd.quantile(0.75), 25.0);
+}
+
 TEST(Ecdf, MonotoneNonDecreasing) {
   sim::Rng rng(5);
   std::vector<double> xs;
@@ -121,6 +158,29 @@ TEST(Sensitivity, DeadChainIsInfinite) {
 TEST(Sensitivity, EmptyAlteredIsInfinite) {
   const auto score = sensitivity(constant(100, 1.0), {});
   EXPECT_TRUE(score.infinite);
+  EXPECT_FALSE(score.invalid_baseline);
+}
+
+TEST(Sensitivity, EmptyBaselineIsInvalidNotABenefit) {
+  // Regression: an empty baseline made baseline_area 0, so any altered run
+  // scored |0 - altered_area| with benefits=true — a bogus "the fault
+  // helped" verdict. The pair is now reported as invalid.
+  const auto score = sensitivity({}, constant(100, 1.0));
+  EXPECT_TRUE(score.infinite);
+  EXPECT_TRUE(score.invalid_baseline);
+  EXPECT_TRUE(std::isinf(score.value));
+  EXPECT_FALSE(score.benefits);
+  EXPECT_EQ(format_score(score), "invalid");
+}
+
+TEST(Sensitivity, DeadAlteredIsNotMarkedInvalidBaseline) {
+  // The two infinity flavours stay distinguishable: liveness loss prints
+  // "inf", a broken baseline prints "invalid".
+  const auto dead = sensitivity(constant(100, 1.0), constant(100, 1.0), false);
+  EXPECT_FALSE(dead.invalid_baseline);
+  EXPECT_EQ(format_score(dead), "inf");
+  const auto valid = sensitivity(constant(100, 1.0), constant(100, 2.0));
+  EXPECT_FALSE(valid.invalid_baseline);
 }
 
 TEST(Sensitivity, CapturesDurationOfDegradation) {

@@ -56,6 +56,32 @@ TEST(ThroughputSeries, Averages) {
   EXPECT_DOUBLE_EQ(series.peak(), 30.0);
 }
 
+TEST(ThroughputSeries, AverageIncludesFinalPartialBin) {
+  // Regression: truncating a fractional to_s dropped the final partial
+  // bin. Bin t covers [t, t+1), so averaging over [10.0, 10.5) must see
+  // the commits that landed in bin 10.
+  const auto ledger = ledger_with_commits({{10.2, 40}});
+  ThroughputSeries series(ledger, sim::sec(20));
+  EXPECT_DOUBLE_EQ(series.average(10.0, 10.5), 40.0);
+  EXPECT_DOUBLE_EQ(series.average(9.5, 10.5), 20.0);
+  // Integral bounds are unchanged by the ceil.
+  EXPECT_DOUBLE_EQ(series.average(10.0, 11.0), 40.0);
+  EXPECT_DOUBLE_EQ(series.average(11.0, 12.0), 0.0);
+}
+
+TEST(RecoveryDetector, FractionalClearingIsNotReportedEarly) {
+  // Regression: flooring after_s let the scan start one bin before the
+  // fault actually cleared, reporting recovery up to ~1 s early (even
+  // negative). Commits run from t=9 on; the fault clears at 9.5: recovery
+  // is at the t=10 bin boundary, 0.5 s after the clearing — not -0.5.
+  std::vector<std::pair<double, int>> commits;
+  for (int t = 9; t < 30; ++t) commits.push_back({t + 0.5, 50});
+  ThroughputSeries series(ledger_with_commits(commits), sim::sec(30));
+  EXPECT_DOUBLE_EQ(recovery_seconds(series, 9.5, 25.0), 0.5);
+  // An integral after_s anchors exactly on its own bin as before.
+  EXPECT_DOUBLE_EQ(recovery_seconds(series, 9.0, 25.0), 0.0);
+}
+
 TEST(RecoveryDetector, FindsSustainedRecovery) {
   // Dead from t=10 to t=20, then back to 50 tps.
   std::vector<std::pair<double, int>> commits;
