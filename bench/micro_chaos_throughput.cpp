@@ -1,0 +1,104 @@
+// micro_chaos_throughput — throughput of the chaos campaign engine.
+//
+// Runs a fixed chaos campaign (all 5 chains x 4 randomized trials, one
+// schedule per trial) through run_chaos_campaign at 1, 2 and 4 worker
+// threads and reports schedules/sec per jobs setting, the speedup over
+// serial, and a determinism check: every parallel run's JSON must be
+// byte-identical to the serial run's.
+//
+// STABL_BENCH_DURATION (seconds, >=30) shortens the per-trial simulation
+// for smoke runs; the default is the paper's 400 s geometry.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/chaos.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace stabl;
+
+const std::vector<unsigned> kJobSettings = {1, 2, 4};
+constexpr std::size_t kTrialsPerChain = 4;
+
+core::ChaosCampaignConfig chaos_config(unsigned jobs) {
+  const long duration = bench::bench_duration_s();
+  core::ChaosCampaignConfig config;
+  config.trials_per_chain = kTrialsPerChain;
+  config.seed = 42;
+  config.base.duration = sim::sec(duration);
+  config.jobs = jobs;
+  return config;
+}
+
+struct ChaosSample {
+  double seconds = 0.0;
+  std::string json;
+};
+
+/// Per-jobs cache: the benchmark pass times each setting once; the print
+/// step reuses the wall times and JSON documents.
+std::map<unsigned, ChaosSample>& samples() {
+  static std::map<unsigned, ChaosSample> cache;
+  return cache;
+}
+
+const ChaosSample& run_at(unsigned jobs) {
+  auto it = samples().find(jobs);
+  if (it == samples().end()) {
+    const auto start = std::chrono::steady_clock::now();
+    const core::ChaosCampaignResult result =
+        core::run_chaos_campaign(chaos_config(jobs));
+    const auto stop = std::chrono::steady_clock::now();
+    ChaosSample sample;
+    sample.seconds = std::chrono::duration<double>(stop - start).count();
+    sample.json = result.to_json();
+    it = samples().emplace(jobs, std::move(sample)).first;
+  }
+  return it->second;
+}
+
+double schedules(unsigned) { return 5.0 * kTrialsPerChain; }
+
+void chaos_matrix(benchmark::State& state) {
+  const unsigned jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const ChaosSample& sample = run_at(jobs);
+    benchmark::DoNotOptimize(sample.json.data());
+    state.counters["schedules_per_s"] = schedules(jobs) / sample.seconds;
+  }
+}
+BENCHMARK(chaos_matrix)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void print_chaos_scaling() {
+  for (const unsigned jobs : kJobSettings) run_at(jobs);
+  const ChaosSample& serial = run_at(1);
+  std::printf("\nchaos throughput: 5 chains x %zu schedules, %lds per trial\n",
+              kTrialsPerChain, bench::bench_duration_s());
+  core::Table table(
+      {"jobs", "wall s", "schedules/s", "speedup", "json==serial"});
+  for (const unsigned jobs : kJobSettings) {
+    const ChaosSample& sample = run_at(jobs);
+    table.add_row({std::to_string(jobs),
+                   core::Table::num(sample.seconds, 2),
+                   core::Table::num(schedules(jobs) / sample.seconds, 2),
+                   core::Table::num(serial.seconds / sample.seconds, 2),
+                   sample.json == serial.json ? "yes" : "NO"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  for (const unsigned jobs : kJobSettings) {
+    if (run_at(jobs).json != serial.json) {
+      std::printf("DETERMINISM VIOLATION: jobs=%u JSON differs from serial\n",
+                  jobs);
+    }
+  }
+}
+
+}  // namespace
+
+STABL_BENCH_MAIN(print_chaos_scaling)

@@ -1,0 +1,144 @@
+// chaos_hunt — the nightly chaos job: randomized multi-plan fault
+// schedules against every chain, invariant-oracle audit of every run, and
+// automatic shrinking of any violating schedule into a replayable JSON
+// repro file.
+//
+// Usage:
+//   chaos_hunt [--chains a,b,...] [--trials N] [--seed N] [--duration S]
+//              [--jobs N] [--shrink] [--out DIR]
+//
+// Exit status: 0 when no oracle violated (expected losses are fine), 1 on
+// any violation. Violating (minimized, when --shrink) schedules are
+// written to DIR/chaos_<chain>_trial<k>.json for replay and for CI
+// artifact upload.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/chaos.hpp"
+
+namespace {
+
+using namespace stabl;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--chains names] [--trials n] [--seed n]\n"
+               "          [--duration seconds] [--jobs n] [--shrink]\n"
+               "          [--out dir]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<core::ChainKind> parse_chains(const std::string& list,
+                                          const char* argv0) {
+  std::vector<core::ChainKind> chains;
+  for (std::size_t pos = 0; pos < list.size();) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    bool found = false;
+    for (const core::ChainKind chain : core::kAllChains) {
+      if (core::to_string(chain) == name) {
+        chains.push_back(chain);
+        found = true;
+      }
+    }
+    if (!found) usage(argv0);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (chains.empty()) usage(argv0);
+  return chains;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ChaosCampaignConfig config;
+  config.trials_per_chain = 5;
+  config.base.duration = sim::sec(120);
+  std::string out_dir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--chains") {
+      config.chains = parse_chains(value(), argv[0]);
+    } else if (arg == "--trials") {
+      const long trials = std::atol(value().c_str());
+      if (trials < 1) usage(argv[0]);
+      config.trials_per_chain = static_cast<std::size_t>(trials);
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--duration") {
+      const long duration_s = std::atol(value().c_str());
+      if (duration_s < 30) usage(argv[0]);
+      config.base.duration = sim::sec(duration_s);
+    } else if (arg == "--jobs") {
+      const long jobs = std::atol(value().c_str());
+      if (jobs < 1) usage(argv[0]);
+      config.jobs = static_cast<unsigned>(jobs);
+    } else if (arg == "--shrink") {
+      config.shrink = true;
+    } else if (arg == "--out") {
+      out_dir = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::printf("chaos hunt: %zu chains x %zu trials, seed %llu, %g s runs, "
+              "%u jobs%s\n",
+              config.chains.size(), config.trials_per_chain,
+              static_cast<unsigned long long>(config.seed),
+              sim::to_seconds(config.base.duration), config.jobs,
+              config.shrink ? ", shrinking" : "");
+
+  const core::ChaosCampaignResult result = core::run_chaos_campaign(config);
+  std::printf("%s", result.summary_table().c_str());
+
+  std::size_t written = 0;
+  for (const core::ChaosTrial& trial : result.trials) {
+    if (trial.report.verdict == core::OracleVerdict::kPass) continue;
+    std::printf("\n%s trial %zu (seed %llu):\n  %s\n",
+                core::to_string(trial.chain).c_str(), trial.trial,
+                static_cast<unsigned long long>(trial.experiment_seed),
+                trial.report.summary().c_str());
+    if (!trial.report.violated()) continue;
+    // Persist the repro: the minimized schedule when shrinking succeeded,
+    // the full sampled schedule otherwise.
+    const core::FaultSchedule& repro = trial.shrunk.has_value()
+                                           ? trial.shrunk->schedule
+                                           : trial.schedule;
+    const std::string path = out_dir + "/chaos_" +
+                             core::to_string(trial.chain) + "_trial" +
+                             std::to_string(trial.trial) + ".json";
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    file << core::schedule_to_json(repro) << "\n";
+    std::printf("  repro written to %s", path.c_str());
+    if (trial.shrunk.has_value()) {
+      std::printf(" (shrunk %zu -> %zu plans in %zu runs)",
+                  trial.shrunk->initial_plans,
+                  trial.shrunk->schedule.plans.size(), trial.shrunk->runs);
+    }
+    std::printf("\n");
+    ++written;
+  }
+
+  std::printf("\n%zu/%zu violations (%zu repro files), %zu expected "
+              "losses\n",
+              result.violations(), result.trials.size(), written,
+              result.expected_losses());
+  return result.violations() > 0 ? 1 : 0;
+}

@@ -11,14 +11,21 @@
 //             [--extra-fault NAME]... [--loss-prob P] [--gray-delay S]
 //             [--throttle-bps BYTES] [--resilient] [--commit-timeout S]
 //             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
+//             [--chaos N] [--shrink]
 //
 // --seeds N sweeps N consecutive seeds starting at --seed and reports the
 // per-seed scores plus mean/min/max/stddev aggregates; --jobs N fans the
 // (seed) grid across N threads (output is identical for any jobs value).
 //
+// --chaos N runs N randomized multi-plan fault schedules against --chain
+// and audits each run with the invariant oracles; --shrink delta-debugs
+// every violating schedule to a minimal JSON repro. Deterministic in
+// (--chain, --seed) for any --jobs value.
+//
 // Examples:
 //   stabl_cli --chain solana --fault transient
 //   stabl_cli --chain redbelly --fault partition --max-idle 30 --format json
+//   stabl_cli --chain aptos --chaos 10 --shrink --duration 120 --jobs 4
 //   # Fault engine v2: packet loss composed on top of the partition, with
 //   # resilient (timeout + failover + backoff) clients:
 //   stabl_cli --chain redbelly --fault partition --extra-fault loss
@@ -31,6 +38,7 @@
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/chaos.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
@@ -52,7 +60,8 @@ using namespace stabl;
       "          [--fault-targets ids] [--extra-fault name]...\n"
       "          [--loss-prob p] [--gray-delay s]\n"
       "          [--throttle-bps bytes] [--resilient] [--commit-timeout s]\n"
-      "          [--no-throttling] [--no-warmup-epochs] [--max-idle s]\n",
+      "          [--no-throttling] [--no-warmup-epochs] [--max-idle s]\n"
+      "          [--chaos n] [--shrink]\n",
       argv0);
   std::exit(2);
 }
@@ -84,6 +93,8 @@ int main(int argc, char** argv) {
   long duration_s = 400;
   long num_seeds = 1;
   long jobs = 1;
+  long chaos_trials = 0;
+  bool chaos_shrink = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -161,6 +172,11 @@ int main(int argc, char** argv) {
       config.tuning.solana_warmup_epochs = false;
     } else if (arg == "--max-idle") {
       config.tuning.redbelly_max_idle_s = std::atof(value().c_str());
+    } else if (arg == "--chaos") {
+      chaos_trials = std::atol(value().c_str());
+      if (chaos_trials < 1) usage(argv[0]);
+    } else if (arg == "--shrink") {
+      chaos_shrink = true;
     } else {
       usage(argv[0]);
     }
@@ -182,6 +198,38 @@ int main(int argc, char** argv) {
       config.client_fanout == 1) {
     config.client_fanout = 4;
     config.vcpus = 8.0;
+  }
+
+  if (chaos_trials > 0) {
+    // Chaos path: randomized schedules + oracle audit on one chain.
+    core::ChaosCampaignConfig chaos;
+    chaos.chains = {config.chain};
+    chaos.trials_per_chain = static_cast<std::size_t>(chaos_trials);
+    chaos.seed = config.seed;
+    chaos.base = config;
+    chaos.base.fault = core::FaultType::kNone;
+    chaos.shrink = chaos_shrink;
+    chaos.jobs = static_cast<unsigned>(jobs);
+    const core::ChaosCampaignResult result = core::run_chaos_campaign(chaos);
+    if (format == "json") {
+      std::printf("%s\n", result.to_json().c_str());
+    } else {
+      std::printf("%s", result.summary_table().c_str());
+      std::printf("%zu/%zu violations, %zu expected losses\n",
+                  result.violations(), result.trials.size(),
+                  result.expected_losses());
+      for (const core::ChaosTrial& trial : result.trials) {
+        if (trial.report.verdict == core::OracleVerdict::kPass) continue;
+        std::printf("%s trial %zu: %s\n",
+                    core::to_string(trial.chain).c_str(), trial.trial,
+                    trial.report.summary().c_str());
+        if (trial.shrunk.has_value()) {
+          std::printf("  repro: %s\n",
+                      core::schedule_to_json(trial.shrunk->schedule).c_str());
+        }
+      }
+    }
+    return result.violations() > 0 ? 1 : 0;
   }
 
   if (num_seeds > 1 || jobs > 1) {

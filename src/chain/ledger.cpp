@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "chain/hash.hpp"
+
 namespace stabl::chain {
 
 const Block& Ledger::append(Block block) {
@@ -33,6 +35,26 @@ std::size_t Ledger::block_index(TxId id) const {
 
 sim::Time Ledger::last_commit_time() const {
   return blocks_.empty() ? sim::Time{0} : blocks_.back().committed_at;
+}
+
+std::uint64_t Ledger::content_hash() const {
+  return content_hash_at(height());
+}
+
+std::uint64_t Ledger::content_hash_at(std::uint64_t height) const {
+  assert(height <= blocks_.size());
+  // Hash only the agreed-upon content: heights and transaction sequences.
+  // committed_at (and, on some chains, round) is replica-local — each node
+  // records its own commit instant — so including it would make two
+  // replicas holding the SAME chain hash differently.
+  std::uint64_t h = 0x5374616221ull;  // arbitrary non-zero start
+  for (std::uint64_t i = 0; i < height; ++i) {
+    const Block& block = blocks_[i];
+    h = hash_combine(h, block.height);
+    h = hash_combine(h, static_cast<std::uint64_t>(block.txs.size()));
+    for (const Transaction& tx : block.txs) h = hash_combine(h, tx.id);
+  }
+  return h;
 }
 
 }  // namespace stabl::chain

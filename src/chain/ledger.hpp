@@ -36,6 +36,18 @@ class Ledger {
   /// Commit time of the most recent block, or zero when empty.
   [[nodiscard]] sim::Time last_commit_time() const;
 
+  /// Order-sensitive digest of the committed sequence (heights and
+  /// transaction ids; commit times and rounds are replica-local and
+  /// deliberately excluded, so replicas holding the same chain hash the
+  /// same). A replica that is merely behind hashes differently, so prefix
+  /// comparisons must use content_hash_at().
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  /// Digest of the first `height` blocks only — the prefix-agreement probe
+  /// the invariant oracles use: for any two replicas, the hashes at
+  /// min(height_a, height_b) must match.
+  [[nodiscard]] std::uint64_t content_hash_at(std::uint64_t height) const;
+
  private:
   struct TxRecord {
     sim::Time committed_at{0};

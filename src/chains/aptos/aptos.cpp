@@ -8,11 +8,15 @@ namespace stabl::aptos {
 namespace {
 
 struct ProposalPayload final : net::Payload {
-  ProposalPayload(std::uint64_t r, net::NodeId l,
+  ProposalPayload(std::uint64_t r, net::NodeId l, std::int64_t parent,
                   std::vector<chain::Transaction> batch)
-      : round(r), leader(l), txs(std::move(batch)) {}
+      : round(r), leader(l), parent_round(parent), txs(std::move(batch)) {}
   std::uint64_t round;
   net::NodeId leader;
+  /// Round of the committed block the leader extends (-1 = genesis).
+  /// Carries the HotStuff parent-QC linkage: voters must have replayed
+  /// exactly this chain, so committed prefixes stay identical.
+  std::int64_t parent_round;
   std::vector<chain::Transaction> txs;
 };
 
@@ -24,6 +28,16 @@ struct VotePayload final : net::Payload {
 
 struct TimeoutPayload final : net::Payload {
   explicit TimeoutPayload(std::uint64_t r) : round(r) {}
+  std::uint64_t round;
+};
+
+/// Announcement that the sender committed `round`. Only sent when the
+/// round was contested (some replica timed out of it): laggards that
+/// timed out pull the committed block before a sibling round can form a
+/// conflicting quorum. Quiet rounds never send one, so healthy runs are
+/// unchanged.
+struct CommitCertPayload final : net::Payload {
+  explicit CommitCertPayload(std::uint64_t r) : round(r) {}
   std::uint64_t round;
 };
 
@@ -59,6 +73,9 @@ void AptosNode::stop_protocol() {
   voted_ = false;
   committing_ = false;
   have_proposal_ = false;
+  proposal_parent_ = -1;
+  lock_parent_ = -1;
+  lock_round_ = 0;
   proposal_txs_.clear();
   votes_.clear();
   timeouts_.clear();
@@ -67,6 +84,12 @@ void AptosNode::stop_protocol() {
   pending_spec_work_ = sim::Duration{0};
   round_timer_ = sim::kInvalidTimer;
   propose_timer_ = sim::kInvalidTimer;
+}
+
+std::int64_t AptosNode::tip_round() const {
+  return ledger().blocks().empty()
+             ? -1
+             : static_cast<std::int64_t>(ledger().blocks().back().round);
 }
 
 net::NodeId AptosNode::leader_of(std::uint64_t round) const {
@@ -90,6 +113,7 @@ void AptosNode::enter_round(std::uint64_t round) {
   proposal_txs_.clear();
   votes_.clear();
   timeouts_.clear();
+  proposal_parent_ = -1;
   cancel_timer(round_timer_);
   cancel_timer(propose_timer_);
   round_timer_ = set_timer(config_.round_timeout, [this] {
@@ -101,24 +125,42 @@ void AptosNode::enter_round(std::uint64_t round) {
 }
 
 void AptosNode::propose() {
+  const std::int64_t parent = tip_round();
+  // A leader locked on a sibling of this parent must not propose against
+  // its own vote; the round burns a timeout instead.
+  if (lock_parent_ >= 0 && parent == lock_parent_ && round_ > lock_round_ &&
+      round_ <= lock_round_ + static_cast<std::uint64_t>(
+                                  config_.sibling_lockout_rounds)) {
+    return;
+  }
   auto batch = mutable_mempool().collect_ready(
       config_.max_block_txs, [this](chain::AccountId account) {
         return accounts().next_nonce(account);
       });
-  auto payload = std::make_shared<const ProposalPayload>(round_, node_id(),
-                                                         std::move(batch));
+  auto payload = std::make_shared<const ProposalPayload>(
+      round_, node_id(), parent, std::move(batch));
   broadcast(payload, batch_bytes(payload->txs.size()));
   // The leader processes its own proposal too.
   proposal_leader_ = node_id();
   have_proposal_ = true;
+  proposal_parent_ = parent;
   proposal_txs_ = payload->txs;
   voted_ = true;
+  lock_parent_ = parent;
+  lock_round_ = round_;
   votes_[node_id()] = node_id();
   broadcast(std::make_shared<const VotePayload>(round_, node_id()), 96);
   try_commit();
 }
 
 void AptosNode::on_round_timeout() {
+  // A stuck round retransmits our vote first (the real network layer
+  // retries consensus messages): one lost vote packet must not split the
+  // cluster between committing the round and timing it out.
+  if (voted_) {
+    broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_),
+              96);
+  }
   // Pacemaker: shout that the round is stuck; re-arm so the timeout keeps
   // being re-broadcast while we wait (this drives post-partition resync).
   broadcast(std::make_shared<const TimeoutPayload>(round_), 96);
@@ -132,6 +174,30 @@ void AptosNode::on_round_timeout() {
   }
 }
 
+void AptosNode::maybe_vote() {
+  if (!have_proposal_ || voted_) return;
+  if (proposal_parent_ != tip_round()) return;  // cannot extend this chain
+  // Sibling lockout: having voted for a proposal extending parent p, do
+  // not endorse another proposal extending the same p for a few rounds. A
+  // round that committed anywhere had a quorum of voters, so a quorum is
+  // locked and no sibling can be certified during the window — which is
+  // the time the commit certificate needs to reach the laggards. The lock
+  // expires (liveness: the voted round may genuinely have died), and is
+  // irrelevant once the tip moves past p.
+  if (lock_parent_ >= 0 && proposal_parent_ == lock_parent_ &&
+      round_ > lock_round_ &&
+      round_ <= lock_round_ + static_cast<std::uint64_t>(
+                                  config_.sibling_lockout_rounds)) {
+    return;
+  }
+  voted_ = true;
+  lock_parent_ = proposal_parent_;
+  lock_round_ = round_;
+  votes_[node_id()] = proposal_leader_;
+  broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_),
+            96);
+}
+
 void AptosNode::try_commit() {
   if (committing_ || !have_proposal_) return;
   std::size_t count = 0;
@@ -140,6 +206,13 @@ void AptosNode::try_commit() {
   }
   const std::size_t quorum = cluster_size() - (cluster_size() - 1) / 3;
   if (count < quorum) return;
+  if (proposal_parent_ != tip_round()) {
+    // A quorum certified a proposal we cannot replay: the voters extend
+    // blocks this replica is missing. Repair the ledger first; on_synced
+    // retries the commit.
+    if (proposal_parent_ > tip_round()) request_sync(proposal_leader_);
+    return;
+  }
   committing_ = true;
   // Ordering succeeded: the pacemaker must not time the round out while
   // Block-STM execution is still in flight (execution is pipelined after
@@ -167,6 +240,12 @@ void AptosNode::try_commit() {
     if (round != round_ || !committing_) return;  // round moved on
     commit_block(txs, leader, round);
     record_round_outcome(round, /*success=*/true);
+    // A contested commit (someone timed out of this round) must be
+    // announced: the replicas that timed out will otherwise certify a
+    // sibling of this block in a later round and fork the ledger.
+    if (!timeouts_.empty()) {
+      broadcast(std::make_shared<const CommitCertPayload>(round), 96);
+    }
     enter_round(round + 1);
   });
 }
@@ -211,13 +290,14 @@ void AptosNode::on_app_message(const net::Envelope& envelope) {
     if (have_proposal_) return;  // adopt the first proposal for the round
     proposal_leader_ = proposal->leader;
     have_proposal_ = true;
+    proposal_parent_ = proposal->parent_round;
     proposal_txs_ = proposal->txs;
-    if (!voted_) {
-      voted_ = true;
-      votes_[node_id()] = proposal->leader;
-      broadcast(std::make_shared<const VotePayload>(round_, proposal->leader),
-                96);
+    if (proposal->parent_round > tip_round()) {
+      // The leader extends blocks we never committed (we timed out of a
+      // round the cluster decided, or rejoined late): repair before voting.
+      request_sync(envelope.from);
     }
+    maybe_vote();
     try_commit();
     return;
   }
@@ -229,6 +309,14 @@ void AptosNode::on_app_message(const net::Envelope& envelope) {
     }
     votes_[envelope.from] = vote->leader;
     try_commit();
+    return;
+  }
+  if (const auto* cert = dynamic_cast<const CommitCertPayload*>(payload)) {
+    // The sender committed this round; if our tip is behind it we missed
+    // that block and must repair before voting on anything else.
+    if (static_cast<std::int64_t>(cert->round) > tip_round()) {
+      request_sync(envelope.from);
+    }
     return;
   }
   if (const auto* timeout = dynamic_cast<const TimeoutPayload*>(payload)) {
@@ -245,6 +333,13 @@ void AptosNode::on_app_message(const net::Envelope& envelope) {
     }
     return;
   }
+}
+
+void AptosNode::on_synced() {
+  // Ledger repair moved the tip: the pending proposal may have become
+  // votable (and a buffered quorum committable).
+  maybe_vote();
+  try_commit();
 }
 
 void AptosNode::accept_transaction(const chain::Transaction& tx) {

@@ -51,6 +51,14 @@ struct AptosConfig {
   std::size_t max_block_txs = 120;
   /// Consecutive failed leader rounds before reputation excludes a node.
   int leader_fail_threshold = 10;
+  /// Having voted for a proposal extending parent p, refuse to endorse a
+  /// *sibling* (another proposal extending the same p) for this many
+  /// rounds. A committed round implies a quorum of voters, so a quorum
+  /// stays locked while the commit certificate propagates — the lossy-link
+  /// race in which part of the cluster commits round R while the rest
+  /// certifies a sibling at the same height cannot close within the
+  /// window. Expires for liveness: the voted round may really be dead.
+  int sibling_lockout_rounds = 3;
   /// CPU cost of executing one transaction (Block-STM, per-core).
   sim::Duration per_tx_exec = sim::ms(2);
   /// Block-STM work wasted per duplicate arrival (the speculative
@@ -95,14 +103,23 @@ class AptosNode final : public chain::BlockchainNode {
   void on_transaction(const chain::Transaction& tx) override;
   void on_peer_up(net::NodeId peer) override;
 
+  void on_synced() override;
+
  private:
   void enter_round(std::uint64_t round);
   [[nodiscard]] net::NodeId leader_of(std::uint64_t round) const;
   void propose();
   void on_round_timeout();
+  void maybe_vote();
   void try_commit();
   void record_round_outcome(std::uint64_t round, bool success);
   void jump_to_round(std::uint64_t round, net::NodeId peer_hint);
+  /// Round of the last committed block; -1 before genesis. Proposals chain
+  /// to a parent round: a replica only votes for / commits a proposal
+  /// whose parent equals its own tip, repairing its ledger first when it
+  /// is behind — otherwise a replica that timed out of a round others
+  /// committed would silently skip that block and fork its ledger.
+  [[nodiscard]] std::int64_t tip_round() const;
 
   AptosConfig config_;
 
@@ -112,6 +129,11 @@ class AptosNode final : public chain::BlockchainNode {
   bool committing_ = false;
   net::NodeId proposal_leader_ = 0;
   bool have_proposal_ = false;
+  std::int64_t proposal_parent_ = -1;
+  /// Sibling lockout: parent round and round of our last vote. Survives
+  /// round changes (that is the point); cleared on restart.
+  std::int64_t lock_parent_ = -1;
+  std::uint64_t lock_round_ = 0;
   std::vector<chain::Transaction> proposal_txs_;
   std::map<net::NodeId, net::NodeId> votes_;     // voter -> leader voted for
   std::set<net::NodeId> timeouts_;               // round-timeout senders

@@ -17,11 +17,15 @@ struct ForwardPayload final : net::Payload {
 };
 
 struct BankBlockPayload final : net::Payload {
-  BankBlockPayload(std::uint64_t s, net::NodeId l,
+  BankBlockPayload(std::uint64_t s, net::NodeId l, std::int64_t parent,
                    std::vector<chain::Transaction> batch)
-      : slot(s), leader(l), txs(std::move(batch)) {}
+      : slot(s), leader(l), parent_slot(parent), txs(std::move(batch)) {}
   std::uint64_t slot;
   net::NodeId leader;
+  /// Ledger tip the leader built on (-1 = genesis): banks replay on their
+  /// parents, so a validator that is missing the parent must repair its
+  /// ledger before it can vote for or finalize this bank.
+  std::int64_t parent_slot;
   std::vector<chain::Transaction> txs;
 };
 
@@ -88,6 +92,14 @@ void SolanaNode::stop_protocol() {
   current_slot_ = 0;
   rooted_slot_ = 0;
   has_root_ = false;
+  last_voted_slot_ = -1;
+  next_repair_ = sim::Time{0};
+}
+
+std::int64_t SolanaNode::tip_slot() const {
+  return ledger().blocks().empty()
+             ? -1
+             : static_cast<std::int64_t>(ledger().blocks().back().round);
 }
 
 void SolanaNode::on_slot_tick() {
@@ -119,6 +131,16 @@ void SolanaNode::on_slot_tick() {
          slots_.begin()->first + 64 < current_slot_) {
     slots_.erase(slots_.begin());
   }
+  // Tower votes live in gossip and are retransmitted continuously, so one
+  // dropped vote packet cannot wedge finality. Re-broadcast votes for
+  // banks that should have finalized by now; on a healthy cluster quorum
+  // lands within the slot and this never fires.
+  for (const auto& [slot, state] : slots_) {
+    if (state.voted && !state.finalized && state.have_block &&
+        slot + 2 <= current_slot_) {
+      broadcast(std::make_shared<const VotePayload>(slot, node_id()), 96);
+    }
+  }
   const sim::Time next_boundary =
       sim::Time{(static_cast<std::int64_t>(current_slot_) + 1) *
                 config_.slot_duration.count()};
@@ -141,15 +163,16 @@ void SolanaNode::produce_block(std::uint64_t slot) {
     batch.push_back(tx);
     ++it;
   }
+  const std::int64_t parent = tip_slot();
   auto payload = std::make_shared<const BankBlockPayload>(slot, node_id(),
-                                                          batch);
+                                                          parent, batch);
   broadcast(payload, batch_bytes(batch.size()));
   SlotState& state = slots_[slot];
   state.have_block = true;
   state.leader = node_id();
+  state.parent_slot = parent;
   state.txs = std::move(batch);
-  state.votes.insert(node_id());
-  broadcast(std::make_shared<const VotePayload>(slot, node_id()), 96);
+  maybe_vote(slot, state);  // the leader endorses its own bank
   try_finalize(slot);
 }
 
@@ -187,12 +210,50 @@ void SolanaNode::forward_pending(std::uint64_t slot) {
   }
 }
 
-void SolanaNode::try_finalize(std::uint64_t slot) {
-  auto it = slots_.find(slot);
-  if (it == slots_.end()) return;
-  SlotState& state = it->second;
-  if (state.finalized || !state.have_block) return;
-  if (state.votes.size() < vote_quorum()) return;
+void SolanaNode::maybe_vote(std::uint64_t slot, SlotState& state) {
+  if (!state.have_block || state.voted || state.finalized) return;
+  if (state.parent_slot != tip_slot()) return;  // cannot replay this bank
+  // Lockout (lowest tower rung): the anchor is our *first* vote among the
+  // live siblings of the current tip. While that bank is still a live
+  // candidate — unfinalized, its parent still our tip — refuse to endorse
+  // a sibling inside the lockout window: that is the race in which two
+  // replicas could finalize competing siblings. Beyond the window the
+  // chain is stalling, and every replica must be free to vote each fresh
+  // bank or disjoint vote lattices would starve quorum forever. Once the
+  // anchor finalizes or dies the lockout is moot.
+  const auto anchor = last_voted_slot_ >= 0
+                          ? slots_.find(static_cast<std::uint64_t>(
+                                last_voted_slot_))
+                          : slots_.end();
+  const bool anchor_live = anchor != slots_.end() &&
+                           anchor->second.have_block &&
+                           !anchor->second.finalized &&
+                           anchor->second.parent_slot == tip_slot();
+  if (anchor_live && slot != static_cast<std::uint64_t>(last_voted_slot_) &&
+      slot <= static_cast<std::uint64_t>(last_voted_slot_) +
+                  config_.vote_lockout_slots) {
+    return;
+  }
+  state.voted = true;
+  // Voting a later sibling of a live anchor does not re-arm the lockout;
+  // the anchor only moves when the old one is gone (finalized, dead, or
+  // trimmed), which in normal operation is every slot.
+  if (!anchor_live) last_voted_slot_ = static_cast<std::int64_t>(slot);
+  state.votes.insert(node_id());
+  broadcast(std::make_shared<const VotePayload>(slot, node_id()), 96);
+}
+
+bool SolanaNode::finalize_one(std::uint64_t slot, SlotState& state) {
+  if (state.finalized || !state.have_block) return false;
+  if (state.votes.size() < vote_quorum()) return false;
+  if (state.parent_slot != tip_slot()) {
+    // Quorum on a bank we cannot replay. If its chain is ahead of ours we
+    // are missing committed blocks — repair the ledger from the leader;
+    // if it is behind, the cluster finalized past our tip's sibling and
+    // this bank can never land here.
+    if (state.parent_slot > tip_slot()) request_repair(state.leader);
+    return false;
+  }
   state.finalized = true;
   commit_block(state.txs, state.leader, slot);
   // Rooting lags finality by the freeze-to-root confirmation depth.
@@ -203,6 +264,40 @@ void SolanaNode::try_finalize(std::uint64_t slot) {
       has_root_ = true;
     }
   }
+  return true;
+}
+
+void SolanaNode::sweep_finalize() {
+  // The tip advanced: buffered successors may have become replayable (and
+  // votable). Walk in slot order until a sweep makes no progress.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [slot, state] : slots_) {
+      maybe_vote(slot, state);
+      if (finalize_one(slot, state)) {
+        progressed = true;
+        break;  // the tip moved; restart the walk from the oldest slot
+      }
+    }
+  }
+}
+
+void SolanaNode::try_finalize(std::uint64_t slot) {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end()) return;
+  if (finalize_one(slot, it->second)) sweep_finalize();
+}
+
+void SolanaNode::request_repair(net::NodeId peer) {
+  if (now() < next_repair_) return;
+  next_repair_ = now() + config_.slot_duration;
+  request_sync(peer);
+}
+
+void SolanaNode::on_synced() {
+  // Ledger repair moved the tip: buffered banks may now be replayable.
+  sweep_finalize();
 }
 
 void SolanaNode::check_epoch_accounts_hash(std::uint64_t slot) {
@@ -236,11 +331,14 @@ void SolanaNode::on_app_message(const net::Envelope& envelope) {
     if (!state.have_block) {
       state.have_block = true;
       state.leader = block->leader;
+      state.parent_slot = block->parent_slot;
       state.txs = block->txs;
     }
-    state.votes.insert(node_id());
-    broadcast(std::make_shared<const VotePayload>(block->slot, node_id()),
-              96);
+    if (block->parent_slot > tip_slot()) {
+      // The leader built on blocks we never replayed: repair before voting.
+      request_repair(envelope.from);
+    }
+    maybe_vote(block->slot, state);
     try_finalize(block->slot);
     return;
   }

@@ -35,6 +35,7 @@ void ClientMachine::submit_next() {
   tx.id = chain::hash_combine(
       chain::hash_combine(config_.tx_seed, config_.account), tx.nonce);
   ++submitted_;
+  submitted_ids_.push_back(tx.id);
   if (config_.resilience.enabled) {
     Pending pending;
     pending.submitted_at = now();

@@ -75,6 +75,13 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
   }
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t committed() const { return committed_; }
+  /// Every distinct transaction id this client ever generated, in issue
+  /// order (resubmissions reuse the id and are not re-recorded). The
+  /// committed-subset-of-submitted oracle checks replica ledgers against
+  /// the union of these.
+  [[nodiscard]] const std::vector<chain::TxId>& submitted_ids() const {
+    return submitted_ids_;
+  }
   [[nodiscard]] sim::Time last_commit_at() const { return last_commit_at_; }
   /// Accepted transactions whose endpoint responses disagreed on the
   /// result hash at acceptance time — evidence of a lying replica that a
@@ -114,6 +121,7 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
   net::Network& net_;
   std::uint64_t nonce_ = 0;
   std::uint64_t submitted_ = 0;
+  std::vector<chain::TxId> submitted_ids_;
   std::uint64_t committed_ = 0;
   sim::Time last_commit_at_{0};
 

@@ -125,6 +125,74 @@ std::size_t fault_tolerance(ChainKind chain, std::size_t n) {
   return 0;
 }
 
+FaultSchedule resolved_schedule(const ExperimentConfig& config) {
+  const std::size_t entry_nodes = std::min(config.clients, config.n);
+  const std::size_t t = fault_tolerance(config.chain, config.n);
+
+  FaultPlan plan;
+  plan.type = config.fault;
+  plan.inject_at = config.inject_at;
+  plan.recover_at = config.recover_at;
+  plan.loss_probability = config.loss_probability;
+  plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
+  plan.gray_latency = config.gray_latency;
+  if (!config.fault_targets.empty()) {
+    // Explicit override: the caller is deliberately faulting specific
+    // nodes — possibly entry nodes, to study client-side mitigations.
+    plan.targets = config.fault_targets;
+  } else {
+    std::size_t f = default_fault_count(config.fault, t);
+    if (config.fault_count >= 0) {
+      f = static_cast<std::size_t>(config.fault_count);
+    }
+    assert(entry_nodes + f <= config.n &&
+           "faulty nodes must not take client traffic");
+    plan.targets = default_targets(f, entry_nodes);
+  }
+  FaultSchedule schedule;
+  if (plan.type != FaultType::kNone &&
+      plan.type != FaultType::kSecureClient && !plan.targets.empty()) {
+    schedule.add(plan);
+  }
+  for (FaultPlan extra : config.extra_faults.plans) {
+    if (extra.targets.empty()) {
+      extra.targets =
+          default_targets(default_fault_count(extra.type, t), entry_nodes);
+      if (extra.targets.empty()) continue;  // t = 0: nothing to fault
+    }
+    schedule.add(std::move(extra));
+  }
+  return schedule;
+}
+
+std::vector<ReplicaSnapshot> snapshot_replicas(
+    const std::vector<chain::BlockchainNode*>& nodes) {
+  std::vector<ReplicaSnapshot> snapshots;
+  snapshots.reserve(nodes.size());
+  for (const chain::BlockchainNode* node : nodes) {
+    ReplicaSnapshot snapshot;
+    snapshot.id = node->node_id();
+    snapshot.alive_at_end = node->alive();
+    snapshot.restarts = node->restarts();
+    const chain::Ledger& ledger = node->ledger();
+    snapshot.ledger_hash = ledger.content_hash();
+    snapshot.blocks.reserve(ledger.blocks().size());
+    for (const chain::Block& block : ledger.blocks()) {
+      BlockSummary summary;
+      summary.height = block.height;
+      summary.round = block.round;
+      summary.committed_at_s = sim::to_seconds(block.committed_at);
+      summary.txs.reserve(block.txs.size());
+      for (const chain::Transaction& tx : block.txs) {
+        summary.txs.push_back(tx.id);
+      }
+      snapshot.blocks.push_back(std::move(summary));
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulation simulation(config.seed);
   net::Network network(simulation, net::LatencyConfig{});
@@ -178,41 +246,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   Observers observers(simulation, network, node_ptrs,
                       std::move(client_ids));
-  FaultPlan plan;
-  plan.type = config.fault;
-  plan.inject_at = config.inject_at;
-  plan.recover_at = config.recover_at;
-  plan.loss_probability = config.loss_probability;
-  plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
-  plan.gray_latency = config.gray_latency;
-  const std::size_t t = fault_tolerance(config.chain, config.n);
-  if (!config.fault_targets.empty()) {
-    // Explicit override: the caller is deliberately faulting specific
-    // nodes — possibly entry nodes, to study client-side mitigations.
-    plan.targets = config.fault_targets;
-  } else {
-    std::size_t f = default_fault_count(config.fault, t);
-    if (config.fault_count >= 0) {
-      f = static_cast<std::size_t>(config.fault_count);
-    }
-    assert(entry_nodes + f <= config.n &&
-           "faulty nodes must not take client traffic");
-    plan.targets = default_targets(f, entry_nodes);
-  }
-  FaultSchedule schedule;
-  if (plan.type != FaultType::kNone &&
-      plan.type != FaultType::kSecureClient && !plan.targets.empty()) {
-    schedule.add(plan);
-  }
-  for (FaultPlan extra : config.extra_faults.plans) {
-    if (extra.targets.empty()) {
-      extra.targets =
-          default_targets(default_fault_count(extra.type, t), entry_nodes);
-      if (extra.targets.empty()) continue;  // t = 0: nothing to fault
-    }
-    schedule.add(std::move(extra));
-  }
-  observers.arm(schedule);
+  observers.arm(resolved_schedule(config));
 
   simulation.run_until(config.duration);
 
@@ -260,6 +294,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& node : nodes) {
     for (const auto& [key, value] : node->metrics()) {
       result.chain_metrics[key] += value;
+    }
+  }
+  if (config.capture_replicas) {
+    result.replicas = snapshot_replicas(node_ptrs);
+    for (const auto& client : clients) {
+      result.submitted_ids.insert(result.submitted_ids.end(),
+                                  client->submitted_ids().begin(),
+                                  client->submitted_ids().end());
     }
   }
   return result;

@@ -16,12 +16,17 @@
 #include <string>
 #include <vector>
 
+#include "chain/types.hpp"
 #include "core/fault.hpp"
 #include "core/resilience.hpp"
 #include "core/sensitivity.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
+
+namespace stabl::chain {
+class BlockchainNode;
+}  // namespace stabl::chain
 
 namespace stabl::core {
 
@@ -94,7 +99,36 @@ struct ExperimentConfig {
   /// Submission shape (average rate stays tps_per_client). The paper uses
   /// the constant shape; the others quantify its §8 limitation.
   WorkloadConfig workload{};
+  /// Capture per-replica ledger snapshots and the clients' submitted
+  /// transaction ids into the result, so the invariant oracles
+  /// (core/oracle.hpp) can audit the run. Off by default: a 400 s run
+  /// snapshots ~10 x 80k transaction ids, too heavy to keep for every
+  /// cell of a large seed-swept campaign.
+  bool capture_replicas = false;
 };
+
+/// One committed block as the oracles see it: structure only, no payloads.
+struct BlockSummary {
+  std::uint64_t height = 0;
+  std::uint64_t round = 0;
+  double committed_at_s = 0.0;
+  std::vector<chain::TxId> txs;
+};
+
+/// A replica's ledger at the end of the run, plus its process state.
+struct ReplicaSnapshot {
+  net::NodeId id = 0;
+  bool alive_at_end = true;
+  int restarts = 0;
+  /// Ledger::content_hash() — fast whole-chain equality probe.
+  std::uint64_t ledger_hash = 0;
+  std::vector<BlockSummary> blocks;
+};
+
+/// Snapshot every node's ledger (tests and custom harnesses reuse this; the
+/// chaos self-test snapshots its deliberately broken toy chain with it).
+std::vector<ReplicaSnapshot> snapshot_replicas(
+    const std::vector<chain::BlockchainNode*>& nodes);
 
 struct ExperimentResult {
   std::vector<double> latencies;  // client-observed, seconds
@@ -122,9 +156,21 @@ struct ExperimentResult {
   /// paper's log-derived quantities: "speculative_aborts",
   /// "throttled_dropped", "panicked", ...). Keys depend on the chain.
   std::map<std::string, double> chain_metrics;
+  /// Only populated when ExperimentConfig::capture_replicas is set.
+  std::vector<ReplicaSnapshot> replicas;
+  /// Union of every client's generated transaction ids (capture_replicas
+  /// only), for the committed-subset-of-submitted oracle.
+  std::vector<chain::TxId> submitted_ids;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// The full fault schedule run_experiment arms for a config: the primary
+/// `fault` plan with the paper's default targets resolved, followed by the
+/// `extra_faults` plans (empty target lists resolved the same way). The
+/// invariant oracles call this to learn exactly which windows and targets
+/// a run was subjected to.
+FaultSchedule resolved_schedule(const ExperimentConfig& config);
 
 /// A baseline/altered pair and its sensitivity score. The baseline is the
 /// altered config with no fault and fanout 1 (same chain, same resources,

@@ -1,5 +1,6 @@
 #include "core/fault.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace stabl::core {
@@ -59,6 +60,18 @@ std::string validate(const FaultPlan& plan, std::size_t n) {
       return error.str();
     }
   }
+  {
+    // A duplicated id would silently double-arm kill/restart actions (two
+    // kill() calls on an already-dead process) and double-count the node
+    // on netfilter rule sides; reject instead.
+    std::vector<net::NodeId> seen = plan.targets;
+    std::sort(seen.begin(), seen.end());
+    const auto dup = std::adjacent_find(seen.begin(), seen.end());
+    if (dup != seen.end()) {
+      error << name << " plan targets node " << *dup << " twice";
+      return error.str();
+    }
+  }
   if (uses_recovery_window(plan.type) && plan.inject_at >= plan.recover_at) {
     error << name << " plan injects at " << sim::format_time(plan.inject_at)
           << " which does not precede its recovery at "
@@ -97,6 +110,35 @@ std::string validate(const FaultPlan& plan, std::size_t n) {
       break;
   }
   return error.str();
+}
+
+FaultPlan canonical(FaultPlan plan) {
+  const FaultPlan defaults{};
+  if (!uses_recovery_window(plan.type)) plan.recover_at = sim::Time{0};
+  if (plan.type == FaultType::kNone ||
+      plan.type == FaultType::kSecureClient) {
+    plan.targets.clear();
+    plan.inject_at = sim::Time{0};
+  }
+  if (plan.type != FaultType::kDelay) plan.delay_amount = defaults.delay_amount;
+  if (plan.type != FaultType::kChurn) {
+    plan.churn_down = defaults.churn_down;
+    plan.churn_up = defaults.churn_up;
+  }
+  if (plan.type != FaultType::kLoss) {
+    plan.loss_probability = defaults.loss_probability;
+  }
+  if (plan.type != FaultType::kThrottle) {
+    plan.throttle_bytes_per_s = defaults.throttle_bytes_per_s;
+  }
+  if (plan.type != FaultType::kGray) plan.gray_latency = defaults.gray_latency;
+  std::sort(plan.targets.begin(), plan.targets.end());
+  return plan;
+}
+
+FaultSchedule canonical(FaultSchedule schedule) {
+  for (FaultPlan& plan : schedule.plans) plan = canonical(std::move(plan));
+  return schedule;
 }
 
 }  // namespace stabl::core

@@ -64,9 +64,23 @@ struct FaultPlan {
 
 /// Validate a plan against a cluster of `n` blockchain nodes. Returns an
 /// empty string when the plan is well-formed, else a human-readable error
-/// ("loss plan needs at least one target node", ...). Observers::arm
-/// rejects invalid plans with exactly this message.
+/// ("loss plan needs at least one target node", "plan targets node 1
+/// twice", ...). Observers::arm rejects invalid plans with exactly this
+/// message. Duplicate target ids are rejected: a duplicated entry would
+/// silently double-arm kill/restart actions for the same node.
 [[nodiscard]] std::string validate(const FaultPlan& plan, std::size_t n);
+
+/// Canonical form of a plan: dead fields — fields the plan's type never
+/// reads — are reset to neutral values so that two behaviourally identical
+/// plans compare and serialize identically. Concretely: recover_at is
+/// zeroed on kCrash/kNone/kSecureClient (their recovery window means
+/// nothing; see the satellite note in DESIGN.md §10), per-type knobs
+/// (delay_amount, churn_*, loss_probability, throttle_bytes_per_s,
+/// gray_latency) are reset to defaults on every type that does not use
+/// them, kNone/kSecureClient additionally drop targets and inject_at, and
+/// targets are sorted. The chaos generator and the schedule JSON
+/// serializer only ever produce canonical plans.
+[[nodiscard]] FaultPlan canonical(FaultPlan plan);
 
 /// An arbitrary list of fault plans armed together. Windows may overlap:
 /// each plan installs and lifts its own rules/process actions
@@ -80,5 +94,8 @@ struct FaultSchedule {
   }
   [[nodiscard]] bool empty() const { return plans.empty(); }
 };
+
+/// canonical() applied to every plan of a schedule.
+[[nodiscard]] FaultSchedule canonical(FaultSchedule schedule);
 
 }  // namespace stabl::core

@@ -1,0 +1,368 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/throughput.hpp"
+
+namespace stabl::core {
+namespace {
+
+OracleVerdict worst(OracleVerdict a, OracleVerdict b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+bool schedule_contains(const FaultSchedule& schedule, FaultType type) {
+  return std::any_of(
+      schedule.plans.begin(), schedule.plans.end(),
+      [type](const FaultPlan& plan) { return plan.type == type; });
+}
+
+/// Try to downgrade a failed liveness finding to kExpectedLoss. The match
+/// needs (a) the chain, (b) a plan of the exempted fault type in the
+/// schedule, and (c) positive evidence in chain_metrics when the exemption
+/// names a metric. Returns the matching exemption, or nullptr.
+const OracleExemption* match_exemption(const OracleConfig& config,
+                                       const OracleContext& context,
+                                       const ExperimentResult& result) {
+  for (const OracleExemption& exemption : config.exemptions) {
+    if (exemption.chain != context.chain) continue;
+    if (!schedule_contains(context.schedule, exemption.fault)) continue;
+    if (!exemption.evidence_metric.empty()) {
+      const auto it = result.chain_metrics.find(exemption.evidence_metric);
+      if (it == result.chain_metrics.end() || it->second <= 0.0) continue;
+    }
+    return &exemption;
+  }
+  return nullptr;
+}
+
+void check_agreement(const std::vector<ReplicaSnapshot>& replicas,
+                     OracleReport& report) {
+  OracleFinding finding;
+  finding.oracle = "agreement";
+  // Reference = the replica with the longest ledger; every other replica
+  // must match it block-for-block over their common prefix. Transaction
+  // *sequences* are compared — commit times and rounds are replica-local.
+  const ReplicaSnapshot* reference = &replicas.front();
+  for (const ReplicaSnapshot& replica : replicas) {
+    if (replica.blocks.size() > reference->blocks.size()) {
+      reference = &replica;
+    }
+  }
+  for (const ReplicaSnapshot& replica : replicas) {
+    const std::size_t prefix =
+        std::min(replica.blocks.size(), reference->blocks.size());
+    for (std::size_t h = 0; h < prefix; ++h) {
+      if (replica.blocks[h].txs == reference->blocks[h].txs) continue;
+      finding.verdict = OracleVerdict::kViolation;
+      std::ostringstream detail;
+      detail << "ledger fork: replica " << replica.id << " and replica "
+             << reference->id << " commit different transaction sequences "
+             << "at height " << h << " (" << replica.blocks[h].txs.size()
+             << " vs " << reference->blocks[h].txs.size() << " txs)";
+      finding.detail = detail.str();
+      report.findings.push_back(std::move(finding));
+      return;
+    }
+  }
+  finding.detail = "all replicas agree on their common ledger prefix";
+  report.findings.push_back(std::move(finding));
+}
+
+void check_no_duplicate_commit(const std::vector<ReplicaSnapshot>& replicas,
+                               OracleReport& report) {
+  OracleFinding finding;
+  finding.oracle = "no-duplicate-commit";
+  for (const ReplicaSnapshot& replica : replicas) {
+    std::unordered_set<chain::TxId> seen;
+    for (const BlockSummary& block : replica.blocks) {
+      for (const chain::TxId id : block.txs) {
+        if (seen.insert(id).second) continue;
+        finding.verdict = OracleVerdict::kViolation;
+        std::ostringstream detail;
+        detail << "replica " << replica.id << " committed transaction "
+               << id << " twice (second copy at height " << block.height
+               << ")";
+        finding.detail = detail.str();
+        report.findings.push_back(std::move(finding));
+        return;
+      }
+    }
+  }
+  finding.detail = "no transaction id committed twice on any replica";
+  report.findings.push_back(std::move(finding));
+}
+
+void check_monotone(const std::vector<ReplicaSnapshot>& replicas,
+                    OracleReport& report) {
+  OracleFinding finding;
+  finding.oracle = "monotone";
+  for (const ReplicaSnapshot& replica : replicas) {
+    double last_commit_s = 0.0;
+    for (std::size_t i = 0; i < replica.blocks.size(); ++i) {
+      const BlockSummary& block = replica.blocks[i];
+      std::ostringstream detail;
+      if (block.height != i) {
+        detail << "replica " << replica.id << " stores height "
+               << block.height << " at ledger index " << i
+               << " (heights must be consecutive from zero)";
+      } else if (block.committed_at_s < last_commit_s) {
+        detail << "replica " << replica.id << " commit time went backwards"
+               << " at height " << block.height << " ("
+               << block.committed_at_s << " s after " << last_commit_s
+               << " s)";
+      } else {
+        last_commit_s = block.committed_at_s;
+        continue;
+      }
+      finding.verdict = OracleVerdict::kViolation;
+      finding.detail = detail.str();
+      report.findings.push_back(std::move(finding));
+      return;
+    }
+  }
+  finding.detail = "heights consecutive and commit times monotone";
+  report.findings.push_back(std::move(finding));
+}
+
+void check_committed_subset(const std::vector<ReplicaSnapshot>& replicas,
+                            const std::vector<chain::TxId>& submitted_ids,
+                            OracleReport& report) {
+  OracleFinding finding;
+  finding.oracle = "committed-subset";
+  const std::unordered_set<chain::TxId> submitted(submitted_ids.begin(),
+                                                  submitted_ids.end());
+  for (const ReplicaSnapshot& replica : replicas) {
+    for (const BlockSummary& block : replica.blocks) {
+      for (const chain::TxId id : block.txs) {
+        if (submitted.contains(id)) continue;
+        finding.verdict = OracleVerdict::kViolation;
+        std::ostringstream detail;
+        detail << "replica " << replica.id << " committed transaction "
+               << id << " (height " << block.height
+               << ") that no client ever submitted";
+        finding.detail = detail.str();
+        report.findings.push_back(std::move(finding));
+        return;
+      }
+    }
+  }
+  finding.detail = "every committed transaction was submitted by a client";
+  report.findings.push_back(std::move(finding));
+}
+
+void check_recovery_resume(const OracleContext& context,
+                           const ExperimentResult& result,
+                           const OracleConfig& config,
+                           OracleReport& report) {
+  OracleFinding finding;
+  finding.oracle = "recovery-resume";
+  if (context.schedule.empty()) {
+    // Fault-free run: the chain must simply stay live.
+    if (result.live_at_end) {
+      finding.detail = "fault-free run stayed live";
+    } else {
+      finding.verdict = OracleVerdict::kViolation;
+      finding.detail = "chain lost liveness with no fault injected";
+    }
+    report.findings.push_back(std::move(finding));
+    return;
+  }
+  const bool all_recover = std::all_of(
+      context.schedule.plans.begin(), context.schedule.plans.end(),
+      [](const FaultPlan& plan) { return uses_recovery_window(plan.type); });
+  if (!all_recover) {
+    finding.detail =
+        "schedule contains a non-recovering plan (crash); resume not "
+        "required";
+    report.findings.push_back(std::move(finding));
+    return;
+  }
+  double last_recover_s = 0.0;
+  for (const FaultPlan& plan : context.schedule.plans) {
+    last_recover_s = std::max(last_recover_s, sim::to_seconds(plan.recover_at));
+  }
+  const double duration_s = sim::to_seconds(context.duration);
+  const double grace_s = sim::to_seconds(config.liveness_grace);
+  const auto lo = static_cast<std::size_t>(std::ceil(last_recover_s));
+  const auto hi = static_cast<std::size_t>(std::min(
+      duration_s, last_recover_s + grace_s));
+  const double window_s = static_cast<double>(hi) - static_cast<double>(lo);
+  if (window_s < sim::to_seconds(config.min_conclusive_window)) {
+    std::ostringstream detail;
+    detail << "inconclusive: only " << window_s
+           << " s between recovery and run end";
+    finding.detail = detail.str();
+    report.findings.push_back(std::move(finding));
+    return;
+  }
+  bool resumed = false;
+  for (std::size_t t = lo; t < hi && t < result.throughput.size(); ++t) {
+    if (result.throughput[t] > 0.0) {
+      resumed = true;
+      break;
+    }
+  }
+  if (resumed) {
+    finding.detail = "commit progress resumed within the grace window";
+    report.findings.push_back(std::move(finding));
+    return;
+  }
+  std::ostringstream detail;
+  detail << "no commits in the " << window_s << " s grace window after the "
+         << "last plan recovered at " << last_recover_s << " s";
+  if (const OracleExemption* exemption =
+          match_exemption(config, context, result)) {
+    finding.verdict = OracleVerdict::kExpectedLoss;
+    detail << "; expected for " << to_string(context.chain) << " under "
+           << to_string(exemption->fault) << ": " << exemption->reason;
+    if (!exemption->evidence_metric.empty()) {
+      detail << " (" << exemption->evidence_metric << " = "
+             << result.chain_metrics.at(exemption->evidence_metric) << ")";
+    }
+  } else {
+    finding.verdict = OracleVerdict::kViolation;
+  }
+  finding.detail = detail.str();
+  report.findings.push_back(std::move(finding));
+}
+
+void check_recovery_consistency(const OracleContext& context,
+                                const ExperimentResult& result,
+                                const OracleConfig& config,
+                                OracleReport& report) {
+  if (!uses_recovery_window(context.primary_fault)) return;
+  OracleFinding finding;
+  finding.oracle = "recovery-consistency";
+  const double recomputed = recovery_seconds(
+      result.throughput, sim::to_seconds(context.primary_recover_at),
+      context.recovery_threshold_tps, /*window_s=*/3.0);
+  const bool both_never = recomputed < 0.0 && result.recovery_seconds < 0.0;
+  if (both_never ||
+      std::abs(recomputed - result.recovery_seconds) <=
+          config.recovery_tolerance_s) {
+    finding.detail = "reported recovery_seconds matches the throughput "
+                     "series";
+  } else {
+    // A harness inconsistency, not a chain failure — never exempted.
+    finding.verdict = OracleVerdict::kViolation;
+    std::ostringstream detail;
+    detail << "reported recovery_seconds = " << result.recovery_seconds
+           << " but the throughput series recomputes to " << recomputed;
+    finding.detail = detail.str();
+  }
+  report.findings.push_back(std::move(finding));
+}
+
+}  // namespace
+
+std::string to_string(OracleVerdict verdict) {
+  switch (verdict) {
+    case OracleVerdict::kPass: return "pass";
+    case OracleVerdict::kExpectedLoss: return "expected-loss";
+    case OracleVerdict::kViolation: return "violation";
+  }
+  return "?";
+}
+
+const OracleFinding* OracleReport::violation() const {
+  for (const OracleFinding& finding : findings) {
+    if (finding.verdict == OracleVerdict::kViolation) return &finding;
+  }
+  return nullptr;
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream out;
+  bool any = false;
+  for (const OracleFinding& finding : findings) {
+    if (finding.verdict == OracleVerdict::kPass) continue;
+    if (any) out << "\n";
+    out << to_string(finding.verdict) << " [" << finding.oracle << "] "
+        << finding.detail;
+    any = true;
+  }
+  if (!any) return "all oracles passed";
+  return out.str();
+}
+
+std::vector<OracleExemption> default_exemptions() {
+  // The paper's chain-specific failure modes. Each exemption requires the
+  // named chain_metrics evidence to actually be present in the run, so a
+  // Solana liveness loss without a panic still counts as a violation.
+  return {
+      {ChainKind::kSolana, FaultType::kTransient, "panicked",
+       "restarting validators panic on the snapshot/EAH race (paper §5)"},
+      {ChainKind::kSolana, FaultType::kPartition, "panicked",
+       "partitioned validators panic once the epoch accounts hash stalls "
+       "(paper §6)"},
+      {ChainKind::kSolana, FaultType::kDelay, "panicked",
+       "delayed gossip stalls the epoch accounts hash and panics every "
+       "validator (paper §6)"},
+      {ChainKind::kSolana, FaultType::kChurn, "panicked",
+       "crash-recovery churn repeatedly triggers the restart panic"},
+      {ChainKind::kSolana, FaultType::kGray, "panicked",
+       "flapping loss suppresses rooting across the epoch-accounts-hash "
+       "window; the EAH check panics every validator (paper §5 mechanism)"},
+      {ChainKind::kAvalanche, FaultType::kTransient, "throttled_dropped",
+       "the inbound throttler starves restarted nodes and the network "
+       "never refills its frontier (paper §5)"},
+      {ChainKind::kAvalanche, FaultType::kPartition, "throttled_dropped",
+       "post-partition catch-up traffic trips the inbound throttler "
+       "(paper §6)"},
+      {ChainKind::kAvalanche, FaultType::kDelay, "throttled_dropped",
+       "two-minute-late messages accumulate until the throttler drops "
+       "them (paper §6)"},
+      {ChainKind::kAvalanche, FaultType::kThrottle, "throttled_dropped",
+       "bandwidth collapse plus the CPU throttler is the death spiral the "
+       "paper attributes Avalanche's outage to"},
+      {ChainKind::kAvalanche, FaultType::kChurn, "throttled_dropped",
+       "every churn restart re-enters the throttler starvation"},
+      {ChainKind::kAvalanche, FaultType::kLoss, "throttled_dropped",
+       "lost queries force repolls whose backlog trips the inbound "
+       "throttler; the frontier never refills"},
+      {ChainKind::kAvalanche, FaultType::kGray, "throttled_dropped",
+       "flapping links alternate between backlog build-up and repoll "
+       "storms until the throttler starves consensus"},
+  };
+}
+
+OracleContext make_oracle_context(const ExperimentConfig& config) {
+  OracleContext context;
+  context.chain = config.chain;
+  context.schedule = resolved_schedule(config);
+  context.duration = config.duration;
+  context.primary_fault = config.fault;
+  context.primary_recover_at = config.recover_at;
+  context.recovery_threshold_tps =
+      0.5 * config.tps_per_client * static_cast<double>(config.clients);
+  return context;
+}
+
+OracleReport check_invariants(const OracleContext& context,
+                              const ExperimentResult& result,
+                              const OracleConfig& config) {
+  OracleReport report;
+  if (result.replicas.empty()) {
+    report.findings.push_back(
+        {"safety", OracleVerdict::kPass,
+         "skipped: result carries no replica snapshots (set "
+         "ExperimentConfig::capture_replicas)"});
+  } else {
+    check_agreement(result.replicas, report);
+    check_no_duplicate_commit(result.replicas, report);
+    check_monotone(result.replicas, report);
+    check_committed_subset(result.replicas, result.submitted_ids, report);
+  }
+  check_recovery_resume(context, result, config, report);
+  check_recovery_consistency(context, result, config, report);
+  for (const OracleFinding& finding : report.findings) {
+    report.verdict = worst(report.verdict, finding.verdict);
+  }
+  return report;
+}
+
+}  // namespace stabl::core

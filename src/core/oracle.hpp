@@ -1,0 +1,125 @@
+// Invariant oracles: steady-state and safety properties checked against a
+// completed experiment, the chaos-engineering counterpart of the paper's
+// fixed metrics. Chaoseth (Zhang et al.) shows randomized perturbation
+// only finds resilience bugs when paired with oracles that say what
+// "healthy" means; these are STABL's.
+//
+// Safety oracles (replica snapshots required, ExperimentConfig::
+// capture_replicas):
+//  * agreement            — all replicas agree on the common prefix of
+//                           their ledgers (same transaction sequence at
+//                           every shared height);
+//  * no-duplicate-commit  — no transaction id appears twice in any
+//                           replica's ledger;
+//  * monotone             — block heights are consecutive from zero and
+//                           commit times never decrease within a ledger;
+//  * committed-subset     — every committed transaction id was generated
+//                           by some client (chains never invent traffic).
+//
+// Liveness/recovery oracles (work from the result's throughput series):
+//  * recovery-resume      — if every plan of the schedule recovers, commit
+//                           progress must resume within a grace window of
+//                           the last recovery (exemptions below);
+//  * recovery-consistency — a reported recovery_seconds must be
+//                           recomputable from the throughput series.
+//
+// A liveness failure that matches a per-chain exemption — a failure mode
+// the model *intends* (Solana's EAH panic under delay, Avalanche's
+// throttling death spiral) — is reported as kExpectedLoss, a distinct
+// verdict, never silently skipped. Safety failures are never exempted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+enum class OracleVerdict {
+  kPass,
+  kExpectedLoss,  ///< liveness lost, but the chain model predicts exactly
+                  ///< this loss under the injected fault (documented
+                  ///< failure mode, backed by chain_metrics evidence)
+  kViolation,
+};
+
+std::string to_string(OracleVerdict verdict);
+
+struct OracleFinding {
+  std::string oracle;  ///< "agreement", "recovery-resume", ...
+  OracleVerdict verdict = OracleVerdict::kPass;
+  std::string detail;  ///< human-readable explanation / evidence
+};
+
+struct OracleReport {
+  /// Worst verdict across findings (kViolation > kExpectedLoss > kPass).
+  OracleVerdict verdict = OracleVerdict::kPass;
+  std::vector<OracleFinding> findings;
+
+  [[nodiscard]] bool violated() const {
+    return verdict == OracleVerdict::kViolation;
+  }
+  /// First violating finding, or nullptr.
+  [[nodiscard]] const OracleFinding* violation() const;
+  /// One line per non-pass finding ("all oracles passed" when clean).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// A modeled liveness loss: when `chain` runs under a schedule containing
+/// a plan of type `fault` and a liveness oracle fails, the verdict is
+/// downgraded to kExpectedLoss — provided the evidence metric (a
+/// chain_metrics key, e.g. Solana's "panicked") is positive. An empty
+/// evidence_metric matches unconditionally.
+struct OracleExemption {
+  ChainKind chain;
+  FaultType fault;
+  std::string evidence_metric;
+  std::string reason;
+};
+
+/// The paper's observed per-chain failure modes (DESIGN.md §10 table):
+/// Solana panics when transient outages, partitions or delays stall its
+/// epoch accounts hash; Avalanche's inbound throttler starves it to death
+/// after restarts, partitions, delays or bandwidth collapse.
+std::vector<OracleExemption> default_exemptions();
+
+struct OracleConfig {
+  /// recovery-resume: commits must reappear within this window after the
+  /// last plan recovered. Generous by design — Algorand needs ~99 s to
+  /// rebuild after a partition (paper §6) and that is healthy behaviour.
+  sim::Duration liveness_grace = sim::sec(120);
+  /// recovery-resume windows shorter than this (run ended too early) are
+  /// inconclusive and pass.
+  sim::Duration min_conclusive_window = sim::sec(10);
+  /// recovery-consistency: |reported - recomputed| tolerance, seconds.
+  double recovery_tolerance_s = 1e-6;
+  std::vector<OracleExemption> exemptions = default_exemptions();
+};
+
+/// Everything the oracles need to know about how the run was set up.
+struct OracleContext {
+  ChainKind chain = ChainKind::kRedbelly;
+  /// Every plan armed on the run (resolved targets/windows) — see
+  /// resolved_schedule().
+  FaultSchedule schedule{};
+  sim::Duration duration = sim::sec(400);
+  /// Primary fault knobs run_experiment derives recovery_seconds from.
+  FaultType primary_fault = FaultType::kNone;
+  sim::Duration primary_recover_at = sim::sec(266);
+  /// Threshold run_experiment used (0.5 x offered load).
+  double recovery_threshold_tps = 100.0;
+};
+
+/// Context for a run produced by run_experiment(config).
+OracleContext make_oracle_context(const ExperimentConfig& config);
+
+/// Run every oracle against a completed experiment. Safety oracles are
+/// skipped (with an explanatory pass finding) when the result carries no
+/// replica snapshots.
+OracleReport check_invariants(const OracleContext& context,
+                              const ExperimentResult& result,
+                              const OracleConfig& config = {});
+
+}  // namespace stabl::core

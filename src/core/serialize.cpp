@@ -84,6 +84,21 @@ std::string throughput_csv(const ExperimentResult& result) {
   return out.str();
 }
 
+std::string to_json(const OracleReport& report) {
+  std::ostringstream out;
+  out << "{\"verdict\":\"" << to_string(report.verdict)
+      << "\",\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const OracleFinding& finding = report.findings[i];
+    if (i > 0) out << ',';
+    out << "{\"oracle\":\"" << json_escape(finding.oracle)
+        << "\",\"verdict\":\"" << to_string(finding.verdict)
+        << "\",\"detail\":\"" << json_escape(finding.detail) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
 std::string to_json(ChainKind chain, FaultType fault,
                     const SensitivityRun& run) {
   std::ostringstream out;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/oracle.hpp"
 
 namespace stabl::core {
 
@@ -23,6 +24,9 @@ std::string throughput_csv(const ExperimentResult& result);
 /// external schema needed).
 std::string to_json(ChainKind chain, FaultType fault,
                     const SensitivityRun& run);
+
+/// Oracle verdict + findings as a JSON object (chaos repro documents).
+std::string to_json(const OracleReport& report);
 
 /// Minimal JSON string escaping for the fields we emit.
 std::string json_escape(const std::string& text);

@@ -46,13 +46,17 @@ double ThroughputSeries::peak() const {
 
 double recovery_seconds(const ThroughputSeries& series, double after_s,
                         double threshold_tps, double window_s) {
+  return recovery_seconds(series.bins(), after_s, threshold_tps, window_s);
+}
+
+double recovery_seconds(const std::vector<double>& bins, double after_s,
+                        double threshold_tps, double window_s) {
   // Recovery = the first commit-carrying second from which the next
   // `window_s` seconds average at least the threshold. Averaging (rather
   // than requiring every bin) matters because block times can exceed one
   // second (the paper makes the same point about sliding windows in §3);
   // requiring the first bin to be non-empty anchors the detection to an
   // actual commit rather than to a window that merely contains one.
-  const auto& bins = series.bins();
   const auto window = static_cast<std::size_t>(std::max(1.0, window_s));
   // Scan from the first WHOLE bin at or after the fault clears: flooring a
   // fractional after_s used to admit the bin containing the fault-clear

@@ -45,4 +45,10 @@ class ThroughputSeries {
 double recovery_seconds(const ThroughputSeries& series, double after_s,
                         double threshold_tps, double window_s = 3.0);
 
+/// Same detection over raw per-second bins. The invariant oracles use this
+/// overload to recompute a reported `recovery_seconds` from the throughput
+/// series a result carries and flag any inconsistency between the two.
+double recovery_seconds(const std::vector<double>& bins, double after_s,
+                        double threshold_tps, double window_s = 3.0);
+
 }  // namespace stabl::core

@@ -110,4 +110,19 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 
 Rng Rng::fork() { return Rng{next_u64()}; }
 
+Rng Rng::derive(std::uint64_t stream) const {
+  // Hash the full parent state together with the stream index; the parent
+  // is left untouched. splitmix64 finalization decorrelates neighbouring
+  // stream indices.
+  std::uint64_t h = stream;
+  for (const std::uint64_t word : state_) {
+    h += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = h ^ word;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    h = z ^ (z >> 31);
+  }
+  return Rng{h};
+}
+
 }  // namespace stabl::sim

@@ -62,7 +62,16 @@ class Rng {
 
   /// Derive an independent child generator; used to give each node its own
   /// stream so that adding events to one node does not perturb another.
+  /// Consumes one draw from this generator, so repeated forks differ.
   Rng fork();
+
+  /// Derive the child generator for a named stream WITHOUT consuming any
+  /// state: same parent state + same stream index always yields the same
+  /// child, regardless of how many other streams were derived in between
+  /// or in what order. This is the RNG discipline the chaos engine relies
+  /// on — trial k of a campaign draws from derive(k) and is therefore
+  /// reproducible in isolation, independent of thread scheduling.
+  [[nodiscard]] Rng derive(std::uint64_t stream) const;
 
  private:
   std::array<std::uint64_t, 4> state_{};

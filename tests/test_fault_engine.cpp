@@ -137,6 +137,55 @@ TEST(FaultPlanValidate, CrashNeedsNoRecoveryWindow) {
   EXPECT_TRUE(uses_recovery_window(FaultType::kLoss));
 }
 
+TEST_F(FaultValidationTest, RejectsDuplicateTargets) {
+  // A duplicated id would silently double-arm kill/restart actions for
+  // the same node.
+  FaultPlan plan;
+  plan.type = FaultType::kTransient;
+  plan.targets = {2, 1, 2};
+  const std::string error = arm_error(plan);
+  EXPECT_NE(error.find("twice"), std::string::npos) << error;
+  EXPECT_NE(error.find("2"), std::string::npos) << error;
+  plan.targets = {2, 1};
+  EXPECT_EQ(arm_error(plan), "");
+}
+
+TEST(FaultPlanCanonical, ResetsDeadFieldsAndSortsTargets) {
+  FaultPlan plan;
+  plan.type = FaultType::kCrash;
+  plan.targets = {3, 1};
+  plan.inject_at = sim::sec(10);
+  plan.recover_at = sim::sec(99);    // meaningless: crash never recovers
+  plan.loss_probability = 0.7;       // meaningless for a crash
+  plan.gray_latency = sim::sec(9);
+  const FaultPlan canon = canonical(plan);
+  EXPECT_EQ(canon.recover_at, sim::Time{0});
+  EXPECT_EQ(canon.targets, (std::vector<net::NodeId>{1, 3}));
+  const FaultPlan defaults{};
+  EXPECT_EQ(canon.loss_probability, defaults.loss_probability);
+  EXPECT_EQ(canon.gray_latency, defaults.gray_latency);
+  EXPECT_EQ(canon.inject_at, sim::sec(10));  // meaningful, kept
+
+  // Two behaviourally identical plans normalize identically.
+  FaultPlan other = plan;
+  other.recover_at = sim::sec(123);
+  other.loss_probability = 0.1;
+  const FaultPlan other_canon = canonical(other);
+  EXPECT_EQ(other_canon.recover_at, canon.recover_at);
+  EXPECT_EQ(other_canon.loss_probability, canon.loss_probability);
+}
+
+TEST(FaultPlanCanonical, NoOpTypesDropEverything) {
+  FaultPlan plan;
+  plan.type = FaultType::kSecureClient;
+  plan.targets = {1, 2};
+  plan.inject_at = sim::sec(50);
+  const FaultPlan canon = canonical(plan);
+  EXPECT_TRUE(canon.targets.empty());
+  EXPECT_EQ(canon.inject_at, sim::Time{0});
+  EXPECT_EQ(canon.recover_at, sim::Time{0});
+}
+
 // ------------------------------------------------- rules on the network
 
 struct Probe final : net::Endpoint {
@@ -381,6 +430,44 @@ TEST(FaultScheduleExperiment, ComposedFaultsRunDeterministically) {
   EXPECT_EQ(first.committed, second.committed);
   EXPECT_EQ(first.latencies, second.latencies);
   EXPECT_EQ(first.events, second.events);
+}
+
+TEST(FaultScheduleExperiment, GrayPlusChurnOverlapOnTheSameTarget) {
+  // A gray failure (all traffic slowed) and crash-recovery churn armed on
+  // the SAME node with overlapping windows: the gray rule must survive the
+  // node's kill/restart cycles and the run must stay deterministic.
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.fault = FaultType::kGray;
+  config.fault_targets = {5};
+  config.duration = sim::sec(120);
+  config.inject_at = sim::sec(30);
+  config.recover_at = sim::sec(90);
+  config.seed = 33;
+  config.capture_replicas = true;
+
+  FaultPlan churn;
+  churn.type = FaultType::kChurn;
+  churn.targets = {5};
+  churn.inject_at = sim::sec(40);
+  churn.recover_at = sim::sec(80);
+  churn.churn_down = sim::sec(5);
+  churn.churn_up = sim::sec(7);
+  config.extra_faults.add(churn);
+
+  const ExperimentResult first = run_experiment(config);
+  const ExperimentResult second = run_experiment(config);
+  EXPECT_GT(first.committed, 0u);
+  EXPECT_TRUE(first.live_at_end);
+  EXPECT_EQ(first.committed, second.committed);
+  EXPECT_EQ(first.events, second.events);
+  // The churn plan actually cycled the node through crash/restart.
+  ASSERT_EQ(first.replicas.size(), config.n);
+  EXPECT_GT(first.replicas[5].restarts, 0);
+  // And both plans resolved onto the same target.
+  const FaultSchedule schedule = resolved_schedule(config);
+  ASSERT_EQ(schedule.plans.size(), 2u);
+  EXPECT_EQ(schedule.plans[0].targets, schedule.plans[1].targets);
 }
 
 TEST(FaultTypeNames, NewFaultKinds) {

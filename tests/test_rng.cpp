@@ -125,6 +125,49 @@ TEST(Rng, ForkDivergesFromParent) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, DeriveIsConstAndRepeatable) {
+  const Rng root(41);
+  Rng a = root.derive(5);
+  Rng b = root.derive(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DeriveStreamsAreIndependentOfDerivationOrder) {
+  const Rng root(41);
+  // Derive in two different orders; stream 2 must not care.
+  (void)root.derive(9);
+  Rng first = root.derive(2);
+  (void)root.derive(1);
+  (void)root.derive(1234567);
+  Rng second = root.derive(2);
+  EXPECT_EQ(first.next_u64(), second.next_u64());
+}
+
+TEST(Rng, DeriveStreamsDiverge) {
+  const Rng root(41);
+  int equal = 0;
+  Rng a = root.derive(0);
+  Rng b = root.derive(1);
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+  // Different roots give different streams too.
+  EXPECT_NE(Rng(41).derive(7).next_u64(), Rng(42).derive(7).next_u64());
+}
+
+TEST(Rng, DeriveDoesNotPerturbTheParent) {
+  Rng with_derive(43);
+  Rng without(43);
+  (void)with_derive.derive(3);
+  (void)with_derive.derive(99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(with_derive.next_u64(), without.next_u64());
+  }
+}
+
 TEST(Rng, ChanceExtremes) {
   Rng rng(37);
   for (int i = 0; i < 100; ++i) {
