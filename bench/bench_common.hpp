@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -72,6 +73,41 @@ inline void run_pair_benchmark(benchmark::State& state,
         static_cast<double>(run.altered.committed);
     state.counters["events"] = static_cast<double>(run.altered.events);
   }
+}
+
+/// Registers a 1-iteration benchmark named `name` for one experiment pair.
+inline void register_pair_benchmark(const std::string& name,
+                                    core::ChainKind chain,
+                                    core::FaultType fault) {
+  ::benchmark::RegisterBenchmark(name.c_str(),
+                                 [chain, fault](::benchmark::State& state) {
+                                   run_pair_benchmark(state, chain, fault);
+                                 })
+      ->Iterations(1)
+      ->Unit(::benchmark::kSecond);
+}
+
+/// Registers one benchmark per (chain, fault) cell — the registration
+/// block every figure binary used to repeat by hand. Benchmarks are named
+/// "<chain>" when a single fault is given and "<chain>/<fault>" otherwise.
+/// Returns true so figures can register from a namespace-scope
+/// initializer, the same way the BENCHMARK macro does.
+inline bool register_chain_benchmarks(
+    std::initializer_list<core::FaultType> faults) {
+  for (const core::ChainKind chain : core::kAllChains) {
+    for (const core::FaultType fault : faults) {
+      register_pair_benchmark(
+          faults.size() == 1 ? core::to_string(chain)
+                             : core::to_string(chain) + "/" +
+                                   core::to_string(fault),
+          chain, fault);
+    }
+  }
+  return true;
+}
+
+inline bool register_chain_benchmarks(core::FaultType fault) {
+  return register_chain_benchmarks({fault});
 }
 
 /// Standard main: run benchmarks, then print the figure via `print`.

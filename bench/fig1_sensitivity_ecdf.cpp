@@ -12,11 +12,11 @@ namespace {
 
 using namespace stabl;
 
-void fig1(benchmark::State& state) {
-  bench::run_pair_benchmark(state, core::ChainKind::kAptos,
-                            core::FaultType::kCrash);
-}
-BENCHMARK(fig1)->Iterations(1)->Unit(benchmark::kSecond);
+[[maybe_unused]] const bool registered = [] {
+  bench::register_pair_benchmark("fig1", core::ChainKind::kAptos,
+                                 core::FaultType::kCrash);
+  return true;
+}();
 
 void print_figure() {
   const core::SensitivityRun& run = bench::cached_run(

@@ -7,26 +7,8 @@ namespace {
 using namespace stabl;
 constexpr core::FaultType kFault = core::FaultType::kPartition;
 
-void algorand(benchmark::State& s) {
-  bench::run_pair_benchmark(s, core::ChainKind::kAlgorand, kFault);
-}
-void aptos(benchmark::State& s) {
-  bench::run_pair_benchmark(s, core::ChainKind::kAptos, kFault);
-}
-void avalanche(benchmark::State& s) {
-  bench::run_pair_benchmark(s, core::ChainKind::kAvalanche, kFault);
-}
-void redbelly(benchmark::State& s) {
-  bench::run_pair_benchmark(s, core::ChainKind::kRedbelly, kFault);
-}
-void solana(benchmark::State& s) {
-  bench::run_pair_benchmark(s, core::ChainKind::kSolana, kFault);
-}
-BENCHMARK(algorand)->Iterations(1)->Unit(benchmark::kSecond);
-BENCHMARK(aptos)->Iterations(1)->Unit(benchmark::kSecond);
-BENCHMARK(avalanche)->Iterations(1)->Unit(benchmark::kSecond);
-BENCHMARK(redbelly)->Iterations(1)->Unit(benchmark::kSecond);
-BENCHMARK(solana)->Iterations(1)->Unit(benchmark::kSecond);
+[[maybe_unused]] const bool registered =
+    bench::register_chain_benchmarks(kFault);
 
 void print_figure() {
   bench::print_fig3_panel(kFault, "Fig. 3c — sensitivity to a transient partition of f=t+1 nodes (§6)");

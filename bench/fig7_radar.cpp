@@ -15,44 +15,10 @@ constexpr core::FaultType kDims[] = {
     core::FaultType::kCrash, core::FaultType::kTransient,
     core::FaultType::kPartition, core::FaultType::kSecureClient};
 
-void radar_pair(benchmark::State& state, core::ChainKind chain,
-                core::FaultType fault) {
-  bench::run_pair_benchmark(state, chain, fault);
-}
-
 // Register all 20 chain x dimension pairs.
-#define RADAR_BENCH(chain_name, chain_enum)                                \
-  void chain_name##_crash(benchmark::State& s) {                          \
-    radar_pair(s, core::ChainKind::chain_enum, core::FaultType::kCrash);  \
-  }                                                                        \
-  void chain_name##_transient(benchmark::State& s) {                      \
-    radar_pair(s, core::ChainKind::chain_enum,                            \
-               core::FaultType::kTransient);                              \
-  }                                                                        \
-  void chain_name##_partition(benchmark::State& s) {                      \
-    radar_pair(s, core::ChainKind::chain_enum,                            \
-               core::FaultType::kPartition);                              \
-  }                                                                        \
-  void chain_name##_byzantine(benchmark::State& s) {                      \
-    radar_pair(s, core::ChainKind::chain_enum,                            \
-               core::FaultType::kSecureClient);                           \
-  }                                                                        \
-  BENCHMARK(chain_name##_crash)->Iterations(1)->Unit(benchmark::kSecond); \
-  BENCHMARK(chain_name##_transient)                                       \
-      ->Iterations(1)                                                      \
-      ->Unit(benchmark::kSecond);                                         \
-  BENCHMARK(chain_name##_partition)                                       \
-      ->Iterations(1)                                                      \
-      ->Unit(benchmark::kSecond);                                         \
-  BENCHMARK(chain_name##_byzantine)                                       \
-      ->Iterations(1)                                                      \
-      ->Unit(benchmark::kSecond)
-
-RADAR_BENCH(algorand, kAlgorand);
-RADAR_BENCH(aptos, kAptos);
-RADAR_BENCH(avalanche, kAvalanche);
-RADAR_BENCH(redbelly, kRedbelly);
-RADAR_BENCH(solana, kSolana);
+[[maybe_unused]] const bool registered = bench::register_chain_benchmarks(
+    {core::FaultType::kCrash, core::FaultType::kTransient,
+     core::FaultType::kPartition, core::FaultType::kSecureClient});
 
 void print_figure() {
   core::RadarSummary radar;

@@ -1,0 +1,171 @@
+// micro_trace_overhead — throughput of a TraceSink emission site in the
+// three states the harness can be in: disabled (null sink — what every
+// production run pays at every instrumented call site), enabled recording
+// to memory, and enabled with the recording serialized to a file.
+//
+// After the benchmark pass the binary gates the overhead contract from
+// sim/trace.hpp: the disabled path (one pointer load + predicted branch)
+// must cost < 2% over the same loop with no instrumentation at all. Exit
+// status 1 when the gate fails, so CI can run this binary directly.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/trace.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace stabl;
+
+// A unit of simulated "real work" per event: a xorshift step, roughly the
+// cost of the cheapest state updates between emission points in the DES.
+inline std::uint64_t work_step(std::uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+// The exact shape instrumented call sites compile to. noinline so the
+// compiler cannot specialize the loop for a compile-time-null sink — that
+// would benchmark dead code, not the production pattern.
+__attribute__((noinline)) void emission_site(sim::TraceSink* sink,
+                                             std::uint64_t i) {
+  if (sink != nullptr) {
+    sink->instant(static_cast<std::int32_t>(i & 7),
+                  sim::Time(static_cast<std::int64_t>(i)), "tick", "bench");
+  }
+}
+
+void uninstrumented(benchmark::State& state) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto _ : state) {
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void disabled(benchmark::State& state) {
+  sim::TraceSink* sink = nullptr;
+  benchmark::DoNotOptimize(sink);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    x = work_step(x);
+    emission_site(sink, i++);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void enabled_memory(benchmark::State& state) {
+  sim::TraceSink sink;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    x = work_step(x);
+    emission_site(&sink, i++);
+    benchmark::DoNotOptimize(x);
+    if (sink.size() >= 1u << 20) sink.clear();  // bound the arena
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void enabled_file(benchmark::State& state) {
+  // Emission plus the end-of-run cost of rendering and writing the JSON,
+  // amortized per event — what `stabl_cli --trace` actually pays.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::TraceSink sink;
+    constexpr std::uint64_t kBatch = 100'000;
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      x = work_step(x);
+      emission_site(&sink, i);
+      benchmark::DoNotOptimize(x);
+    }
+    const std::string json = core::trace_to_json(sink);
+    std::FILE* out = std::fopen("micro_trace_overhead.trace.json", "wb");
+    if (out != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), out);
+      std::fclose(out);
+    }
+    events += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+BENCHMARK(uninstrumented);
+BENCHMARK(disabled);
+BENCHMARK(enabled_memory);
+BENCHMARK(enabled_file);
+
+/// Steady-clock measurement of the two hot loops, outside google-benchmark
+/// so the gate compares medians of repeated identical batches.
+double batch_seconds(sim::TraceSink* sink) {
+  constexpr std::uint64_t kIters = 20'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x = work_step(x);
+    emission_site(sink, i);
+    benchmark::DoNotOptimize(x);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double uninstrumented_batch_seconds() {
+  constexpr std::uint64_t kIters = 20'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int gate_disabled_overhead() {
+  // Best-of-5 on both sides damps scheduler noise; the gate allows < 2%.
+  double base = 1e300;
+  double off = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double b = uninstrumented_batch_seconds();
+    if (b < base) base = b;
+    const double d = batch_seconds(nullptr);
+    if (d < off) off = d;
+  }
+  const double overhead = (off - base) / base * 100.0;
+  std::printf("\ntrace overhead gate: uninstrumented %.3fs, disabled-path "
+              "%.3fs -> %+.2f%% (gate < 2%%)\n",
+              base, off, overhead);
+  if (overhead >= 2.0) {
+    std::printf("GATE FAILED: disabled-path tracing overhead %.2f%% >= 2%%\n",
+                overhead);
+    return 1;
+  }
+  std::printf("gate passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  const int gate = gate_disabled_overhead();
+  ::benchmark::Shutdown();
+  return gate;
+}

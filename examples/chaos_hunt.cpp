@@ -10,7 +10,8 @@
 // Exit status: 0 when no oracle violated (expected losses are fine), 1 on
 // any violation. Violating (minimized, when --shrink) schedules are
 // written to DIR/chaos_<chain>_trial<k>.json for replay and for CI
-// artifact upload.
+// artifact upload, each next to a Perfetto timeline of the minimized
+// repro run at DIR/chaos_<chain>_trial<k>.trace.json (ui.perfetto.dev).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -126,6 +127,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     file << core::schedule_to_json(repro) << "\n";
+    if (!trial.repro_trace.empty()) {
+      const std::string trace_path = out_dir + "/chaos_" +
+                                     core::to_string(trial.chain) + "_trial" +
+                                     std::to_string(trial.trial) +
+                                     ".trace.json";
+      std::ofstream trace_file(trace_path);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      trace_file << trial.repro_trace << "\n";
+    }
     std::printf("  repro written to %s", path.c_str());
     if (trial.shrunk.has_value()) {
       std::printf(" (shrunk %zu -> %zu plans in %zu runs)",
@@ -140,5 +153,6 @@ int main(int argc, char** argv) {
               "losses\n",
               result.violations(), result.trials.size(), written,
               result.expected_losses());
+  std::printf("\nwall-clock profile:\n%s", result.timing_table().c_str());
   return result.violations() > 0 ? 1 : 0;
 }

@@ -12,6 +12,7 @@
 //             [--throttle-bps BYTES] [--resilient] [--commit-timeout S]
 //             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
 //             [--chaos N] [--shrink]
+//             [--trace FILE] [--metrics FILE]
 //
 // --seeds N sweeps N consecutive seeds starting at --seed and reports the
 // per-seed scores plus mean/min/max/stddev aggregates; --jobs N fans the
@@ -22,10 +23,19 @@
 // every violating schedule to a minimal JSON repro. Deterministic in
 // (--chain, --seed) for any --jobs value.
 //
+// --trace FILE records the faulted run's sim-time timeline as Chrome /
+// Perfetto trace_event JSON (open at ui.perfetto.dev). In chaos mode the
+// file name is a base: each violating trial's minimized repro timeline is
+// written to FILE.<chain>.trialK.json. --metrics FILE samples the runtime
+// metrics registry each sim-second into CSV (when FILE ends in .csv) or
+// JSON. Tracing is observe-only: reports are byte-identical with it on or
+// off.
+//
 // Examples:
 //   stabl_cli --chain solana --fault transient
 //   stabl_cli --chain redbelly --fault partition --max-idle 30 --format json
 //   stabl_cli --chain aptos --chaos 10 --shrink --duration 120 --jobs 4
+//   stabl_cli --chain avalanche --fault churn --trace churn.trace.json
 //   # Fault engine v2: packet loss composed on top of the partition, with
 //   # resilient (timeout + failover + backoff) clients:
 //   stabl_cli --chain redbelly --fault partition --extra-fault loss
@@ -40,29 +50,85 @@
 #include "core/campaign.hpp"
 #include "core/chaos.hpp"
 #include "core/experiment.hpp"
+#include "core/metrics.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
+#include "core/trace.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
 using namespace stabl;
 
-[[noreturn]] void usage(const char* argv0) {
+void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(
-      stderr,
-      "usage: %s [--chain algorand|aptos|avalanche|redbelly|solana]\n"
-      "          [--fault none|crash|transient|partition|secure-client|"
-      "delay|churn|loss|throttle|gray]\n"
-      "          [--duration seconds] [--seed n] [--seeds n] [--jobs n]\n"
-      "          [--fanout k]\n"
-      "          [--matching k] [--workload constant|bursty|ramp]\n"
-      "          [--vcpus n] [--format text|csv|json]\n"
-      "          [--fault-targets ids] [--extra-fault name]...\n"
-      "          [--loss-prob p] [--gray-delay s]\n"
-      "          [--throttle-bps bytes] [--resilient] [--commit-timeout s]\n"
-      "          [--no-throttling] [--no-warmup-epochs] [--max-idle s]\n"
-      "          [--chaos n] [--shrink]\n",
+      out,
+      "usage: %s [options]\n"
+      "\n"
+      "Run one STABL experiment pair (baseline vs faulted) and report the\n"
+      "sensitivity score; sweep seeds; or run a randomized chaos campaign.\n"
+      "\n"
+      "experiment selection:\n"
+      "  --chain NAME        algorand|aptos|avalanche|redbelly|solana\n"
+      "                      (default redbelly)\n"
+      "  --fault NAME        none|crash|transient|partition|secure-client|\n"
+      "                      delay|churn|loss|throttle|gray (default none)\n"
+      "  --duration S        simulated seconds, >= 30 (default 400)\n"
+      "  --seed N            root RNG seed (default 42)\n"
+      "  --fault-targets IDS comma-separated node ids to fault, e.g. 0,1\n"
+      "  --extra-fault NAME  compose another fault plan on the primary\n"
+      "                      window (repeatable)\n"
+      "\n"
+      "sweeps and parallelism:\n"
+      "  --seeds N           sweep N consecutive seeds starting at --seed\n"
+      "                      and report per-seed scores plus aggregates\n"
+      "  --jobs N            worker threads for the seed grid or chaos\n"
+      "                      trials; output is identical for any value\n"
+      "\n"
+      "chaos mode:\n"
+      "  --chaos N           run N randomized multi-plan fault schedules\n"
+      "                      against --chain, audited by the invariant\n"
+      "                      oracles; exit 1 when any oracle fires\n"
+      "  --shrink            delta-debug every violating schedule to a\n"
+      "                      minimal replayable JSON repro\n"
+      "\n"
+      "observability:\n"
+      "  --trace FILE        write the faulted run's sim-time timeline as\n"
+      "                      Perfetto trace_event JSON (ui.perfetto.dev);\n"
+      "                      in chaos mode, write each violating trial's\n"
+      "                      minimized repro timeline to\n"
+      "                      FILE.<chain>.trialK.json\n"
+      "  --metrics FILE      sample runtime metrics (mempool depth,\n"
+      "                      in-flight msgs, breaker state, ...) each sim\n"
+      "                      second; CSV when FILE ends in .csv, else JSON\n"
+      "\n"
+      "workload and client knobs:\n"
+      "  --fanout K          endpoints each transaction is sent to\n"
+      "  --matching K        client request-matching degree\n"
+      "  --workload SHAPE    constant|bursty|ramp (default constant)\n"
+      "  --vcpus N           per-node vCPUs (default 4)\n"
+      "  --resilient         timeout + failover + backoff clients\n"
+      "  --commit-timeout S  resilient-client commit timeout, seconds\n"
+      "\n"
+      "fault knobs:\n"
+      "  --loss-prob P       packet-loss probability for loss plans\n"
+      "  --gray-delay S      gray-failure added latency, seconds\n"
+      "  --throttle-bps B    throttle bandwidth, bytes per second\n"
+      "\n"
+      "chain tuning:\n"
+      "  --no-throttling     disable Avalanche message throttling\n"
+      "  --no-warmup-epochs  disable Solana warmup epochs\n"
+      "  --max-idle S        Redbelly max idle seconds\n"
+      "\n"
+      "output:\n"
+      "  --format FMT        text|csv|json (default text)\n"
+      "  --help              print this help and exit 0\n",
       argv0);
+}
+
+[[noreturn]] void fail_usage(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  std::fprintf(stderr, "run '%s --help' for the full flag list\n", argv0);
   std::exit(2);
 }
 
@@ -70,7 +136,7 @@ core::ChainKind parse_chain(const std::string& name, const char* argv0) {
   for (const core::ChainKind chain : core::kAllChains) {
     if (core::to_string(chain) == name) return chain;
   }
-  usage(argv0);
+  fail_usage(argv0, "unknown chain '" + name + "'");
 }
 
 core::FaultType parse_fault(const std::string& name, const char* argv0) {
@@ -82,7 +148,30 @@ core::FaultType parse_fault(const std::string& name, const char* argv0) {
         core::FaultType::kThrottle, core::FaultType::kGray}) {
     if (core::to_string(fault) == name) return fault;
   }
-  usage(argv0);
+  fail_usage(argv0, "unknown fault '" + name + "'");
+}
+
+/// Writes `body` to `path`, exiting 1 on I/O failure. The harness's output
+/// files are small (traces a few MB at most), so one buffered fwrite is
+/// fine.
+void write_file_or_die(const char* argv0, const std::string& path,
+                       const std::string& body) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", argv0,
+                 path.c_str());
+    std::exit(1);
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), out);
+  if (std::fclose(out) != 0 || written != body.size()) {
+    std::fprintf(stderr, "%s: short write to %s\n", argv0, path.c_str());
+    std::exit(1);
+  }
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -90,6 +179,8 @@ core::FaultType parse_fault(const std::string& name, const char* argv0) {
 int main(int argc, char** argv) {
   core::ExperimentConfig config;
   std::string format = "text";
+  std::string trace_path;
+  std::string metrics_path;
   long duration_s = 400;
   long num_seeds = 1;
   long jobs = 1;
@@ -99,24 +190,27 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) fail_usage(argv[0], arg + " needs a value");
       return argv[++i];
     };
-    if (arg == "--chain") {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--chain") {
       config.chain = parse_chain(value(), argv[0]);
     } else if (arg == "--fault") {
       config.fault = parse_fault(value(), argv[0]);
     } else if (arg == "--duration") {
       duration_s = std::atol(value().c_str());
-      if (duration_s < 30) usage(argv[0]);
+      if (duration_s < 30) fail_usage(argv[0], "--duration must be >= 30");
     } else if (arg == "--seed") {
       config.seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--seeds") {
       num_seeds = std::atol(value().c_str());
-      if (num_seeds < 1) usage(argv[0]);
+      if (num_seeds < 1) fail_usage(argv[0], "--seeds must be >= 1");
     } else if (arg == "--jobs") {
       jobs = std::atol(value().c_str());
-      if (jobs < 1) usage(argv[0]);
+      if (jobs < 1) fail_usage(argv[0], "--jobs must be >= 1");
     } else if (arg == "--fanout") {
       config.client_fanout = std::atoi(value().c_str());
     } else if (arg == "--matching") {
@@ -131,10 +225,13 @@ int main(int argc, char** argv) {
       } else if (shape == "ramp") {
         config.workload.shape = core::WorkloadShape::kRamp;
       } else if (shape != "constant") {
-        usage(argv[0]);
+        fail_usage(argv[0], "unknown workload '" + shape + "'");
       }
     } else if (arg == "--format") {
       format = value();
+      if (format != "text" && format != "csv" && format != "json") {
+        fail_usage(argv[0], "unknown format '" + format + "'");
+      }
     } else if (arg == "--fault-targets") {
       // Comma-separated node ids, e.g. "0,1" to fault entry nodes.
       const std::string list = value();
@@ -144,13 +241,17 @@ int main(int argc, char** argv) {
         const std::string token =
             list.substr(pos, comma == std::string::npos ? std::string::npos
                                                         : comma - pos);
-        if (token.empty()) usage(argv[0]);
+        if (token.empty()) {
+          fail_usage(argv[0], "--fault-targets has an empty id");
+        }
         config.fault_targets.push_back(
             static_cast<net::NodeId>(std::strtoul(token.c_str(), nullptr, 10)));
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
-      if (config.fault_targets.empty()) usage(argv[0]);
+      if (config.fault_targets.empty()) {
+        fail_usage(argv[0], "--fault-targets needs at least one id");
+      }
     } else if (arg == "--extra-fault") {
       core::FaultPlan plan;
       plan.type = parse_fault(value(), argv[0]);
@@ -174,11 +275,19 @@ int main(int argc, char** argv) {
       config.tuning.redbelly_max_idle_s = std::atof(value().c_str());
     } else if (arg == "--chaos") {
       chaos_trials = std::atol(value().c_str());
-      if (chaos_trials < 1) usage(argv[0]);
+      if (chaos_trials < 1) fail_usage(argv[0], "--chaos must be >= 1");
     } else if (arg == "--shrink") {
       chaos_shrink = true;
+    } else if (arg == "--trace") {
+      trace_path = value();
+      if (trace_path.empty()) fail_usage(argv[0], "--trace needs a file name");
+    } else if (arg == "--metrics") {
+      metrics_path = value();
+      if (metrics_path.empty()) {
+        fail_usage(argv[0], "--metrics needs a file name");
+      }
     } else {
-      usage(argv[0]);
+      fail_usage(argv[0], "unknown flag '" + arg + "'");
     }
   }
 
@@ -201,7 +310,13 @@ int main(int argc, char** argv) {
   }
 
   if (chaos_trials > 0) {
-    // Chaos path: randomized schedules + oracle audit on one chain.
+    if (!metrics_path.empty()) {
+      fail_usage(argv[0],
+                 "--metrics applies to single runs, not --chaos campaigns");
+    }
+    // Chaos path: randomized schedules + oracle audit on one chain. Every
+    // violating trial carries a Perfetto timeline of its minimized repro;
+    // --trace names the base file the timelines are written to.
     core::ChaosCampaignConfig chaos;
     chaos.chains = {config.chain};
     chaos.trials_per_chain = static_cast<std::size_t>(chaos_trials);
@@ -209,8 +324,16 @@ int main(int argc, char** argv) {
     chaos.base = config;
     chaos.base.fault = core::FaultType::kNone;
     chaos.shrink = chaos_shrink;
+    chaos.trace_repros = !trace_path.empty();
     chaos.jobs = static_cast<unsigned>(jobs);
     const core::ChaosCampaignResult result = core::run_chaos_campaign(chaos);
+    for (const core::ChaosTrial& trial : result.trials) {
+      if (trial.repro_trace.empty()) continue;
+      write_file_or_die(argv[0], trace_path + "." +
+                                     core::to_string(trial.chain) + ".trial" +
+                                     std::to_string(trial.trial) + ".json",
+                        trial.repro_trace);
+    }
     if (format == "json") {
       std::printf("%s\n", result.to_json().c_str());
     } else {
@@ -228,11 +351,18 @@ int main(int argc, char** argv) {
                       core::schedule_to_json(trial.shrunk->schedule).c_str());
         }
       }
+      std::printf("\nwall-clock profile:\n%s",
+                  result.timing_table().c_str());
     }
     return result.violations() > 0 ? 1 : 0;
   }
 
   if (num_seeds > 1 || jobs > 1) {
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      fail_usage(argv[0],
+                 "--trace/--metrics apply to single runs; rerun the seed of "
+                 "interest without --seeds/--jobs");
+    }
     // Seed sweep / parallel path: run the single (chain, fault) cell as a
     // one-cell campaign so the sweep aggregation and the thread pool are
     // the same code CI uses. Output is identical for any --jobs value.
@@ -281,8 +411,14 @@ int main(int argc, char** argv) {
         "liveness losses %zu/%zu\n",
         stats->mean, stats->stddev, stats->min, stats->max,
         stats->liveness_losses, stats->seeds);
+    std::printf("\nwall-clock profile:\n%s", result.timing_table().c_str());
     return 0;
   }
+
+  sim::TraceSink trace_sink;
+  core::MetricsRegistry metrics;
+  if (!trace_path.empty()) config.trace = &trace_sink;
+  if (!metrics_path.empty()) config.metrics = &metrics;
 
   core::SensitivityRun run;
   try {
@@ -291,6 +427,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: invalid fault plan: %s\n", argv[0],
                  error.what());
     return 2;
+  }
+
+  if (!trace_path.empty()) {
+    write_file_or_die(argv[0], trace_path, core::trace_to_json(trace_sink));
+  }
+  if (!metrics_path.empty()) {
+    write_file_or_die(argv[0], metrics_path,
+                      ends_with(metrics_path, ".csv") ? metrics.to_csv()
+                                                      : metrics.to_json());
   }
 
   if (format == "json") {
@@ -334,6 +479,14 @@ int main(int argc, char** argv) {
   if (run.altered.recovery_seconds >= 0) {
     std::printf("recovery: %.1fs after the fault cleared\n",
                 run.altered.recovery_seconds);
+  }
+  if (!trace_path.empty()) {
+    std::printf("trace: %s (%zu events; open at ui.perfetto.dev)\n",
+                trace_path.c_str(), trace_sink.size());
+  }
+  if (!metrics_path.empty()) {
+    std::printf("metrics: %s (%zu samples)\n", metrics_path.c_str(),
+                metrics.sample_times().size());
   }
   std::printf("\naltered throughput:\n%s",
               core::render_timeseries(run.altered.throughput,

@@ -53,12 +53,20 @@ void BlockchainNode::on_start() {
 
 void BlockchainNode::boot() {
   booted_ = true;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "boot",
+                   "node", "\"restarts\":" + std::to_string(restarts()));
+  }
   rebuild_accounts();
   connections_.start();
   start_protocol();
 }
 
 void BlockchainNode::on_crash() {
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "crash",
+                   "node");
+  }
   booted_ = false;
   connections_.stop();
   mempool_.clear();
@@ -168,6 +176,13 @@ const Block* BlockchainNode::commit_block(std::vector<Transaction> txs,
   block.txs = std::move(applied);
   const Block& stored = ledger_.append(std::move(block));
   mempool_.remove(stored.txs);
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "commit",
+                   "consensus",
+                   "\"height\":" + std::to_string(stored.height) +
+                       ",\"round\":" + std::to_string(stored.round) +
+                       ",\"txs\":" + std::to_string(stored.txs.size()));
+  }
   notify_watchers(stored);
   if (commit_hook_) commit_hook_(stored);
   return &stored;
@@ -188,6 +203,12 @@ void BlockchainNode::notify_watchers(const Block& block) {
 }
 
 void BlockchainNode::request_sync(net::NodeId peer) {
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(),
+                   "sync_request", "sync",
+                   "\"peer\":" + std::to_string(peer) + ",\"height\":" +
+                       std::to_string(ledger_.height()));
+  }
   send_to(peer,
           std::make_shared<const SyncRequestPayload>(ledger_.height()), 64);
 }
@@ -239,6 +260,12 @@ void BlockchainNode::handle_sync_response(const net::Envelope& envelope) {
     // them — also when it caught up through state sync.
     notify_watchers(stored);
     if (commit_hook_) commit_hook_(stored);
+  }
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(),
+                   "sync_applied", "sync",
+                   "\"blocks\":" + std::to_string(response.blocks.size()) +
+                       ",\"height\":" + std::to_string(ledger_.height()));
   }
   on_synced();
   // Keep pulling until caught up with this peer.

@@ -107,6 +107,10 @@ void AlgorandNode::reset_round_state() {
 }
 
 void AlgorandNode::begin_round() {
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "round",
+                   "consensus", "\"round\":" + std::to_string(round_));
+  }
   soft_voted_ = false;
   cert_voted_ = false;
   grace_used_ = false;

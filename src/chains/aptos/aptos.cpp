@@ -106,6 +106,10 @@ net::NodeId AptosNode::leader_of(std::uint64_t round) const {
 }
 
 void AptosNode::enter_round(std::uint64_t round) {
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "round",
+                   "consensus", "\"round\":" + std::to_string(round));
+  }
   round_ = round;
   voted_ = false;
   committing_ = false;
@@ -154,6 +158,11 @@ void AptosNode::propose() {
 }
 
 void AptosNode::on_round_timeout() {
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(),
+                   "round_timeout", "consensus",
+                   "\"round\":" + std::to_string(round_));
+  }
   // A stuck round retransmits our vote first (the real network layer
   // retries consensus messages): one lost vote packet must not split the
   // cluster between committing the round and timing it out.

@@ -206,6 +206,12 @@ void AvalancheNode::poll_tick() {
 
 void AvalancheNode::issue_poll() {
   const std::uint64_t poll_id = next_poll_id_++;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "poll",
+                   "consensus",
+                   "\"poll\":" + std::to_string(poll_id) +
+                       ",\"height\":" + std::to_string(height_));
+  }
   Poll poll;
   poll.preferred = preference_;
   poll.deadline = now() + config_.query_timeout;

@@ -111,6 +111,10 @@ void RedbellyNode::schedule_round_start() {
 void RedbellyNode::start_round() {
   if (round_open_) return;
   round_open_ = true;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "round",
+                   "consensus", "\"round\":" + std::to_string(round_));
+  }
   echoed_ = false;
   auto batch = mutable_mempool().collect_ready(
       config_.max_batch,

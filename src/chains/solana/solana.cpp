@@ -148,6 +148,10 @@ void SolanaNode::on_slot_tick() {
 }
 
 void SolanaNode::produce_block(std::uint64_t slot) {
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "slot",
+                   "consensus", "\"slot\":" + std::to_string(slot));
+  }
   std::vector<chain::Transaction> batch;
   batch.reserve(std::min(config_.max_slot_txs, leader_buffer_.size()));
   // The buffer is ordered by (sender, nonce): each sender's transactions

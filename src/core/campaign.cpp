@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "core/metrics.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
@@ -127,7 +128,33 @@ std::string CampaignResult::to_json() const {
   return out.str();
 }
 
+std::string CampaignResult::timing_table() const {
+  Table table({"chain", "fault", "seeds", "total_ms", "mean_ms", "per_seed_ms"});
+  double campaign_ms = 0.0;
+  for (const auto& [key, wall] : cell_wall_ms) {
+    double total = 0.0;
+    std::string per_seed;
+    for (std::size_t i = 0; i < wall.size(); ++i) {
+      total += wall[i];
+      if (i > 0) per_seed += ' ';
+      per_seed += Table::num(wall[i], 0);
+    }
+    campaign_ms += total;
+    const double mean =
+        wall.empty() ? 0.0 : total / static_cast<double>(wall.size());
+    table.add_row({to_string(key.first), to_string(key.second),
+                   std::to_string(wall.size()), Table::num(total, 0),
+                   Table::num(mean, 0), per_seed});
+  }
+  table.add_row({"total", "-", "-",
+                 Table::num(total_wall_ms > 0.0 ? total_wall_ms : campaign_ms,
+                            0),
+                 "-", "-"});
+  return table.to_string();
+}
+
 CampaignResult run_campaign(const CampaignConfig& config) {
+  const WallTimer campaign_timer;
   const std::vector<std::uint64_t> seeds = config.seed_list();
 
   struct Cell {
@@ -148,18 +175,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // Fan the grid out: each cell writes only its own slot, so gathering by
   // index below is deterministic regardless of completion order.
   std::vector<SensitivityRun> slots(grid.size());
+  std::vector<double> wall_slots(grid.size(), 0.0);
   std::mutex progress_mutex;
   ThreadPool pool(config.jobs);
   pool.parallel_for(grid.size(), [&](std::size_t i) {
+    const WallTimer cell_timer;
     ExperimentConfig cell = config.base;
     cell.chain = grid[i].chain;
     cell.fault = grid[i].fault;
     cell.seed = grid[i].seed;
+    // Cells run concurrently; a sink/registry shared through base would
+    // race. Per-cell tracing goes through stabl_cli's single-run path.
+    cell.trace = nullptr;
+    cell.metrics = nullptr;
     if (cell.fault == FaultType::kSecureClient) {
       cell.client_fanout = 4;
       cell.vcpus = 8.0;
     }
     SensitivityRun run = run_sensitivity(cell);
+    wall_slots[i] = cell_timer.elapsed_ms();
     if (config.on_cell_done) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       config.on_cell_done(grid[i].chain, grid[i].fault, grid[i].seed, run);
@@ -172,6 +206,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   for (std::size_t i = 0; i < grid.size(); ++i) {
     result.seed_runs[{grid[i].chain, grid[i].fault}].push_back(
         std::move(slots[i]));
+    result.cell_wall_ms[{grid[i].chain, grid[i].fault}].push_back(
+        wall_slots[i]);
   }
   for (const auto& [key, cell_runs] : result.seed_runs) {
     result.radar.record(key.first, key.second, cell_runs.front().score);
@@ -180,6 +216,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     result.sweeps.emplace(key, stats);
     result.runs.emplace(key, cell_runs.front());
   }
+  result.total_wall_ms = campaign_timer.elapsed_ms();
   return result;
 }
 

@@ -88,6 +88,13 @@ struct CampaignResult {
   std::map<CellKey, SeedSweepStats> sweeps;
   /// The seed list the campaign actually swept.
   std::vector<std::uint64_t> seeds;
+  /// Wall-clock milliseconds per (cell, seed) run, in seed-list order, and
+  /// for the whole campaign. Harness profiling only: wall timings depend
+  /// on the machine and the jobs value, so they are deliberately excluded
+  /// from to_csv()/to_json() (which must stay byte-identical) and surface
+  /// through timing_table() instead.
+  std::map<CellKey, std::vector<double>> cell_wall_ms;
+  double total_wall_ms = 0.0;
 
   [[nodiscard]] const SensitivityRun* get(ChainKind chain,
                                           FaultType fault) const;
@@ -99,6 +106,9 @@ struct CampaignResult {
   /// Full campaign as a JSON array of per-cell documents, each carrying a
   /// "seed_sweep" aggregate object.
   [[nodiscard]] std::string to_json() const;
+  /// Wall-clock phase profile: one row per cell (total and mean ms across
+  /// its seeds, and each seed's ms) plus a campaign total row.
+  [[nodiscard]] std::string timing_table() const;
 };
 
 /// Run every (chain, fault, seed) cell of the matrix across `config.jobs`

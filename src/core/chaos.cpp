@@ -8,9 +8,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/json.hpp"
+#include "core/metrics.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
+#include "core/trace.hpp"
 
 namespace stabl::core {
 namespace {
@@ -67,73 +70,6 @@ std::string plan_json(const FaultPlan& plan) {
   out << '}';
   return out.str();
 }
-
-/// Cursor over the repro JSON. Deliberately small: it reads exactly the
-/// documents schedule_to_json emits (objects, arrays, strings, plain
-/// numbers), which is all a repro file ever contains.
-class JsonCursor {
- public:
-  explicit JsonCursor(const std::string& text) : text_(text) {}
-
-  void expect(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') fail("escapes are not used in repro files");
-      out.push_back(text_[pos_++]);
-    }
-    expect('"');
-    return out;
-  }
-
-  double parse_number() {
-    skip_ws();
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(start, &end);
-    if (end == start) fail("expected a number");
-    pos_ += static_cast<std::size_t>(end - start);
-    return value;
-  }
-
-  void finish() {
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-  }
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("schedule JSON: " + what + " at offset " +
-                                std::to_string(pos_));
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
 
 FaultPlan parse_plan(JsonCursor& cursor) {
   FaultPlan plan;
@@ -457,6 +393,19 @@ std::string ChaosCampaignResult::to_json() const {
   return out.str();
 }
 
+std::string ChaosCampaignResult::timing_table() const {
+  Table table({"chain", "trial", "verdict", "wall_ms"});
+  double total = 0.0;
+  for (const ChaosTrial& trial : trials) {
+    total += trial.wall_ms;
+    table.add_row({to_string(trial.chain), std::to_string(trial.trial),
+                   to_string(trial.report.verdict),
+                   Table::num(trial.wall_ms, 0)});
+  }
+  table.add_row({"total", "-", "-", Table::num(total, 0)});
+  return table.to_string();
+}
+
 ExperimentConfig chaos_trial_config(const ChaosCampaignConfig& config,
                                     ChainKind chain,
                                     std::uint64_t experiment_seed,
@@ -468,6 +417,10 @@ ExperimentConfig chaos_trial_config(const ChaosCampaignConfig& config,
   cell.extra_faults = schedule;
   cell.seed = experiment_seed;
   cell.capture_replicas = true;
+  // Trials run concurrently; a sink/registry inherited from the template
+  // would race. The traced repro re-run attaches its own local sink.
+  cell.trace = nullptr;
+  cell.metrics = nullptr;
   return cell;
 }
 
@@ -486,6 +439,7 @@ ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
   std::vector<ChaosTrial> slots(total);
   ThreadPool pool(config.jobs);
   pool.parallel_for(total, [&](std::size_t index) {
+    const WallTimer trial_timer;
     const ChainKind chain = config.chains[index / config.trials_per_chain];
     const std::size_t k = index % config.trials_per_chain;
     // The stream id encodes the chain's identity (not its list position),
@@ -521,6 +475,21 @@ ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
       trial.shrunk =
           shrink_schedule(trial.schedule, evaluate, config.shrink_options);
     }
+    if (config.trace_repros && trial.report.violated()) {
+      // Re-run the minimal violating schedule with tracing on, so the
+      // repro ships with its timeline. A sink per worker: sinks are not
+      // shareable across concurrent runs.
+      const FaultSchedule& minimal = trial.shrunk.has_value()
+                                         ? trial.shrunk->schedule
+                                         : trial.schedule;
+      ExperimentConfig traced_cell = chaos_trial_config(
+          config, chain, trial.experiment_seed, minimal);
+      sim::TraceSink sink;
+      traced_cell.trace = &sink;
+      run_experiment(traced_cell);
+      trial.repro_trace = trace_to_json(sink);
+    }
+    trial.wall_ms = trial_timer.elapsed_ms();
     slots[index] = std::move(trial);
   });
 

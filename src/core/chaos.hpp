@@ -135,6 +135,12 @@ struct ChaosCampaignConfig {
   /// Shrink every violating schedule to a minimal repro.
   bool shrink = false;
   ShrinkOptions shrink_options{};
+  /// Re-run every violating trial's minimal schedule (the shrunk one when
+  /// shrinking is on, else the original) with a TraceSink attached and
+  /// store the Perfetto JSON in ChaosTrial::repro_trace — every repro
+  /// ships with its timeline. The traced re-run is byte-identical to the
+  /// audited run (tracing is observe-only), so verdicts never change.
+  bool trace_repros = true;
   /// Worker lanes (1 = serial). Output is byte-identical for any value.
   unsigned jobs = 1;
 };
@@ -151,6 +157,15 @@ struct ChaosTrial {
   bool live_at_end = false;
   /// Only for violating trials when shrinking is on.
   std::optional<ShrinkResult> shrunk;
+  /// Perfetto trace_event JSON of the violating run (minimal schedule),
+  /// when ChaosCampaignConfig::trace_repros is on. Deterministic — it is a
+  /// function of (config, seed, schedule) — but deliberately kept out of
+  /// to_json(): a campaign document should not embed megabytes of
+  /// timeline. Harness binaries write it to a sidecar file instead.
+  std::string repro_trace;
+  /// Wall-clock milliseconds this trial consumed (run + oracles + shrink +
+  /// traced re-run). Machine-dependent; excluded from to_json().
+  double wall_ms = 0.0;
 };
 
 struct ChaosCampaignResult {
@@ -163,6 +178,8 @@ struct ChaosCampaignResult {
   [[nodiscard]] std::string summary_table() const;
   /// Full campaign as a JSON array (schedule + findings + repro).
   [[nodiscard]] std::string to_json() const;
+  /// Wall-clock phase profile: one row per trial plus a total row.
+  [[nodiscard]] std::string timing_table() const;
 };
 
 /// The ExperimentConfig a chaos trial runs: base with the chain set, the

@@ -36,6 +36,11 @@ void ClientMachine::submit_next() {
       chain::hash_combine(config_.tx_seed, config_.account), tx.nonce);
   ++submitted_;
   submitted_ids_.push_back(tx.id);
+  if (auto* trace = simulation().trace()) {
+    trace->async_begin(static_cast<std::int32_t>(id()), now(), tx.id,
+                       "txn", "txn",
+                       "\"nonce\":" + std::to_string(tx.nonce));
+  }
   if (config_.resilience.enabled) {
     Pending pending;
     pending.submitted_at = now();
@@ -62,7 +67,15 @@ void ClientMachine::submit_attempt(chain::TxId id) {
   Pending& pending = it->second;
   pending.endpoint = failover_->select(now());
   ++pending.attempts;
-  if (pending.attempts > 1) ++stats_.resubmissions;
+  if (pending.attempts > 1) {
+    ++stats_.resubmissions;
+    if (auto* trace = simulation().trace()) {
+      trace->instant(static_cast<std::int32_t>(this->id()), now(),
+                     "resubmit", "txn",
+                     "\"endpoint\":" + std::to_string(pending.endpoint) +
+                         ",\"attempt\":" + std::to_string(pending.attempts));
+    }
+  }
   net_.send(this->id(), pending.endpoint,
             std::make_shared<const chain::SubmitTxPayload>(pending.tx), 192);
   pending.timer = set_timer(config_.resilience.retry.commit_timeout,
@@ -75,7 +88,19 @@ void ClientMachine::on_commit_timeout(chain::TxId id) {
   Pending& pending = it->second;
   pending.timer = sim::kInvalidTimer;
   ++stats_.timeouts;
-  if (failover_->on_failure(pending.endpoint, now())) ++stats_.circuit_opens;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(this->id()), now(),
+                   "commit_timeout", "txn",
+                   "\"endpoint\":" + std::to_string(pending.endpoint));
+  }
+  if (failover_->on_failure(pending.endpoint, now())) {
+    ++stats_.circuit_opens;
+    if (auto* trace = simulation().trace()) {
+      trace->instant(static_cast<std::int32_t>(this->id()), now(),
+                     "breaker_open", "resilience",
+                     "\"endpoint\":" + std::to_string(pending.endpoint));
+    }
+  }
   if (pending.attempts >= config_.resilience.retry.max_attempts) {
     ++stats_.exhausted;
     pending_.erase(it);
@@ -88,7 +113,18 @@ void ClientMachine::on_commit_timeout(chain::TxId id) {
 
 void ClientMachine::on_endpoint_reset(net::NodeId endpoint) {
   ++stats_.resets;
-  if (failover_->on_failure(endpoint, now())) ++stats_.circuit_opens;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(id()), now(), "rst", "net",
+                   "\"endpoint\":" + std::to_string(endpoint));
+  }
+  if (failover_->on_failure(endpoint, now())) {
+    ++stats_.circuit_opens;
+    if (auto* trace = simulation().trace()) {
+      trace->instant(static_cast<std::int32_t>(id()), now(), "breaker_open",
+                     "resilience",
+                     "\"endpoint\":" + std::to_string(endpoint));
+    }
+  }
   // Everything awaiting a commit from the dead endpoint will never be
   // answered; resubmit with backoff instead of sitting out the timeout.
   std::vector<chain::TxId> abandoned;
@@ -205,6 +241,10 @@ void ClientMachine::accept(chain::TxId id, Pending& pending,
   latencies_.push_back(sim::to_seconds(now() - pending.submitted_at));
   last_commit_at_ = now();
   ++committed_;
+  if (auto* trace = simulation().trace()) {
+    trace->async_end(static_cast<std::int32_t>(this->id()), now(), id,
+                     "txn", "txn");
+  }
 }
 
 ResilienceStats ClientMachine::resilience_stats() const {

@@ -101,6 +101,10 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
   [[nodiscard]] ResilienceStats resilience_stats() const;
   /// Transactions still awaiting a commit notification.
   [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  /// Failover breakers currently not closed (0 for non-resilient clients).
+  [[nodiscard]] std::size_t open_breakers() const {
+    return failover_.has_value() ? failover_->open_breakers() : 0;
+  }
 
  protected:
   void on_start() final;

@@ -11,8 +11,10 @@
 #include "chains/redbelly/redbelly.hpp"
 #include "chains/solana/solana.hpp"
 #include "core/client.hpp"
+#include "core/metrics.hpp"
 #include "core/observer.hpp"
 #include "core/throughput.hpp"
+#include "core/trace.hpp"
 #include "chain/hash.hpp"
 
 namespace stabl::core {
@@ -195,6 +197,10 @@ std::vector<ReplicaSnapshot> snapshot_replicas(
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulation simulation(config.seed);
+  if (config.trace != nullptr) {
+    name_cluster_tracks(*config.trace, config.n, config.clients);
+    simulation.set_trace(config.trace);
+  }
   net::Network network(simulation, net::LatencyConfig{});
 
   auto nodes = make_chain_nodes(config, simulation, network);
@@ -247,6 +253,60 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Observers observers(simulation, network, node_ptrs,
                       std::move(client_ids));
   observers.arm(resolved_schedule(config));
+
+  // Metrics ride the clock-observer hook, never the event queue, so a
+  // sampled run executes exactly the same events as an unsampled one.
+  std::optional<MetricsTicker> ticker;
+  if (config.metrics != nullptr) {
+    MetricsRegistry& registry = *config.metrics;
+    registry.add_gauge("mempool_depth", [&node_ptrs] {
+      double depth = 0.0;
+      for (const chain::BlockchainNode* node : node_ptrs) {
+        depth += static_cast<double>(node->mempool().size());
+      }
+      return depth;
+    });
+    registry.add_gauge("height", [&node_ptrs] {
+      return static_cast<double>(node_ptrs.front()->ledger().height());
+    });
+    registry.add_gauge("pending_events", [&simulation] {
+      return static_cast<double>(simulation.pending_events());
+    });
+    registry.add_counter("net_sent", [&network] {
+      return static_cast<double>(network.stats().sent);
+    });
+    registry.add_counter("net_delivered", [&network] {
+      return static_cast<double>(network.stats().delivered);
+    });
+    registry.add_counter("net_dropped", [&network] {
+      const net::NetworkStats& s = network.stats();
+      return static_cast<double>(s.dropped_partition + s.dropped_loss +
+                                 s.dropped_dead);
+    });
+    registry.add_gauge("client_in_flight", [&clients] {
+      double in_flight = 0.0;
+      for (const auto& client : clients) {
+        in_flight += static_cast<double>(client->in_flight());
+      }
+      return in_flight;
+    });
+    registry.add_counter("client_committed", [&clients] {
+      double committed = 0.0;
+      for (const auto& client : clients) {
+        committed += static_cast<double>(client->committed());
+      }
+      return committed;
+    });
+    registry.add_gauge("breakers_open", [&clients] {
+      double open = 0.0;
+      for (const auto& client : clients) {
+        open += static_cast<double>(client->open_breakers());
+      }
+      return open;
+    });
+    ticker.emplace(registry, config.metrics_period, config.trace);
+    simulation.set_time_observer(&*ticker);
+  }
 
   simulation.run_until(config.duration);
 
@@ -304,6 +364,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                   client->submitted_ids().end());
     }
   }
+  if (config.metrics != nullptr) {
+    Histogram& latency = config.metrics->histogram(
+        "commit_latency_s",
+        {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    for (const double l : result.latencies) latency.observe(l);
+    // The registry outlives this simulation; its probes must not.
+    config.metrics->detach_probes();
+  }
   return result;
 }
 
@@ -315,6 +383,10 @@ SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
   baseline_config.extra_faults.plans.clear();
   baseline_config.client_fanout = 1;
   baseline_config.workload.shape = WorkloadShape::kConstant;
+  // The timeline of interest is the faulted run; tracing the pristine
+  // baseline too would interleave two runs in one sink.
+  baseline_config.trace = nullptr;
+  baseline_config.metrics = nullptr;
 
   SensitivityRun run;
   run.baseline = run_experiment(baseline_config);

@@ -28,7 +28,13 @@ namespace stabl::chain {
 class BlockchainNode;
 }  // namespace stabl::chain
 
+namespace stabl::sim {
+class TraceSink;
+}  // namespace stabl::sim
+
 namespace stabl::core {
+
+class MetricsRegistry;
 
 enum class ChainKind { kAlgorand, kAptos, kAvalanche, kRedbelly, kSolana };
 
@@ -105,6 +111,15 @@ struct ExperimentConfig {
   /// snapshots ~10 x 80k transaction ids, too heavy to keep for every
   /// cell of a large seed-swept campaign.
   bool capture_replicas = false;
+  /// Observability (core/trace.hpp, core/metrics.hpp). Both observe-only:
+  /// attaching them never perturbs RNG draws or event ordering, so every
+  /// report stays byte-identical with or without them (tests assert this).
+  /// Not owned; null = disabled. A sink/registry must not be shared across
+  /// concurrently running cells.
+  sim::TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// Sim-time sampling period of the metrics ticker.
+  sim::Duration metrics_period = sim::sec(1);
 };
 
 /// One committed block as the oracles see it: structure only, no payloads.

@@ -1,0 +1,242 @@
+#include "core/metrics.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/json.hpp"
+#include "core/report.hpp"
+
+namespace stabl::core {
+namespace {
+
+// Fixed precisions keep to_json/to_csv byte-stable: a value parsed back
+// with strtod and re-printed at the same precision reproduces its bytes.
+constexpr int kTimePrecision = 3;
+constexpr int kValuePrecision = 6;
+
+}  // namespace
+
+Histogram::Histogram(std::string metric_name,
+                     std::vector<double> bucket_bounds)
+    : name(std::move(metric_name)), bounds(std::move(bucket_bounds)) {
+  counts.assign(bounds.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  std::size_t slot = bounds.size();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      slot = i;
+      break;
+    }
+  }
+  ++counts[slot];
+  ++total;
+  sum += value;
+}
+
+void MetricsRegistry::add_gauge(std::string name, Probe probe) {
+  series_.push_back(MetricSeries{std::move(name), {}});
+  probes_.push_back(std::move(probe));
+}
+
+void MetricsRegistry::add_counter(std::string name, Probe probe) {
+  add_gauge(std::move(name), std::move(probe));
+}
+
+Histogram& MetricsRegistry::histogram(std::string name,
+                                      std::vector<double> bounds) {
+  for (Histogram& h : histograms_) {
+    if (h.name == name) return h;
+  }
+  histograms_.emplace_back(std::move(name), std::move(bounds));
+  return histograms_.back();
+}
+
+void MetricsRegistry::sample(double t_s, sim::TraceSink* trace) {
+  times_.push_back(t_s);
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const double value = probes_[i] ? probes_[i]() : 0.0;
+    series_[i].samples.push_back(value);
+    if (trace != nullptr) {
+      trace->counter(sim::seconds(t_s), series_[i].name, value);
+    }
+  }
+}
+
+void MetricsRegistry::detach_probes() {
+  for (Probe& probe : probes_) probe = nullptr;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::vector<std::string> header{"t_s"};
+  for (const MetricSeries& s : series_) header.push_back(s.name);
+  std::ostringstream out;
+  out << csv_join(header) << '\n';
+  for (std::size_t row = 0; row < times_.size(); ++row) {
+    std::vector<std::string> cells{Table::num(times_[row], kTimePrecision)};
+    for (const MetricSeries& s : series_) {
+      cells.push_back(Table::num(s.samples[row], kValuePrecision));
+    }
+    out << csv_join(cells) << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{\"times_s\":[";
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << Table::num(times_[i], kTimePrecision);
+  }
+  out << "],\"series\":[";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (s > 0) out << ',';
+    out << "{\"name\":\"" << series_[s].name << "\",\"samples\":[";
+    for (std::size_t i = 0; i < series_[s].samples.size(); ++i) {
+      if (i > 0) out << ',';
+      out << Table::num(series_[s].samples[i], kValuePrecision);
+    }
+    out << "]}";
+  }
+  out << "],\"histograms\":[";
+  for (std::size_t h = 0; h < histograms_.size(); ++h) {
+    if (h > 0) out << ',';
+    const Histogram& hist = histograms_[h];
+    out << "{\"name\":\"" << hist.name << "\",\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out << ',';
+      out << Table::num(hist.bounds[i], kValuePrecision);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << hist.counts[i];
+    }
+    out << "],\"sum\":" << Table::num(hist.sum, kValuePrecision) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+MetricsRegistry metrics_from_json(const std::string& json) {
+  MetricsRegistry registry;
+  JsonCursor cursor(json);
+  cursor.expect('{');
+
+  if (cursor.parse_string() != "times_s") cursor.fail("expected \"times_s\"");
+  cursor.expect(':');
+  cursor.expect('[');
+  std::vector<double> times;
+  if (!cursor.consume(']')) {
+    do {
+      times.push_back(cursor.parse_number());
+    } while (cursor.consume(','));
+    cursor.expect(']');
+  }
+
+  cursor.expect(',');
+  if (cursor.parse_string() != "series") cursor.fail("expected \"series\"");
+  cursor.expect(':');
+  cursor.expect('[');
+  std::vector<MetricSeries> series;
+  if (!cursor.consume(']')) {
+    do {
+      MetricSeries s;
+      cursor.expect('{');
+      if (cursor.parse_string() != "name") cursor.fail("expected \"name\"");
+      cursor.expect(':');
+      s.name = cursor.parse_string();
+      cursor.expect(',');
+      if (cursor.parse_string() != "samples") {
+        cursor.fail("expected \"samples\"");
+      }
+      cursor.expect(':');
+      cursor.expect('[');
+      if (!cursor.consume(']')) {
+        do {
+          s.samples.push_back(cursor.parse_number());
+        } while (cursor.consume(','));
+        cursor.expect(']');
+      }
+      cursor.expect('}');
+      series.push_back(std::move(s));
+    } while (cursor.consume(','));
+    cursor.expect(']');
+  }
+
+  cursor.expect(',');
+  if (cursor.parse_string() != "histograms") {
+    cursor.fail("expected \"histograms\"");
+  }
+  cursor.expect(':');
+  cursor.expect('[');
+  std::vector<Histogram> histograms;
+  if (!cursor.consume(']')) {
+    do {
+      Histogram hist;
+      cursor.expect('{');
+      if (cursor.parse_string() != "name") cursor.fail("expected \"name\"");
+      cursor.expect(':');
+      hist.name = cursor.parse_string();
+      cursor.expect(',');
+      if (cursor.parse_string() != "bounds") cursor.fail("expected \"bounds\"");
+      cursor.expect(':');
+      cursor.expect('[');
+      if (!cursor.consume(']')) {
+        do {
+          hist.bounds.push_back(cursor.parse_number());
+        } while (cursor.consume(','));
+        cursor.expect(']');
+      }
+      cursor.expect(',');
+      if (cursor.parse_string() != "counts") cursor.fail("expected \"counts\"");
+      cursor.expect(':');
+      cursor.expect('[');
+      hist.counts.clear();
+      if (!cursor.consume(']')) {
+        do {
+          hist.counts.push_back(
+              static_cast<std::uint64_t>(cursor.parse_number()));
+        } while (cursor.consume(','));
+        cursor.expect(']');
+      }
+      cursor.expect(',');
+      if (cursor.parse_string() != "sum") cursor.fail("expected \"sum\"");
+      cursor.expect(':');
+      hist.sum = cursor.parse_number();
+      cursor.expect('}');
+      for (const std::uint64_t c : hist.counts) hist.total += c;
+      histograms.push_back(std::move(hist));
+    } while (cursor.consume(','));
+    cursor.expect(']');
+  }
+  cursor.expect('}');
+  cursor.finish();
+
+  registry.restore(std::move(times), std::move(series),
+                   std::move(histograms));
+  return registry;
+}
+
+void MetricsRegistry::restore(std::vector<double> times,
+                              std::vector<MetricSeries> series,
+                              std::vector<Histogram> histograms) {
+  times_ = std::move(times);
+  series_ = std::move(series);
+  histograms_ = std::move(histograms);
+  probes_.assign(series_.size(), nullptr);
+}
+
+void MetricsTicker::on_time_advance(sim::Time now) {
+  while (true) {
+    const sim::Time next =
+        period_ * static_cast<std::int64_t>(ticks_emitted_ + 1);
+    if (next > now) break;
+    registry_.sample(sim::to_seconds(next), trace_);
+    ++ticks_emitted_;
+  }
+}
+
+}  // namespace stabl::core

@@ -4,7 +4,22 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/trace.hpp"
+
 namespace stabl::core {
+namespace {
+
+std::string plan_args(const FaultPlan& plan) {
+  std::string args = "\"type\":\"" + to_string(plan.type) + "\",\"targets\":[";
+  for (std::size_t i = 0; i < plan.targets.size(); ++i) {
+    if (i > 0) args += ',';
+    args += std::to_string(plan.targets[i]);
+  }
+  args += ']';
+  return args;
+}
+
+}  // namespace
 
 Observers::Observers(sim::Simulation& simulation, net::Network& network,
                      std::vector<chain::BlockchainNode*> nodes,
@@ -29,9 +44,17 @@ std::vector<net::NodeId> Observers::others(
 }
 
 void Observers::churn_kill(const FaultPlan& plan, sim::Time at) {
+  if (auto* trace = sim_.trace()) {
+    trace->instant(kFaultsTrack, sim_.now(), "churn_down", "fault",
+                   plan_args(plan));
+  }
   for (const net::NodeId id : plan.targets) nodes_.at(id)->kill();
   const sim::Time up_at = at + plan.churn_down;
   sim_.schedule_at(up_at, [this, plan, up_at] {
+    if (auto* trace = sim_.trace()) {
+      trace->instant(kFaultsTrack, sim_.now(), "churn_up", "fault",
+                     plan_args(plan));
+    }
     for (const net::NodeId id : plan.targets) nodes_.at(id)->start();
     const sim::Time next_kill = up_at + plan.churn_up;
     // Only start another cycle when it fully fits the fault window, so
@@ -51,26 +74,58 @@ void Observers::arm(const FaultSchedule& schedule) {
 void Observers::arm(const FaultPlan& plan) {
   const std::string error = validate(plan, nodes_.size());
   if (!error.empty()) throw std::invalid_argument(error);
+  // Faults-track bookkeeping: each armed plan gets a numbered async span
+  // from inject to recover (an instant for crashes, which never recover).
+  const std::uint64_t span = ++armed_;
+  if (auto* trace = sim_.trace()) {
+    trace->instant(kFaultsTrack, sim_.now(), "arm", "fault",
+                   plan_args(plan) + ",\"plan\":" + std::to_string(span));
+  }
+  const auto trace_inject = [this, span](const FaultPlan& p) {
+    if (auto* trace = sim_.trace()) {
+      if (uses_recovery_window(p.type)) {
+        trace->async_begin(kFaultsTrack, sim_.now(), span, to_string(p.type),
+                           "fault", plan_args(p));
+      } else {
+        trace->instant(kFaultsTrack, sim_.now(), "inject", "fault",
+                       plan_args(p));
+      }
+    }
+  };
+  const auto trace_recover = [this, span](FaultType type) {
+    if (auto* trace = sim_.trace()) {
+      trace->async_end(kFaultsTrack, sim_.now(), span, to_string(type),
+                       "fault");
+    }
+  };
   switch (plan.type) {
     case FaultType::kNone:
     case FaultType::kSecureClient:
       return;
     case FaultType::kCrash:
-      sim_.schedule_at(plan.inject_at, [this, targets = plan.targets] {
-        for (const net::NodeId id : targets) nodes_.at(id)->kill();
+      sim_.schedule_at(plan.inject_at,
+                       [this, plan, trace_inject] {
+        trace_inject(plan);
+        for (const net::NodeId id : plan.targets) nodes_.at(id)->kill();
       });
       return;
     case FaultType::kTransient:
-      sim_.schedule_at(plan.inject_at, [this, targets = plan.targets] {
-        for (const net::NodeId id : targets) nodes_.at(id)->kill();
+      sim_.schedule_at(plan.inject_at, [this, plan, trace_inject] {
+        trace_inject(plan);
+        for (const net::NodeId id : plan.targets) nodes_.at(id)->kill();
       });
-      sim_.schedule_at(plan.recover_at, [this, targets = plan.targets] {
-        for (const net::NodeId id : targets) nodes_.at(id)->start();
+      sim_.schedule_at(plan.recover_at, [this, plan, trace_recover] {
+        for (const net::NodeId id : plan.targets) nodes_.at(id)->start();
+        trace_recover(plan.type);
       });
       return;
     case FaultType::kChurn:
-      sim_.schedule_at(plan.inject_at, [this, plan] {
+      sim_.schedule_at(plan.inject_at, [this, plan, trace_inject] {
+        trace_inject(plan);
         churn_kill(plan, plan.inject_at);
+      });
+      sim_.schedule_at(plan.recover_at, [this, plan, trace_recover] {
+        trace_recover(plan.type);
       });
       return;
     case FaultType::kPartition:
@@ -81,7 +136,8 @@ void Observers::arm(const FaultPlan& plan) {
       // Each plan owns its rule handle, shared between the install and
       // lift events, so overlapping plans never clobber each other.
       auto rule = std::make_shared<net::RuleId>(0);
-      sim_.schedule_at(plan.inject_at, [this, plan, rule] {
+      sim_.schedule_at(plan.inject_at, [this, plan, rule, trace_inject] {
+        trace_inject(plan);
         const std::vector<net::NodeId> rest = others(plan.targets);
         switch (plan.type) {
           case FaultType::kPartition:
@@ -105,8 +161,10 @@ void Observers::arm(const FaultPlan& plan) {
             break;
         }
       });
-      sim_.schedule_at(plan.recover_at, [this, rule] {
+      sim_.schedule_at(plan.recover_at,
+                       [this, rule, type = plan.type, trace_recover] {
         if (*rule != 0) net_.remove_rule(*rule);
+        trace_recover(type);
       });
       return;
     }

@@ -47,6 +47,8 @@ class Observers {
   net::Network& net_;
   std::vector<chain::BlockchainNode*> nodes_;
   std::vector<net::NodeId> client_ids_;
+  /// Plans armed so far; numbers the async spans on the faults track.
+  std::uint64_t armed_ = 0;
 };
 
 }  // namespace stabl::core

@@ -84,6 +84,14 @@ const CircuitBreaker& EndpointFailover::breaker(net::NodeId id) const {
   return breakers_[index_of(id)];
 }
 
+std::size_t EndpointFailover::open_breakers() const {
+  std::size_t open = 0;
+  for (const CircuitBreaker& breaker : breakers_) {
+    if (breaker.state() != CircuitBreaker::State::kClosed) ++open;
+  }
+  return open;
+}
+
 std::size_t EndpointFailover::index_of(net::NodeId id) const {
   const auto it = std::find(candidates_.begin(), candidates_.end(), id);
   assert(it != candidates_.end() && "endpoint outside the candidate list");

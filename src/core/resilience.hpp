@@ -93,6 +93,9 @@ class EndpointFailover {
   void on_success(net::NodeId id);
   [[nodiscard]] const CircuitBreaker& breaker(net::NodeId id) const;
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  /// Breakers currently not closed (open or half-open) — the gauge the
+  /// metrics registry samples.
+  [[nodiscard]] std::size_t open_breakers() const;
 
  private:
   [[nodiscard]] std::size_t index_of(net::NodeId id) const;

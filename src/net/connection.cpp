@@ -121,8 +121,14 @@ bool ConnectionManager::handle(const Envelope& envelope) {
   switch (control->kind) {
     case ControlPayload::Kind::kRst:
       // The peer's process is dead. Back off; redials are periodic.
-      if (state.state == State::kConnected && callbacks_.on_peer_down) {
-        callbacks_.on_peer_down(envelope.from);
+      if (state.state == State::kConnected) {
+        if (auto* trace = net_.simulation().trace()) {
+          trace->instant(static_cast<std::int32_t>(self_), host_.now(),
+                         "conn_down", "net",
+                         "\"peer\":" + std::to_string(envelope.from) +
+                             ",\"cause\":\"rst\"");
+        }
+        if (callbacks_.on_peer_down) callbacks_.on_peer_down(envelope.from);
       }
       state.state = State::kBackoff;
       schedule_retry(envelope.from);
@@ -156,6 +162,12 @@ void ConnectionManager::tick() {
         if (now - peer.last_heard > policy_.dead_after) {
           // Silence: the link is broken (partition). Try once right away,
           // then fall back to periodic redialing.
+          if (auto* trace = net_.simulation().trace()) {
+            trace->instant(static_cast<std::int32_t>(self_), now,
+                           "conn_down", "net",
+                           "\"peer\":" + std::to_string(id) +
+                               ",\"cause\":\"silence\"");
+          }
           if (callbacks_.on_peer_down) callbacks_.on_peer_down(id);
           dial(id);
         } else if (now - peer.last_sent >= policy_.keepalive_interval) {
@@ -185,6 +197,10 @@ void ConnectionManager::dial(NodeId peer) {
   Peer& state = peer_state(peer);
   state.state = State::kDialing;
   state.dial_deadline = host_.now() + policy_.dial_timeout;
+  if (auto* trace = net_.simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(self_), host_.now(), "dial",
+                   "net", "\"peer\":" + std::to_string(peer));
+  }
   send_control(peer, ControlPayload::Kind::kSyn);
 }
 
@@ -194,6 +210,10 @@ void ConnectionManager::mark_up(NodeId peer) {
   state.state = State::kConnected;
   state.last_heard = host_.now();
   state.last_sent = host_.now();
+  if (auto* trace = net_.simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(self_), host_.now(), "conn_up",
+                   "net", "\"peer\":" + std::to_string(peer));
+  }
   if (callbacks_.on_peer_up) callbacks_.on_peer_up(peer);
 }
 

@@ -25,6 +25,11 @@ bool Simulation::step() {
   if (queue_.empty()) return false;
   Time fired_at{};
   auto action = queue_.pop(fired_at);
+  // Observers see the advance before any event at the new time runs, so a
+  // sample at time T reflects exactly the events strictly before T.
+  if (observer_ != nullptr && fired_at > now_) {
+    observer_->on_time_advance(fired_at);
+  }
   now_ = fired_at;
   ++events_processed_;
   action();
@@ -33,7 +38,10 @@ bool Simulation::step() {
 
 void Simulation::run_until(Time deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) step();
-  if (now_ < deadline) now_ = deadline;
+  if (now_ < deadline) {
+    if (observer_ != nullptr) observer_->on_time_advance(deadline);
+    now_ = deadline;
+  }
 }
 
 void Simulation::run() {

@@ -12,6 +12,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace stabl::sim {
 
@@ -57,11 +58,26 @@ class Simulation {
   /// Live events currently scheduled.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Trace sink, or null when tracing is off (the default). Emit sites
+  /// guard on this pointer, so disabled tracing costs one predicted
+  /// branch. The sink is observe-only: attaching one never perturbs event
+  /// ordering or RNG draws.
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Clock observer, or null (the default). Called whenever the clock is
+  /// about to advance — outside the event queue, so it consumes no
+  /// TimerIds and never counts toward events_processed(). Used by the
+  /// metrics sampler; must not mutate simulation state.
+  void set_time_observer(TimeObserver* observer) { observer_ = observer; }
+
  private:
   Time now_{0};
   EventQueue queue_;
   Rng rng_;
   std::uint64_t events_processed_ = 0;
+  TraceSink* trace_ = nullptr;
+  TimeObserver* observer_ = nullptr;
 };
 
 }  // namespace stabl::sim

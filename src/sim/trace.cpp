@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+namespace stabl::sim {
+
+void TraceSink::begin(std::int32_t track, Time t, std::string name,
+                      std::string category, std::string args) {
+  events_.push_back(Event{Phase::kBegin, track, t, std::move(name),
+                          std::move(category), std::move(args), 0.0, 0});
+}
+
+void TraceSink::end(std::int32_t track, Time t, std::string name) {
+  events_.push_back(
+      Event{Phase::kEnd, track, t, std::move(name), {}, {}, 0.0, 0});
+}
+
+void TraceSink::instant(std::int32_t track, Time t, std::string name,
+                        std::string category, std::string args) {
+  events_.push_back(Event{Phase::kInstant, track, t, std::move(name),
+                          std::move(category), std::move(args), 0.0, 0});
+}
+
+void TraceSink::counter(Time t, std::string name, double value) {
+  events_.push_back(
+      Event{Phase::kCounter, 0, t, std::move(name), {}, {}, value, 0});
+}
+
+void TraceSink::async_begin(std::int32_t track, Time t, std::uint64_t id,
+                            std::string name, std::string category,
+                            std::string args) {
+  events_.push_back(Event{Phase::kAsyncBegin, track, t, std::move(name),
+                          std::move(category), std::move(args), 0.0, id});
+}
+
+void TraceSink::async_end(std::int32_t track, Time t, std::uint64_t id,
+                          std::string name, std::string category) {
+  events_.push_back(Event{Phase::kAsyncEnd, track, t, std::move(name),
+                          std::move(category), {}, 0.0, id});
+}
+
+void TraceSink::set_track_name(std::int32_t track, std::string name) {
+  tracks_[track] = std::move(name);
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  tracks_.clear();
+}
+
+}  // namespace stabl::sim

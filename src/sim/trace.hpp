@@ -1,0 +1,97 @@
+// Sim-time trace recording.
+//
+// A TraceSink collects timestamped spans, instants, async spans and counter
+// samples from anywhere in the simulation — transaction lifecycles,
+// consensus rounds, fault injections, connection churn. The sink lives at
+// the sim layer so that every component (net, chain, chains, core) can emit
+// through the Simulation it already holds, without inverting the layering.
+//
+// Determinism contract: a sink only OBSERVES. Emitting never draws from any
+// Rng, never schedules or cancels events and never mutates component state,
+// so a run is byte-identical in every report with tracing on or off (the
+// harness asserts this; see tests/test_trace.cpp).
+//
+// Overhead contract: tracing is disabled by leaving Simulation's sink
+// pointer null. Emit sites guard with `if (auto* t = sim.trace())`, so the
+// disabled path costs one pointer load and a predicted branch — gated at
+// < 2% by bench/micro_trace_overhead.
+//
+// The sink itself is format-agnostic; core/trace.hpp renders the recorded
+// events as Chrome/Perfetto trace_event JSON with one track per node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace stabl::sim {
+
+class TraceSink {
+ public:
+  enum class Phase : std::uint8_t {
+    kBegin,       // open a synchronous span on a track (Perfetto "B")
+    kEnd,         // close the innermost span on a track ("E")
+    kInstant,     // a point event ("i")
+    kCounter,     // a sampled counter value ("C")
+    kAsyncBegin,  // open an id-keyed overlapping span ("b")
+    kAsyncEnd,    // close an id-keyed overlapping span ("e")
+  };
+
+  struct Event {
+    Phase phase = Phase::kInstant;
+    std::int32_t track = 0;  // NodeId for nodes/clients; kFaultsTrack, ...
+    Time time{0};
+    std::string name;      // low-cardinality label ("round", "commit", ...)
+    std::string category;  // "consensus", "txn", "fault", "net", ...
+    /// Pre-rendered JSON object *body* ("\"round\":7"), may be empty.
+    std::string args;
+    double value = 0.0;       // kCounter only
+    std::uint64_t id = 0;     // kAsync* correlation id (e.g. a TxId)
+  };
+
+  void begin(std::int32_t track, Time t, std::string name,
+             std::string category, std::string args = {});
+  void end(std::int32_t track, Time t, std::string name);
+  void instant(std::int32_t track, Time t, std::string name,
+               std::string category, std::string args = {});
+  void counter(Time t, std::string name, double value);
+  void async_begin(std::int32_t track, Time t, std::uint64_t id,
+                   std::string name, std::string category,
+                   std::string args = {});
+  void async_end(std::int32_t track, Time t, std::uint64_t id,
+                 std::string name, std::string category);
+
+  /// Human-readable label for a track ("node 3", "client 11", "faults").
+  void set_track_name(std::int32_t track, std::string name);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] const std::map<std::int32_t, std::string>& track_names()
+      const {
+    return tracks_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear();
+
+ private:
+  std::vector<Event> events_;
+  std::map<std::int32_t, std::string> tracks_;
+};
+
+/// Hook invoked by the Simulation whenever its clock advances, OUTSIDE the
+/// event queue: observer callbacks never consume TimerIds, never count
+/// toward events_processed() and run before any event at the new time, so
+/// attaching one cannot perturb event ordering or RNG draws. The metrics
+/// sampler (core/metrics.hpp) is the canonical implementation.
+class TimeObserver {
+ public:
+  virtual ~TimeObserver() = default;
+  /// The clock is about to advance to `now` (state reflects every event
+  /// strictly before `now`).
+  virtual void on_time_advance(Time now) = 0;
+};
+
+}  // namespace stabl::sim

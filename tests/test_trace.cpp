@@ -1,0 +1,193 @@
+// Tests for sim-time tracing: sink recording, the Perfetto trace_event
+// export and its strict validator, and the harness-wide determinism
+// contract — attaching a TraceSink and a MetricsRegistry to a faulted
+// experiment must leave every deterministic report byte-identical, and the
+// trace itself must be a deterministic function of the run.
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/chaos.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/serialize.hpp"
+#include "sim/trace.hpp"
+
+namespace stabl::core {
+namespace {
+
+// ---------------------------------------------------------------- sink
+
+TEST(TraceSink, RecordsEventsInEmissionOrder) {
+  sim::TraceSink sink;
+  sink.set_track_name(0, "node 0");
+  sink.begin(0, sim::seconds(1.0), "round", "consensus", "\"round\":7");
+  sink.instant(0, sim::seconds(1.5), "commit", "chain");
+  sink.end(0, sim::seconds(2.0), "round");
+  sink.counter(sim::seconds(2.0), "depth", 3.5);
+  sink.async_begin(1, sim::seconds(0.5), 42, "txn", "txn");
+  sink.async_end(1, sim::seconds(2.5), 42, "txn", "txn");
+
+  ASSERT_EQ(sink.size(), 6u);
+  EXPECT_EQ(sink.events()[0].phase, sim::TraceSink::Phase::kBegin);
+  EXPECT_EQ(sink.events()[0].args, "\"round\":7");
+  EXPECT_EQ(sink.events()[1].phase, sim::TraceSink::Phase::kInstant);
+  EXPECT_EQ(sink.events()[3].value, 3.5);
+  EXPECT_EQ(sink.events()[4].id, 42u);
+  EXPECT_EQ(sink.track_names().at(0), "node 0");
+
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(TraceSink, NameClusterTracksLabelsNodesClientsAndFaults) {
+  sim::TraceSink sink;
+  name_cluster_tracks(sink, 3, 2);
+  EXPECT_EQ(sink.track_names().at(0), "node 0");
+  EXPECT_EQ(sink.track_names().at(2), "node 2");
+  // Clients are numbered by client index; their tids continue after the
+  // nodes (client i lives on tid n_nodes + i).
+  EXPECT_EQ(sink.track_names().at(3), "client 0");
+  EXPECT_EQ(sink.track_names().at(4), "client 1");
+  EXPECT_EQ(sink.track_names().at(kFaultsTrack), "faults");
+}
+
+// -------------------------------------------------------------- export
+
+TEST(TraceExport, JsonValidatesAndCountsMatchTheSink) {
+  sim::TraceSink sink;
+  name_cluster_tracks(sink, 2, 1);
+  sink.begin(0, sim::seconds(1.0), "round", "consensus", "\"round\":1");
+  sink.instant(1, sim::seconds(1.2), "commit", "chain", "\"height\":3");
+  sink.end(0, sim::seconds(1.4), "round");
+  sink.counter(sim::seconds(2.0), "depth", 1.25);
+  sink.async_begin(2, sim::seconds(0.1), 9, "txn", "txn", "\"nonce\":0");
+  sink.async_end(2, sim::seconds(2.1), 9, "txn", "txn");
+  sink.instant(kFaultsTrack, sim::seconds(1.0), "inject", "fault");
+
+  const std::string json = trace_to_json(sink);
+  const TraceStats stats = validate_trace_json(json);
+  EXPECT_EQ(stats.metadata, 4u);  // 2 nodes + 1 client + faults
+  EXPECT_EQ(stats.events, 7u);
+  EXPECT_EQ(stats.spans, 1u);
+  EXPECT_EQ(stats.instants, 2u);
+  EXPECT_EQ(stats.counters, 1u);
+  EXPECT_EQ(stats.asyncs, 2u);
+}
+
+TEST(TraceExport, ValidatorRejectsGarbageAndUnbalancedSpans) {
+  EXPECT_THROW(validate_trace_json(""), std::invalid_argument);
+  EXPECT_THROW(validate_trace_json("{\"traceEvents\":}"),
+               std::invalid_argument);
+
+  sim::TraceSink unbalanced;
+  unbalanced.begin(0, sim::seconds(1.0), "round", "consensus");
+  EXPECT_THROW(validate_trace_json(trace_to_json(unbalanced)),
+               std::invalid_argument);
+
+  sim::TraceSink crossed;
+  crossed.end(0, sim::seconds(1.0), "round");
+  EXPECT_THROW(validate_trace_json(trace_to_json(crossed)),
+               std::invalid_argument);
+}
+
+TEST(TraceExport, EmptySinkStillProducesAValidDocument) {
+  sim::TraceSink sink;
+  const TraceStats stats = validate_trace_json(trace_to_json(sink));
+  EXPECT_EQ(stats.events, 0u);
+}
+
+// -------------------------------------------------- experiment contract
+
+ExperimentConfig faulted_cell() {
+  ExperimentConfig config;
+  config.chain = ChainKind::kRedbelly;
+  config.fault = FaultType::kTransient;
+  config.seed = 11;
+  config.duration = sim::sec(60);
+  config.inject_at = sim::sec(20);
+  config.recover_at = sim::sec(40);
+  return config;
+}
+
+TEST(TraceDeterminism, TracedRunIsByteIdenticalToUntraced) {
+  const SensitivityRun plain = run_sensitivity(faulted_cell());
+
+  ExperimentConfig traced_config = faulted_cell();
+  sim::TraceSink sink;
+  MetricsRegistry metrics;
+  traced_config.trace = &sink;
+  traced_config.metrics = &metrics;
+  const SensitivityRun traced = run_sensitivity(traced_config);
+
+  // The hard constraint: observability must not perturb RNG draws or
+  // event ordering, so every deterministic report matches byte for byte.
+  EXPECT_EQ(to_json(faulted_cell().chain, faulted_cell().fault, traced),
+            to_json(faulted_cell().chain, faulted_cell().fault, plain));
+  EXPECT_EQ(
+      summary_csv_row(faulted_cell().chain, faulted_cell().fault, traced),
+      summary_csv_row(faulted_cell().chain, faulted_cell().fault, plain));
+
+  // And the run actually produced a rich, schema-valid timeline.
+  const TraceStats stats = validate_trace_json(trace_to_json(sink));
+  EXPECT_GT(stats.events, 100u);
+  EXPECT_GT(stats.counters, 0u);   // metrics sampled into the trace
+  EXPECT_GT(stats.asyncs, 0u);     // txn lifecycle spans
+  EXPECT_GE(stats.tracks, 2u);
+  EXPECT_FALSE(metrics.sample_times().empty());
+  EXPECT_FALSE(metrics.series().empty());
+}
+
+TEST(TraceDeterminism, TraceAndMetricsBytesAreReproducible) {
+  auto capture = [](std::string& trace_json, std::string& metrics_json) {
+    ExperimentConfig config = faulted_cell();
+    sim::TraceSink sink;
+    MetricsRegistry metrics;
+    config.trace = &sink;
+    config.metrics = &metrics;
+    run_sensitivity(config);
+    trace_json = trace_to_json(sink);
+    metrics_json = metrics.to_json();
+  };
+  std::string trace_a, metrics_a, trace_b, metrics_b;
+  capture(trace_a, metrics_a);
+  capture(trace_b, metrics_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(metrics_a, metrics_b);
+  // The metrics document round-trips byte-identically, like repro files.
+  EXPECT_EQ(metrics_from_json(metrics_a).to_json(), metrics_a);
+}
+
+// ------------------------------------------------------- chaos repros
+
+TEST(TraceChaos, ReproTracesAreDeterministicAndValidate) {
+  const auto campaign = [] {
+    ChaosCampaignConfig config;
+    config.chains = {ChainKind::kRedbelly};
+    config.trials_per_chain = 2;
+    config.seed = 7;
+    config.base.duration = sim::sec(60);
+    config.trace_repros = true;
+    return config;
+  };
+  const ChaosCampaignResult first = run_chaos_campaign(campaign());
+  const ChaosCampaignResult second = run_chaos_campaign(campaign());
+  EXPECT_EQ(first.to_json(), second.to_json());
+  ASSERT_EQ(first.trials.size(), second.trials.size());
+  for (std::size_t i = 0; i < first.trials.size(); ++i) {
+    const ChaosTrial& trial = first.trials[i];
+    EXPECT_EQ(trial.repro_trace, second.trials[i].repro_trace);
+    if (trial.report.violated()) {
+      ASSERT_FALSE(trial.repro_trace.empty());
+      EXPECT_GT(validate_trace_json(trial.repro_trace).events, 0u);
+    } else {
+      EXPECT_TRUE(trial.repro_trace.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stabl::core
