@@ -16,44 +16,24 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
-#include <vector>
 
+#include "cli_common.hpp"
 #include "core/chaos.hpp"
 
 namespace {
 
 using namespace stabl;
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--chains names] [--trials n] [--seed n]\n"
-               "          [--duration seconds] [--jobs n] [--shrink]\n"
-               "          [--out dir]\n",
-               argv0);
-  std::exit(2);
+std::string usage_text(const char* argv0) {
+  return "usage: " + std::string(argv0) +
+         " [--chains names] [--trials n] [--seed n]\n"
+         "          [--duration seconds] [--jobs n] [--shrink]\n"
+         "          [--out dir]";
 }
 
-std::vector<core::ChainKind> parse_chains(const std::string& list,
-                                          const char* argv0) {
-  std::vector<core::ChainKind> chains;
-  for (std::size_t pos = 0; pos < list.size();) {
-    const std::size_t comma = list.find(',', pos);
-    const std::string name =
-        list.substr(pos, comma == std::string::npos ? std::string::npos
-                                                    : comma - pos);
-    bool found = false;
-    for (const core::ChainKind chain : core::kAllChains) {
-      if (core::to_string(chain) == name) {
-        chains.push_back(chain);
-        found = true;
-      }
-    }
-    if (!found) usage(argv0);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (chains.empty()) usage(argv0);
-  return chains;
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "%s\n", usage_text(argv0).c_str());
+  std::exit(2);
 }
 
 }  // namespace
@@ -71,7 +51,8 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--chains") {
-      config.chains = parse_chains(value(), argv[0]);
+      config.chains =
+          cli::parse_chain_list_or_exit(value(), argv[0], usage_text(argv[0]));
     } else if (arg == "--trials") {
       const long trials = std::atol(value().c_str());
       if (trials < 1) usage(argv[0]);

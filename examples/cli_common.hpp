@@ -1,0 +1,129 @@
+// cli_common — flag-parsing helpers shared by the example drivers
+// (stabl_cli, regression_gate, partition_study, chaos_hunt).
+//
+// Chain and fault names resolve through the registry
+// (core::parse_chain_name / core::fault_from_name), so every driver gets
+// case-insensitive matching and error messages that list the valid names,
+// and a newly linked chain plugin is accepted everywhere at once.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/fault.hpp"
+
+namespace stabl::cli {
+
+/// The examples' shared usage-error exit: message (and an optional hint
+/// line) to stderr, exit code 2.
+[[noreturn]] inline void fail(const char* argv0, const std::string& message,
+                              const std::string& hint = {}) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  if (!hint.empty()) std::fprintf(stderr, "%s\n", hint.c_str());
+  std::exit(2);
+}
+
+/// Registry-backed chain lookup, case-insensitive; exits 2 listing the
+/// valid names when unknown.
+inline core::ChainKind parse_chain_or_exit(const std::string& name,
+                                           const char* argv0,
+                                           const std::string& hint = {}) {
+  try {
+    return core::parse_chain_name(name);
+  } catch (const std::invalid_argument& error) {
+    fail(argv0, error.what(), hint);
+  }
+}
+
+/// Fault-type lookup, case-insensitive; exits 2 listing the valid names
+/// when unknown.
+inline core::FaultType parse_fault_or_exit(const std::string& name,
+                                           const char* argv0,
+                                           const std::string& hint = {}) {
+  try {
+    return core::fault_from_name(name);
+  } catch (const std::invalid_argument& error) {
+    fail(argv0, error.what(), hint);
+  }
+}
+
+/// Comma-separated chain names ("redbelly,solana"); exits 2 on an unknown
+/// name or an empty list.
+inline std::vector<core::ChainKind> parse_chain_list_or_exit(
+    const std::string& list, const char* argv0,
+    const std::string& hint = {}) {
+  std::vector<core::ChainKind> chains;
+  for (std::size_t pos = 0; pos < list.size();) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    chains.push_back(parse_chain_or_exit(name, argv0, hint));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (chains.empty()) {
+    fail(argv0, "expected a comma-separated chain list", hint);
+  }
+  return chains;
+}
+
+/// Comma-separated node ids ("0,1"); exits 2 on an empty list or an empty
+/// token. `flag` names the flag in the error message.
+inline std::vector<net::NodeId> parse_node_ids_or_exit(
+    const std::string& list, const char* argv0, const std::string& flag,
+    const std::string& hint = {}) {
+  std::vector<net::NodeId> ids;
+  for (std::size_t pos = 0; pos < list.size();) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string token =
+        list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (token.empty()) fail(argv0, flag + " has an empty id", hint);
+    ids.push_back(
+        static_cast<net::NodeId>(std::strtoul(token.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (ids.empty()) fail(argv0, flag + " needs at least one id", hint);
+  return ids;
+}
+
+/// The paper's run geometry for a given duration: faults hit at the first
+/// integer third and clear at the second (400 s keeps 133 s / 266 s).
+inline void apply_run_window(core::ExperimentConfig& config,
+                             long duration_s) {
+  config.duration = sim::sec(duration_s);
+  config.inject_at = sim::sec(duration_s / 3);
+  config.recover_at = sim::sec(2 * duration_s / 3);
+}
+
+/// Writes `body` to `path`, exiting 1 on I/O failure. The harness's output
+/// files are small (traces a few MB at most), so one buffered fwrite is
+/// fine.
+inline void write_file_or_die(const char* argv0, const std::string& path,
+                              const std::string& body) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", argv0,
+                 path.c_str());
+    std::exit(1);
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), out);
+  if (std::fclose(out) != 0 || written != body.size()) {
+    std::fprintf(stderr, "%s: short write to %s\n", argv0, path.c_str());
+    std::exit(1);
+  }
+}
+
+inline bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace stabl::cli

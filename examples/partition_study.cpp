@@ -9,19 +9,23 @@
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
+#include <stdexcept>
 
+#include "cli_common.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 
 namespace {
 
+// The study is exploratory, so an unknown chain warns (listing the valid
+// names) and falls back to the paper's Redbelly instead of aborting.
 stabl::core::ChainKind parse_chain(const char* name) {
-  using stabl::core::ChainKind;
-  for (const ChainKind chain : stabl::core::kAllChains) {
-    if (stabl::core::to_string(chain) == name) return chain;
+  try {
+    return stabl::core::parse_chain_name(name);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s, using redbelly\n", error.what());
+    return stabl::core::ChainKind::kRedbelly;
   }
-  std::fprintf(stderr, "unknown chain '%s', using redbelly\n", name);
-  return ChainKind::kRedbelly;
 }
 
 }  // namespace
@@ -34,9 +38,7 @@ int main(int argc, char** argv) {
 
   core::ExperimentConfig config;
   config.chain = chain;
-  config.duration = sim::sec(duration);
-  config.inject_at = sim::sec(duration / 3);
-  config.recover_at = sim::sec(2 * duration / 3);
+  cli::apply_run_window(config, duration);
 
   std::printf("=== %s: partition of f=t+1 nodes, %lds run ===\n",
               core::to_string(chain).c_str(), duration);

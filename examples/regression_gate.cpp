@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_common.hpp"
 #include "core/campaign.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
@@ -31,9 +32,7 @@ int main(int argc, char** argv) {
 
   core::CampaignConfig config;
   config.base.seed = seed;
-  config.base.duration = sim::sec(duration_s);
-  config.base.inject_at = sim::sec(duration_s / 3);
-  config.base.recover_at = sim::sec(2 * duration_s / 3);
+  cli::apply_run_window(config.base, duration_s);
   config.num_seeds = static_cast<std::size_t>(num_seeds);
   config.jobs = static_cast<unsigned>(jobs);
   config.on_cell_done = [](core::ChainKind chain, core::FaultType fault,

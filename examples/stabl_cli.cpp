@@ -10,9 +10,20 @@
 //             [--fault-targets IDS]
 //             [--extra-fault NAME]... [--loss-prob P] [--gray-delay S]
 //             [--throttle-bps BYTES] [--resilient] [--commit-timeout S]
+//             [--chain-param KEY=VALUE]...
 //             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
 //             [--chaos N] [--shrink]
 //             [--trace FILE] [--metrics FILE]
+//   stabl_cli --scenario FILE [--format FMT] [--dump-scenario]
+//   stabl_cli [flags...] --dump-scenario
+//
+// Every flag combination is internally a core::ScenarioSpec — a
+// declarative JSON description of the run. --dump-scenario prints that
+// spec instead of running it; --scenario FILE loads a spec (e.g. one of
+// examples/scenarios/*.json) and runs it, reproducing the byte-identical
+// report of the equivalent flag invocation. --chain-param overrides a
+// registered per-chain tunable by name (see `--help` or the chain's
+// ChainTraits::default_params).
 //
 // --seeds N sweeps N consecutive seeds starting at --seed and reports the
 // per-seed scores plus mean/min/max/stddev aggregates; --jobs N fans the
@@ -33,9 +44,10 @@
 //
 // Examples:
 //   stabl_cli --chain solana --fault transient
+//   stabl_cli --scenario examples/scenarios/fig3a_redbelly.json
 //   stabl_cli --chain redbelly --fault partition --max-idle 30 --format json
+//   stabl_cli --chain avalanche --chain-param cpu_target=0.8 --fault churn
 //   stabl_cli --chain aptos --chaos 10 --shrink --duration 120 --jobs 4
-//   stabl_cli --chain avalanche --fault churn --trace churn.trace.json
 //   # Fault engine v2: packet loss composed on top of the partition, with
 //   # resilient (timeout + failover + backoff) clients:
 //   stabl_cli --chain redbelly --fault partition --extra-fault loss
@@ -44,14 +56,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "cli_common.hpp"
 #include "core/campaign.hpp"
 #include "core/chaos.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
 #include "core/serialize.hpp"
 #include "core/trace.hpp"
 #include "sim/trace.hpp"
@@ -64,13 +81,23 @@ void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(
       out,
       "usage: %s [options]\n"
+      "       %s --scenario FILE [--format FMT] [--dump-scenario]\n"
       "\n"
       "Run one STABL experiment pair (baseline vs faulted) and report the\n"
       "sensitivity score; sweep seeds; or run a randomized chaos campaign.\n"
       "\n"
+      "scenarios:\n"
+      "  --scenario FILE     load a declarative scenario (JSON; see\n"
+      "                      examples/scenarios/) instead of experiment\n"
+      "                      flags; reproduces the byte-identical report\n"
+      "                      of the equivalent flag invocation\n"
+      "  --dump-scenario     print the scenario JSON this invocation\n"
+      "                      resolves to and exit (check it in, replay it\n"
+      "                      with --scenario)\n"
+      "\n"
       "experiment selection:\n"
-      "  --chain NAME        algorand|aptos|avalanche|redbelly|solana\n"
-      "                      (default redbelly)\n"
+      "  --chain NAME        registered chain, case-insensitive\n"
+      "                      (%s; default redbelly)\n"
       "  --fault NAME        none|crash|transient|partition|secure-client|\n"
       "                      delay|churn|loss|throttle|gray (default none)\n"
       "  --duration S        simulated seconds, >= 30 (default 400)\n"
@@ -116,6 +143,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --throttle-bps B    throttle bandwidth, bytes per second\n"
       "\n"
       "chain tuning:\n"
+      "  --chain-param K=V   override a registered chain parameter by\n"
+      "                      name (repeatable; unknown keys are errors)\n"
       "  --no-throttling     disable Avalanche message throttling\n"
       "  --no-warmup-epochs  disable Solana warmup epochs\n"
       "  --max-idle S        Redbelly max idle seconds\n"
@@ -123,69 +152,35 @@ void print_usage(std::FILE* out, const char* argv0) {
       "output:\n"
       "  --format FMT        text|csv|json (default text)\n"
       "  --help              print this help and exit 0\n",
-      argv0);
+      argv0, argv0, core::chain_registry().names_csv().c_str());
+}
+
+std::string help_hint(const char* argv0) {
+  return "run '" + std::string(argv0) + " --help' for the full flag list";
 }
 
 [[noreturn]] void fail_usage(const char* argv0, const std::string& message) {
-  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
-  std::fprintf(stderr, "run '%s --help' for the full flag list\n", argv0);
-  std::exit(2);
-}
-
-core::ChainKind parse_chain(const std::string& name, const char* argv0) {
-  for (const core::ChainKind chain : core::kAllChains) {
-    if (core::to_string(chain) == name) return chain;
-  }
-  fail_usage(argv0, "unknown chain '" + name + "'");
-}
-
-core::FaultType parse_fault(const std::string& name, const char* argv0) {
-  for (const core::FaultType fault :
-       {core::FaultType::kNone, core::FaultType::kCrash,
-        core::FaultType::kTransient, core::FaultType::kPartition,
-        core::FaultType::kSecureClient, core::FaultType::kDelay,
-        core::FaultType::kChurn, core::FaultType::kLoss,
-        core::FaultType::kThrottle, core::FaultType::kGray}) {
-    if (core::to_string(fault) == name) return fault;
-  }
-  fail_usage(argv0, "unknown fault '" + name + "'");
-}
-
-/// Writes `body` to `path`, exiting 1 on I/O failure. The harness's output
-/// files are small (traces a few MB at most), so one buffered fwrite is
-/// fine.
-void write_file_or_die(const char* argv0, const std::string& path,
-                       const std::string& body) {
-  std::FILE* out = std::fopen(path.c_str(), "wb");
-  if (out == nullptr) {
-    std::fprintf(stderr, "%s: cannot open %s for writing\n", argv0,
-                 path.c_str());
-    std::exit(1);
-  }
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), out);
-  if (std::fclose(out) != 0 || written != body.size()) {
-    std::fprintf(stderr, "%s: short write to %s\n", argv0, path.c_str());
-    std::exit(1);
-  }
-}
-
-bool ends_with(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+  cli::fail(argv0, message, help_hint(argv0));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentConfig config;
+  core::ScenarioSpec spec;
   std::string format = "text";
-  std::string trace_path;
-  std::string metrics_path;
-  long duration_s = 400;
-  long num_seeds = 1;
-  long jobs = 1;
-  long chaos_trials = 0;
-  bool chaos_shrink = false;
+  std::string scenario_path;
+  bool dump_scenario = false;
+  // Whether any flag configured the experiment itself (everything except
+  // --format / --dump-scenario / --help); such flags cannot be combined
+  // with --scenario, which is the complete description of a run.
+  bool experiment_flags = false;
+  // Legacy tuning flags. They are mapped onto registry parameter keys
+  // once the chain is known, and silently skipped when the chain does not
+  // declare the key — exactly the old ChainTuning semantics (a Solana
+  // knob on a Redbelly run was always ignored).
+  std::optional<bool> flag_no_throttling;
+  std::optional<bool> flag_no_warmup_epochs;
+  std::optional<double> flag_max_idle_s;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -193,39 +188,57 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) fail_usage(argv[0], arg + " needs a value");
       return argv[++i];
     };
+    auto experiment_flag = [&experiment_flags] { experiment_flags = true; };
     if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
       return 0;
+    } else if (arg == "--scenario") {
+      scenario_path = value();
+      if (scenario_path.empty()) {
+        fail_usage(argv[0], "--scenario needs a file name");
+      }
+    } else if (arg == "--dump-scenario") {
+      dump_scenario = true;
     } else if (arg == "--chain") {
-      config.chain = parse_chain(value(), argv[0]);
+      experiment_flag();
+      spec.chain = core::to_string(
+          cli::parse_chain_or_exit(value(), argv[0], help_hint(argv[0])));
     } else if (arg == "--fault") {
-      config.fault = parse_fault(value(), argv[0]);
+      experiment_flag();
+      spec.fault = core::to_string(
+          cli::parse_fault_or_exit(value(), argv[0], help_hint(argv[0])));
     } else if (arg == "--duration") {
-      duration_s = std::atol(value().c_str());
-      if (duration_s < 30) fail_usage(argv[0], "--duration must be >= 30");
+      experiment_flag();
+      spec.duration_s = std::atol(value().c_str());
+      if (spec.duration_s < 30) {
+        fail_usage(argv[0], "--duration must be >= 30");
+      }
     } else if (arg == "--seed") {
-      config.seed = std::strtoull(value().c_str(), nullptr, 10);
+      experiment_flag();
+      spec.seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--seeds") {
-      num_seeds = std::atol(value().c_str());
-      if (num_seeds < 1) fail_usage(argv[0], "--seeds must be >= 1");
+      experiment_flag();
+      spec.num_seeds = std::atol(value().c_str());
+      if (spec.num_seeds < 1) fail_usage(argv[0], "--seeds must be >= 1");
     } else if (arg == "--jobs") {
-      jobs = std::atol(value().c_str());
-      if (jobs < 1) fail_usage(argv[0], "--jobs must be >= 1");
+      experiment_flag();
+      spec.jobs = std::atol(value().c_str());
+      if (spec.jobs < 1) fail_usage(argv[0], "--jobs must be >= 1");
     } else if (arg == "--fanout") {
-      config.client_fanout = std::atoi(value().c_str());
+      experiment_flag();
+      spec.fanout = std::atoi(value().c_str());
     } else if (arg == "--matching") {
-      config.client_matching =
-          static_cast<std::size_t>(std::atoi(value().c_str()));
+      experiment_flag();
+      spec.matching = std::atoi(value().c_str());
     } else if (arg == "--vcpus") {
-      config.vcpus = std::atof(value().c_str());
+      experiment_flag();
+      spec.vcpus = std::atof(value().c_str());
     } else if (arg == "--workload") {
-      const std::string shape = value();
-      if (shape == "bursty") {
-        config.workload.shape = core::WorkloadShape::kBursty;
-      } else if (shape == "ramp") {
-        config.workload.shape = core::WorkloadShape::kRamp;
-      } else if (shape != "constant") {
-        fail_usage(argv[0], "unknown workload '" + shape + "'");
+      experiment_flag();
+      spec.workload = value();
+      if (spec.workload != "constant" && spec.workload != "bursty" &&
+          spec.workload != "ramp") {
+        fail_usage(argv[0], "unknown workload '" + spec.workload + "'");
       }
     } else if (arg == "--format") {
       format = value();
@@ -233,57 +246,65 @@ int main(int argc, char** argv) {
         fail_usage(argv[0], "unknown format '" + format + "'");
       }
     } else if (arg == "--fault-targets") {
-      // Comma-separated node ids, e.g. "0,1" to fault entry nodes.
-      const std::string list = value();
-      config.fault_targets.clear();
-      for (std::size_t pos = 0; pos < list.size();) {
-        const std::size_t comma = list.find(',', pos);
-        const std::string token =
-            list.substr(pos, comma == std::string::npos ? std::string::npos
-                                                        : comma - pos);
-        if (token.empty()) {
-          fail_usage(argv[0], "--fault-targets has an empty id");
-        }
-        config.fault_targets.push_back(
-            static_cast<net::NodeId>(std::strtoul(token.c_str(), nullptr, 10)));
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
-      }
-      if (config.fault_targets.empty()) {
-        fail_usage(argv[0], "--fault-targets needs at least one id");
-      }
+      experiment_flag();
+      spec.fault_targets = cli::parse_node_ids_or_exit(
+          value(), argv[0], "--fault-targets", help_hint(argv[0]));
     } else if (arg == "--extra-fault") {
-      core::FaultPlan plan;
-      plan.type = parse_fault(value(), argv[0]);
-      config.extra_faults.add(plan);  // window/targets default in the runner
+      experiment_flag();
+      spec.extra_faults.push_back(core::to_string(
+          cli::parse_fault_or_exit(value(), argv[0], help_hint(argv[0]))));
     } else if (arg == "--loss-prob") {
-      config.loss_probability = std::atof(value().c_str());
+      experiment_flag();
+      spec.loss_probability = std::atof(value().c_str());
     } else if (arg == "--gray-delay") {
-      config.gray_latency = sim::seconds(std::atof(value().c_str()));
+      experiment_flag();
+      spec.gray_delay_s = std::atof(value().c_str());
     } else if (arg == "--throttle-bps") {
-      config.throttle_bytes_per_s = std::atof(value().c_str());
+      experiment_flag();
+      spec.throttle_bytes_per_s = std::atof(value().c_str());
     } else if (arg == "--resilient") {
-      config.resilience.enabled = true;
+      experiment_flag();
+      spec.resilient = true;
     } else if (arg == "--commit-timeout") {
-      config.resilience.retry.commit_timeout =
-          sim::seconds(std::atof(value().c_str()));
+      experiment_flag();
+      spec.commit_timeout_s = std::atof(value().c_str());
+    } else if (arg == "--chain-param") {
+      experiment_flag();
+      const std::string assignment = value();
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        fail_usage(argv[0], "--chain-param expects KEY=VALUE");
+      }
+      spec.chain_params[assignment.substr(0, eq)] =
+          std::atof(assignment.c_str() + eq + 1);
     } else if (arg == "--no-throttling") {
-      config.tuning.avalanche_throttling = false;
+      experiment_flag();
+      flag_no_throttling = true;
     } else if (arg == "--no-warmup-epochs") {
-      config.tuning.solana_warmup_epochs = false;
+      experiment_flag();
+      flag_no_warmup_epochs = true;
     } else if (arg == "--max-idle") {
-      config.tuning.redbelly_max_idle_s = std::atof(value().c_str());
+      experiment_flag();
+      flag_max_idle_s = std::atof(value().c_str());
     } else if (arg == "--chaos") {
-      chaos_trials = std::atol(value().c_str());
-      if (chaos_trials < 1) fail_usage(argv[0], "--chaos must be >= 1");
+      experiment_flag();
+      spec.chaos_trials = std::atol(value().c_str());
+      if (spec.chaos_trials < 1) {
+        fail_usage(argv[0], "--chaos must be >= 1");
+      }
     } else if (arg == "--shrink") {
-      chaos_shrink = true;
+      experiment_flag();
+      spec.shrink = true;
     } else if (arg == "--trace") {
-      trace_path = value();
-      if (trace_path.empty()) fail_usage(argv[0], "--trace needs a file name");
+      experiment_flag();
+      spec.trace = value();
+      if (spec.trace.empty()) {
+        fail_usage(argv[0], "--trace needs a file name");
+      }
     } else if (arg == "--metrics") {
-      metrics_path = value();
-      if (metrics_path.empty()) {
+      experiment_flag();
+      spec.metrics = value();
+      if (spec.metrics.empty()) {
         fail_usage(argv[0], "--metrics needs a file name");
       }
     } else {
@@ -291,25 +312,57 @@ int main(int argc, char** argv) {
     }
   }
 
-  config.duration = sim::sec(duration_s);
-  config.inject_at = sim::sec(duration_s / 3);
-  config.recover_at = sim::sec(2 * duration_s / 3);
-  // Composed plans share the primary fault window and knob values; the
-  // runner fills in their default targets.
-  for (core::FaultPlan& plan : config.extra_faults.plans) {
-    plan.inject_at = config.inject_at;
-    plan.recover_at = config.recover_at;
-    plan.loss_probability = config.loss_probability;
-    plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
-    plan.gray_latency = config.gray_latency;
-  }
-  if (config.fault == core::FaultType::kSecureClient &&
-      config.client_fanout == 1) {
-    config.client_fanout = 4;
-    config.vcpus = 8.0;
+  if (!scenario_path.empty()) {
+    if (experiment_flags) {
+      fail_usage(argv[0],
+                 "--scenario is a complete run description; combine it "
+                 "only with --format and --dump-scenario");
+    }
+    std::ifstream file(scenario_path);
+    if (!file) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                   scenario_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    try {
+      spec = core::scenario_from_json(buffer.str());
+    } catch (const std::invalid_argument& error) {
+      fail_usage(argv[0], scenario_path + ": " + error.what());
+    }
+  } else {
+    // Map the legacy tuning flags onto the chain's registered parameters.
+    const chain::ChainTraits* traits =
+        core::chain_registry().find(spec.chain);
+    const auto set_param = [&](const char* key, double param_value) {
+      if (traits != nullptr &&
+          traits->default_params.find(key) != traits->default_params.end()) {
+        spec.chain_params[key] = param_value;
+      }
+    };
+    if (flag_no_throttling.has_value()) set_param("throttling", 0.0);
+    if (flag_no_warmup_epochs.has_value()) set_param("warmup_epochs", 0.0);
+    if (flag_max_idle_s.has_value()) set_param("max_idle_s", *flag_max_idle_s);
   }
 
-  if (chaos_trials > 0) {
+  if (dump_scenario) {
+    std::printf("%s\n", core::scenario_to_json(spec).c_str());
+    return 0;
+  }
+
+  core::ResolvedScenario resolved;
+  try {
+    resolved = core::resolve_scenario(spec);
+  } catch (const std::invalid_argument& error) {
+    fail_usage(argv[0], error.what());
+  }
+  core::ExperimentConfig config = resolved.config;
+  const long duration_s = static_cast<long>(spec.duration_s);
+  const std::string& trace_path = resolved.trace_path;
+  const std::string& metrics_path = resolved.metrics_path;
+
+  if (resolved.chaos_trials > 0) {
     if (!metrics_path.empty()) {
       fail_usage(argv[0],
                  "--metrics applies to single runs, not --chaos campaigns");
@@ -319,20 +372,21 @@ int main(int argc, char** argv) {
     // --trace names the base file the timelines are written to.
     core::ChaosCampaignConfig chaos;
     chaos.chains = {config.chain};
-    chaos.trials_per_chain = static_cast<std::size_t>(chaos_trials);
+    chaos.trials_per_chain = resolved.chaos_trials;
     chaos.seed = config.seed;
     chaos.base = config;
     chaos.base.fault = core::FaultType::kNone;
-    chaos.shrink = chaos_shrink;
+    chaos.shrink = resolved.shrink;
     chaos.trace_repros = !trace_path.empty();
-    chaos.jobs = static_cast<unsigned>(jobs);
+    chaos.jobs = resolved.jobs;
     const core::ChaosCampaignResult result = core::run_chaos_campaign(chaos);
     for (const core::ChaosTrial& trial : result.trials) {
       if (trial.repro_trace.empty()) continue;
-      write_file_or_die(argv[0], trace_path + "." +
-                                     core::to_string(trial.chain) + ".trial" +
-                                     std::to_string(trial.trial) + ".json",
-                        trial.repro_trace);
+      cli::write_file_or_die(argv[0],
+                             trace_path + "." + core::to_string(trial.chain) +
+                                 ".trial" + std::to_string(trial.trial) +
+                                 ".json",
+                             trial.repro_trace);
     }
     if (format == "json") {
       std::printf("%s\n", result.to_json().c_str());
@@ -357,7 +411,7 @@ int main(int argc, char** argv) {
     return result.violations() > 0 ? 1 : 0;
   }
 
-  if (num_seeds > 1 || jobs > 1) {
+  if (resolved.num_seeds > 1 || resolved.jobs > 1) {
     if (!trace_path.empty() || !metrics_path.empty()) {
       fail_usage(argv[0],
                  "--trace/--metrics apply to single runs; rerun the seed of "
@@ -370,8 +424,8 @@ int main(int argc, char** argv) {
     campaign.chains = {config.chain};
     campaign.faults = {config.fault};
     campaign.base = config;
-    campaign.num_seeds = static_cast<std::size_t>(num_seeds);
-    campaign.jobs = static_cast<unsigned>(jobs);
+    campaign.num_seeds = resolved.num_seeds;
+    campaign.jobs = resolved.jobs;
     core::CampaignResult result;
     try {
       result = core::run_campaign(campaign);
@@ -388,9 +442,9 @@ int main(int argc, char** argv) {
       std::printf("%s", result.to_csv().c_str());
       return 0;
     }
-    std::printf("%s under %s, %ld seeds starting at %llu\n",
+    std::printf("%s under %s, %zu seeds starting at %llu\n",
                 core::to_string(config.chain).c_str(),
-                core::to_string(config.fault).c_str(), num_seeds,
+                core::to_string(config.fault).c_str(), resolved.num_seeds,
                 static_cast<unsigned long long>(config.seed));
     const auto& seed_runs =
         result.seed_runs.at({config.chain, config.fault});
@@ -430,12 +484,14 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_path.empty()) {
-    write_file_or_die(argv[0], trace_path, core::trace_to_json(trace_sink));
+    cli::write_file_or_die(argv[0], trace_path,
+                           core::trace_to_json(trace_sink));
   }
   if (!metrics_path.empty()) {
-    write_file_or_die(argv[0], metrics_path,
-                      ends_with(metrics_path, ".csv") ? metrics.to_csv()
-                                                      : metrics.to_json());
+    cli::write_file_or_die(argv[0], metrics_path,
+                           cli::ends_with(metrics_path, ".csv")
+                               ? metrics.to_csv()
+                               : metrics.to_json());
   }
 
   if (format == "json") {

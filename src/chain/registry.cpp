@@ -1,0 +1,156 @@
+#include "chain/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace stabl::chain {
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::size_t tolerance_fifth(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 5.0 - 1.0)));
+}
+
+std::size_t tolerance_third(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 3.0 - 1.0)));
+}
+
+ChainParams merge_params(const ChainTraits& traits,
+                         const ChainParams& overrides) {
+  ChainParams params = traits.default_params;
+  for (const auto& [key, value] : overrides) {
+    const auto it = params.find(key);
+    if (it == params.end()) {
+      std::string known;
+      for (const auto& [known_key, unused] : traits.default_params) {
+        if (!known.empty()) known += ", ";
+        known += known_key;
+      }
+      throw std::invalid_argument(
+          "chain '" + traits.name + "' has no parameter '" + key + "'" +
+          (known.empty() ? " (it declares none)"
+                         : " (known: " + known + ")"));
+    }
+    it->second = value;
+  }
+  return params;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(ChainTraits traits) {
+  if (finalized_) {
+    throw std::logic_error(
+        "chain registry already finalized (ids assigned); chains must "
+        "register before the first lookup, e.g. from a namespace-scope "
+        "ChainRegistrar");
+  }
+  if (traits.name.empty()) {
+    throw std::invalid_argument("chain traits need a name");
+  }
+  if (!traits.make_cluster) {
+    throw std::invalid_argument("chain '" + traits.name +
+                                "' registered without a make_cluster factory");
+  }
+  if (!traits.fault_tolerance) {
+    throw std::invalid_argument(
+        "chain '" + traits.name +
+        "' registered without a fault_tolerance function");
+  }
+  const std::string lower = to_lower(traits.name);
+  for (const ChainTraits& existing : chains_) {
+    if (to_lower(existing.name) == lower) {
+      throw std::invalid_argument("chain '" + traits.name +
+                                  "' registered twice");
+    }
+  }
+  chains_.push_back(std::move(traits));
+}
+
+void Registry::ensure_finalized() const {
+  std::call_once(finalize_once_, [this] {
+    std::stable_sort(chains_.begin(), chains_.end(),
+                     [](const ChainTraits& a, const ChainTraits& b) {
+                       if (a.tier != b.tier) return a.tier < b.tier;
+                       return a.name < b.name;
+                     });
+    for (ChainId id = 0; id < chains_.size(); ++id) {
+      by_name_[to_lower(chains_[id].name)] = id;
+    }
+    finalized_ = true;
+  });
+}
+
+const ChainTraits& Registry::traits(ChainId id) const {
+  ensure_finalized();
+  if (id >= chains_.size()) {
+    throw std::invalid_argument(
+        "no chain registered with id " + std::to_string(id) +
+        " (registered: " + names_csv() + ")");
+  }
+  return chains_[id];
+}
+
+ChainId Registry::id_of(std::string_view name) const {
+  ensure_finalized();
+  const auto it = by_name_.find(to_lower(name));
+  if (it == by_name_.end()) {
+    throw std::invalid_argument("unknown chain '" + std::string(name) +
+                                "' (valid: " + names_csv() + ")");
+  }
+  return it->second;
+}
+
+const ChainTraits* Registry::find(std::string_view name) const {
+  ensure_finalized();
+  const auto it = by_name_.find(to_lower(name));
+  return it == by_name_.end() ? nullptr : &chains_[it->second];
+}
+
+std::size_t Registry::size() const {
+  ensure_finalized();
+  return chains_.size();
+}
+
+std::vector<ChainId> Registry::ids() const {
+  ensure_finalized();
+  std::vector<ChainId> out(chains_.size());
+  for (ChainId id = 0; id < chains_.size(); ++id) out[id] = id;
+  return out;
+}
+
+std::vector<std::string> Registry::names() const {
+  ensure_finalized();
+  std::vector<std::string> out;
+  out.reserve(chains_.size());
+  for (const ChainTraits& traits : chains_) out.push_back(traits.name);
+  return out;
+}
+
+std::string Registry::names_csv() const {
+  ensure_finalized();
+  std::string out;
+  for (const ChainTraits& traits : chains_) {
+    if (!out.empty()) out += ", ";
+    out += traits.name;
+  }
+  return out;
+}
+
+}  // namespace stabl::chain

@@ -1,0 +1,153 @@
+// Chain plugin registry: the seam that makes every blockchain a
+// self-registering plugin instead of a ChainKind switch case.
+//
+// Each chain under src/chains/* describes itself with a ChainTraits
+// record — name, cluster factory, fault tolerance, tunable parameters and
+// the oracle's expected-loss exemptions — and registers it with the
+// process-wide Registry from a namespace-scope ChainRegistrar in its own
+// translation unit. The harness (experiment runner, oracles, CLI parsers,
+// benches) resolves chains exclusively through registry lookups, so adding
+// a backend means adding one directory under src/chains/ and linking it;
+// no core file changes (see chains/refbft, the reference plugin).
+//
+// Identifier discipline. ChainIds are assigned when the registry is first
+// queried ("finalized"): chains are ordered by (tier, name), so the five
+// paper chains (tier 0) always occupy ids 0-4 in alphabetical order —
+// exactly the historical core::ChainKind enum values, which therefore
+// survives as a thin alias over registry ids — and extension chains
+// (tier 1, the default) follow, alphabetically, regardless of static
+// initialization or link order. The assignment is deterministic for a
+// fixed set of linked chains, so reports stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/node.hpp"
+#include "core/fault.hpp"
+
+namespace stabl::sim {
+class Simulation;
+}  // namespace stabl::sim
+
+namespace stabl::net {
+class Network;
+}  // namespace stabl::net
+
+namespace stabl::chain {
+
+/// Dense registry index. Ids 0-4 are the paper's five chains (tier 0,
+/// alphabetical); extension chains follow.
+using ChainId = std::uint32_t;
+
+/// Generic per-chain tunables: snake_case key -> numeric value (booleans
+/// are 0/1). A chain declares its known keys and their defaults in
+/// ChainTraits::default_params; overrides with unknown keys are rejected,
+/// which is what makes declarative scenarios (core/scenario.hpp) strict.
+using ChainParams = std::map<std::string, double>;
+
+/// A modeled liveness loss the chain's author documents: when this chain
+/// runs under a fault schedule containing a plan of type `fault` and a
+/// liveness oracle fails, the verdict downgrades to expected-loss —
+/// provided `evidence_metric` (a chain_metrics key, e.g. Solana's
+/// "panicked") is positive in the run. See core/oracle.hpp.
+struct ChainLossExemption {
+  core::FaultType fault = core::FaultType::kNone;
+  std::string evidence_metric;
+  std::string reason;
+};
+
+/// Everything the harness needs to know about one chain.
+struct ChainTraits {
+  /// Lower-case identifier used in flags, reports and scenario files.
+  std::string name;
+  /// Id-assignment tier: 0 = the five paper chains (ids 0-4), 1 (default)
+  /// = extensions, ordered after every tier-0 chain.
+  int tier = 1;
+  /// Build the n-node cluster. `params` is default_params with any
+  /// overrides merged in; factories read every key they declared.
+  std::function<std::vector<std::unique_ptr<BlockchainNode>>(
+      sim::Simulation& simulation, net::Network& network,
+      const NodeConfig& node_config, const ChainParams& params)>
+      make_cluster;
+  /// t_B: how many Byzantine/faulty nodes an n-node cluster tolerates.
+  std::function<std::size_t(std::size_t n)> fault_tolerance;
+  /// Known tunables and their defaults (empty = chain has no knobs).
+  ChainParams default_params;
+  /// Documented failure modes the oracles downgrade to expected-loss.
+  std::vector<ChainLossExemption> loss_exemptions;
+};
+
+/// t_B formulas of the paper (§2): Algorand and Avalanche tolerate a 20%
+/// coalition, the BFT chains tolerate less than a third.
+std::size_t tolerance_fifth(std::size_t n);
+std::size_t tolerance_third(std::size_t n);
+
+/// traits.default_params with `overrides` merged in. Strict: an override
+/// key the chain did not declare throws std::invalid_argument naming the
+/// chain and listing its known keys. The experiment runner and the
+/// scenario resolver share this, so both reject typos identically.
+ChainParams merge_params(const ChainTraits& traits,
+                         const ChainParams& overrides);
+
+class Registry {
+ public:
+  /// The process-wide registry ChainRegistrar adds to. Prefer
+  /// core::chain_registry(), which also guarantees the five built-in
+  /// chains' registration objects are linked in.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register a chain. Throws std::invalid_argument on an incomplete
+  /// traits record or a duplicate name, and std::logic_error when called
+  /// after the registry was first queried (ids are already assigned).
+  void add(ChainTraits traits);
+
+  /// Traits of a registered chain. Throws std::invalid_argument with the
+  /// registered-name listing when `id` is out of range — the descriptive
+  /// failure an out-of-range ChainKind cast now produces.
+  [[nodiscard]] const ChainTraits& traits(ChainId id) const;
+
+  /// Case-insensitive name lookup. Throws std::invalid_argument listing
+  /// the valid names when unknown.
+  [[nodiscard]] ChainId id_of(std::string_view name) const;
+
+  /// Case-insensitive name lookup; nullptr when unknown.
+  [[nodiscard]] const ChainTraits* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const;
+  /// All ids in deterministic (tier, name) order: 0, 1, ..., size()-1.
+  [[nodiscard]] std::vector<ChainId> ids() const;
+  /// All names in id order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// "algorand, aptos, ..." — the listing parse errors embed.
+  [[nodiscard]] std::string names_csv() const;
+
+ private:
+  void ensure_finalized() const;
+
+  mutable std::once_flag finalize_once_;
+  mutable bool finalized_ = false;
+  mutable std::vector<ChainTraits> chains_;        // id-indexed once final
+  mutable std::map<std::string, ChainId> by_name_;  // lower-case keys
+};
+
+/// Namespace-scope self-registration hook:
+///   const chain::ChainRegistrar kRegistrar{[] { ... return traits; }()};
+/// placed in the chain's .cpp next to its make_cluster definition.
+struct ChainRegistrar {
+  explicit ChainRegistrar(ChainTraits traits) {
+    Registry::global().add(std::move(traits));
+  }
+};
+
+}  // namespace stabl::chain

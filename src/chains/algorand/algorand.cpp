@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "chain/registry.hpp"
 #include "chain/vrf.hpp"
 
 namespace stabl::algorand {
@@ -435,5 +436,30 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
   }
   return nodes;
 }
+
+namespace {
+
+const chain::ChainRegistrar kRegistrar{[] {
+  chain::ChainTraits traits;
+  traits.name = "algorand";
+  traits.tier = 0;
+  traits.fault_tolerance = chain::tolerance_fifth;
+  const AlgorandConfig defaults;
+  traits.default_params = {
+      {"relays", static_cast<double>(defaults.relay_count)}};
+  traits.make_cluster = [](sim::Simulation& simulation,
+                           net::Network& network,
+                           const chain::NodeConfig& node_config,
+                           const chain::ChainParams& params) {
+    AlgorandConfig config;
+    config.relay_count = static_cast<std::size_t>(params.at("relays"));
+    return make_cluster(simulation, network, node_config, config);
+  };
+  return traits;
+}()};
+
+}  // namespace
+
+void ensure_registered() {}
 
 }  // namespace stabl::algorand

@@ -180,4 +180,9 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
     sim::Simulation& simulation, net::Network& network,
     chain::NodeConfig node_config_template, AlgorandConfig config = {});
 
+/// No-op that anchors this chain's ChainRegistrar: a binary that calls it
+/// (core::chain_registry() does) cannot have the registration object's
+/// translation unit dropped by the static-archive linker.
+void ensure_registered();
+
 }  // namespace stabl::algorand

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "chain/registry.hpp"
+
 namespace stabl::aptos {
 namespace {
 
@@ -394,5 +396,25 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
   }
   return nodes;
 }
+
+namespace {
+
+const chain::ChainRegistrar kRegistrar{[] {
+  chain::ChainTraits traits;
+  traits.name = "aptos";
+  traits.tier = 0;
+  traits.fault_tolerance = chain::tolerance_third;
+  traits.make_cluster = [](sim::Simulation& simulation,
+                           net::Network& network,
+                           const chain::NodeConfig& node_config,
+                           const chain::ChainParams&) {
+    return make_cluster(simulation, network, node_config);
+  };
+  return traits;
+}()};
+
+}  // namespace
+
+void ensure_registered() {}
 
 }  // namespace stabl::aptos

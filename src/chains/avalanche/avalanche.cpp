@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "chain/hash.hpp"
+#include "chain/registry.hpp"
 
 namespace stabl::avalanche {
 namespace {
@@ -460,5 +461,59 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
   }
   return nodes;
 }
+
+namespace {
+
+const chain::ChainRegistrar kRegistrar{[] {
+  chain::ChainTraits traits;
+  traits.name = "avalanche";
+  traits.tier = 0;
+  traits.fault_tolerance = chain::tolerance_fifth;
+  const AvalancheConfig defaults;
+  traits.default_params = {
+      {"throttling", defaults.throttler.enabled ? 1.0 : 0.0},
+      {"cpu_target", defaults.throttler.cpu_target}};
+  traits.make_cluster = [](sim::Simulation& simulation,
+                           net::Network& network,
+                           const chain::NodeConfig& node_config,
+                           const chain::ChainParams& params) {
+    AvalancheConfig config;
+    config.throttler.enabled = params.at("throttling") != 0.0;
+    config.throttler.cpu_target = params.at("cpu_target");
+    return make_cluster(simulation, network, node_config, config);
+  };
+  // The paper's observed failure modes (DESIGN.md §10 table): the inbound
+  // throttler starves the chain to death after restarts, partitions,
+  // delays or bandwidth collapse. Every exemption requires the
+  // "throttled_dropped" evidence to be present in the run.
+  using core::FaultType;
+  traits.loss_exemptions = {
+      {FaultType::kTransient, "throttled_dropped",
+       "the inbound throttler starves restarted nodes and the network "
+       "never refills its frontier (paper §5)"},
+      {FaultType::kPartition, "throttled_dropped",
+       "post-partition catch-up traffic trips the inbound throttler "
+       "(paper §6)"},
+      {FaultType::kDelay, "throttled_dropped",
+       "two-minute-late messages accumulate until the throttler drops "
+       "them (paper §6)"},
+      {FaultType::kThrottle, "throttled_dropped",
+       "bandwidth collapse plus the CPU throttler is the death spiral the "
+       "paper attributes Avalanche's outage to"},
+      {FaultType::kChurn, "throttled_dropped",
+       "every churn restart re-enters the throttler starvation"},
+      {FaultType::kLoss, "throttled_dropped",
+       "lost queries force repolls whose backlog trips the inbound "
+       "throttler; the frontier never refills"},
+      {FaultType::kGray, "throttled_dropped",
+       "flapping links alternate between backlog build-up and repoll "
+       "storms until the throttler starves consensus"},
+  };
+  return traits;
+}()};
+
+}  // namespace
+
+void ensure_registered() {}
 
 }  // namespace stabl::avalanche

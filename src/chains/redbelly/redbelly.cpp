@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "chain/registry.hpp"
+
 namespace stabl::redbelly {
 namespace {
 
@@ -271,5 +273,30 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
   }
   return nodes;
 }
+
+namespace {
+
+const chain::ChainRegistrar kRegistrar{[] {
+  chain::ChainTraits traits;
+  traits.name = "redbelly";
+  traits.tier = 0;
+  traits.fault_tolerance = chain::tolerance_third;
+  const RedbellyConfig defaults;
+  traits.default_params = {
+      {"max_idle_s", sim::to_seconds(defaults.max_idle_time)}};
+  traits.make_cluster = [](sim::Simulation& simulation,
+                           net::Network& network,
+                           const chain::NodeConfig& node_config,
+                           const chain::ChainParams& params) {
+    RedbellyConfig config;
+    config.max_idle_time = sim::seconds(params.at("max_idle_s"));
+    return make_cluster(simulation, network, node_config, config);
+  };
+  return traits;
+}()};
+
+}  // namespace
+
+void ensure_registered() {}
 
 }  // namespace stabl::redbelly

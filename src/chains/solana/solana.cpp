@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "chain/hash.hpp"
+#include "chain/registry.hpp"
 
 namespace stabl::solana {
 namespace {
@@ -373,5 +374,50 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
   }
   return nodes;
 }
+
+namespace {
+
+const chain::ChainRegistrar kRegistrar{[] {
+  chain::ChainTraits traits;
+  traits.name = "solana";
+  traits.tier = 0;
+  traits.fault_tolerance = chain::tolerance_third;
+  const SolanaConfig defaults;
+  traits.default_params = {
+      {"warmup_epochs", defaults.warmup_epochs ? 1.0 : 0.0}};
+  traits.make_cluster = [](sim::Simulation& simulation,
+                           net::Network& network,
+                           const chain::NodeConfig& node_config,
+                           const chain::ChainParams& params) {
+    SolanaConfig config;
+    config.warmup_epochs = params.at("warmup_epochs") != 0.0;
+    return make_cluster(simulation, network, node_config, config);
+  };
+  // The paper's observed failure modes (DESIGN.md §10 table): validators
+  // panic when transient outages, partitions or delays stall the epoch
+  // accounts hash. Every exemption requires the "panicked" evidence to be
+  // present in the run.
+  using core::FaultType;
+  traits.loss_exemptions = {
+      {FaultType::kTransient, "panicked",
+       "restarting validators panic on the snapshot/EAH race (paper §5)"},
+      {FaultType::kPartition, "panicked",
+       "partitioned validators panic once the epoch accounts hash stalls "
+       "(paper §6)"},
+      {FaultType::kDelay, "panicked",
+       "delayed gossip stalls the epoch accounts hash and panics every "
+       "validator (paper §6)"},
+      {FaultType::kChurn, "panicked",
+       "crash-recovery churn repeatedly triggers the restart panic"},
+      {FaultType::kGray, "panicked",
+       "flapping loss suppresses rooting across the epoch-accounts-hash "
+       "window; the EAH check panics every validator (paper §5 mechanism)"},
+  };
+  return traits;
+}()};
+
+}  // namespace
+
+void ensure_registered() {}
 
 }  // namespace stabl::solana

@@ -18,18 +18,6 @@
 namespace stabl::core {
 namespace {
 
-FaultType fault_type_from_string(const std::string& name) {
-  static constexpr FaultType kAll[] = {
-      FaultType::kNone,   FaultType::kCrash,    FaultType::kTransient,
-      FaultType::kPartition, FaultType::kSecureClient, FaultType::kDelay,
-      FaultType::kChurn,  FaultType::kLoss,     FaultType::kThrottle,
-      FaultType::kGray};
-  for (const FaultType type : kAll) {
-    if (to_string(type) == name) return type;
-  }
-  throw std::invalid_argument("unknown fault type: " + name);
-}
-
 std::string plan_json(const FaultPlan& plan) {
   std::ostringstream out;
   out << "{\"type\":\"" << to_string(plan.type) << "\",\"targets\":[";
@@ -81,7 +69,7 @@ FaultPlan parse_plan(JsonCursor& cursor) {
     const std::string key = cursor.parse_string();
     cursor.expect(':');
     if (key == "type") {
-      plan.type = fault_type_from_string(cursor.parse_string());
+      plan.type = fault_from_name(cursor.parse_string());
     } else if (key == "targets") {
       cursor.expect('[');
       if (!cursor.consume(']')) {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "chains/algorand/algorand.hpp"
 #include "chains/aptos/aptos.hpp"
@@ -20,6 +20,30 @@
 namespace stabl::core {
 namespace {
 
+/// The legacy ChainTuning knobs, mapped onto registry parameter keys. Each
+/// knob only applies when the chain actually declares its key, which
+/// preserves the old semantics exactly: a Solana tuning on a Redbelly run
+/// is silently ignored, as the per-chain switch used to do.
+void apply_legacy_tuning(const ChainTuning& tuning,
+                         chain::ChainParams& params) {
+  const auto set = [&params](const char* key, double value) {
+    const auto it = params.find(key);
+    if (it != params.end()) it->second = value;
+  };
+  if (tuning.avalanche_throttling.has_value()) {
+    set("throttling", *tuning.avalanche_throttling ? 1.0 : 0.0);
+  }
+  if (tuning.avalanche_cpu_target.has_value()) {
+    set("cpu_target", *tuning.avalanche_cpu_target);
+  }
+  if (tuning.solana_warmup_epochs.has_value()) {
+    set("warmup_epochs", *tuning.solana_warmup_epochs ? 1.0 : 0.0);
+  }
+  if (tuning.redbelly_max_idle_s.has_value()) {
+    set("max_idle_s", *tuning.redbelly_max_idle_s);
+  }
+}
+
 std::vector<std::unique_ptr<chain::BlockchainNode>> make_chain_nodes(
     const ExperimentConfig& config, sim::Simulation& simulation,
     net::Network& network) {
@@ -27,43 +51,11 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_chain_nodes(
   node_config.n = config.n;
   node_config.vcpus = config.vcpus;
   node_config.network_seed = chain::mix64(config.seed);
-  switch (config.chain) {
-    case ChainKind::kAlgorand:
-      return algorand::make_cluster(simulation, network, node_config);
-    case ChainKind::kAptos:
-      return aptos::make_cluster(simulation, network, node_config);
-    case ChainKind::kAvalanche: {
-      avalanche::AvalancheConfig chain_config;
-      if (config.tuning.avalanche_throttling.has_value()) {
-        chain_config.throttler.enabled =
-            *config.tuning.avalanche_throttling;
-      }
-      if (config.tuning.avalanche_cpu_target.has_value()) {
-        chain_config.throttler.cpu_target =
-            *config.tuning.avalanche_cpu_target;
-      }
-      return avalanche::make_cluster(simulation, network, node_config,
-                                     chain_config);
-    }
-    case ChainKind::kRedbelly: {
-      redbelly::RedbellyConfig chain_config;
-      if (config.tuning.redbelly_max_idle_s.has_value()) {
-        chain_config.max_idle_time =
-            sim::seconds(*config.tuning.redbelly_max_idle_s);
-      }
-      return redbelly::make_cluster(simulation, network, node_config,
-                                    chain_config);
-    }
-    case ChainKind::kSolana: {
-      solana::SolanaConfig chain_config;
-      if (config.tuning.solana_warmup_epochs.has_value()) {
-        chain_config.warmup_epochs = *config.tuning.solana_warmup_epochs;
-      }
-      return solana::make_cluster(simulation, network, node_config,
-                                  chain_config);
-    }
-  }
-  return {};
+  const chain::ChainTraits& traits = chain_traits(config.chain);
+  chain::ChainParams params =
+      chain::merge_params(traits, config.chain_params);
+  apply_legacy_tuning(config.tuning, params);
+  return traits.make_cluster(simulation, network, node_config, params);
 }
 
 /// Paper default fault size: t for crash-style faults, t+1 for the
@@ -102,29 +94,32 @@ std::vector<net::NodeId> default_targets(std::size_t f,
 
 }  // namespace
 
+const chain::Registry& chain_registry() {
+  static const chain::Registry& registry = [] () -> const chain::Registry& {
+    algorand::ensure_registered();
+    aptos::ensure_registered();
+    avalanche::ensure_registered();
+    redbelly::ensure_registered();
+    solana::ensure_registered();
+    return chain::Registry::global();
+  }();
+  return registry;
+}
+
+const chain::ChainTraits& chain_traits(ChainKind chain) {
+  return chain_registry().traits(chain_id(chain));
+}
+
+ChainKind parse_chain_name(std::string_view name) {
+  return chain_kind(chain_registry().id_of(name));
+}
+
 std::string to_string(ChainKind chain) {
-  switch (chain) {
-    case ChainKind::kAlgorand: return "algorand";
-    case ChainKind::kAptos: return "aptos";
-    case ChainKind::kAvalanche: return "avalanche";
-    case ChainKind::kRedbelly: return "redbelly";
-    case ChainKind::kSolana: return "solana";
-  }
-  return "?";
+  return chain_traits(chain).name;
 }
 
 std::size_t fault_tolerance(ChainKind chain, std::size_t n) {
-  const double dn = static_cast<double>(n);
-  switch (chain) {
-    case ChainKind::kAlgorand:
-    case ChainKind::kAvalanche:
-      return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 5.0 - 1.0)));
-    case ChainKind::kAptos:
-    case ChainKind::kRedbelly:
-    case ChainKind::kSolana:
-      return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 3.0 - 1.0)));
-  }
-  return 0;
+  return chain_traits(chain).fault_tolerance(n);
 }
 
 FaultSchedule resolved_schedule(const ExperimentConfig& config) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "chain/registry.hpp"
 #include "chain/types.hpp"
 #include "core/fault.hpp"
 #include "core/resilience.hpp"
@@ -36,11 +37,43 @@ namespace stabl::core {
 
 class MetricsRegistry;
 
+/// ChainKind is a thin alias over chain::Registry ids: the five paper
+/// chains register at tier 0 and therefore always hold ids 0-4 in
+/// alphabetical order — exactly these historical enum values. Extension
+/// chains (e.g. the refbft reference plugin) get ids past the enum range;
+/// every ChainKind consumer resolves through the registry, so those values
+/// are just as valid.
 enum class ChainKind { kAlgorand, kAptos, kAvalanche, kRedbelly, kSolana };
 
+/// The paper's five chains. Campaign/bench defaults iterate this — not the
+/// registry — so linking an extension chain never silently widens a
+/// default campaign.
 inline constexpr ChainKind kAllChains[] = {
     ChainKind::kAlgorand, ChainKind::kAptos, ChainKind::kAvalanche,
     ChainKind::kRedbelly, ChainKind::kSolana};
+
+/// The process-wide chain registry, with the five built-in chains'
+/// registration objects anchored (a plain chain::Registry::global() call
+/// from a binary that never names a chain symbol would let the static
+/// archive linker drop their translation units — and the registrations
+/// with them).
+const chain::Registry& chain_registry();
+
+constexpr chain::ChainId chain_id(ChainKind chain) {
+  return static_cast<chain::ChainId>(chain);
+}
+constexpr ChainKind chain_kind(chain::ChainId id) {
+  return static_cast<ChainKind>(id);
+}
+
+/// Registry traits of a chain. Throws std::invalid_argument (listing the
+/// registered chains) on an out-of-range value — the descriptive failure
+/// an out-of-range ChainKind cast produces everywhere now.
+const chain::ChainTraits& chain_traits(ChainKind chain);
+
+/// Case-insensitive name -> ChainKind. Throws std::invalid_argument
+/// listing the valid names when unknown.
+ChainKind parse_chain_name(std::string_view name);
 
 std::string to_string(ChainKind chain);
 
@@ -102,6 +135,13 @@ struct ExperimentConfig {
   /// ignored — submissions go to one endpoint at a time.
   ResilienceConfig resilience{};
   ChainTuning tuning{};
+  /// Generic per-chain parameter overrides, merged over the chain's
+  /// registered defaults (chain::ChainTraits::default_params). Strict: a
+  /// key the chain did not declare throws std::invalid_argument. The
+  /// legacy `tuning` knobs are applied on top, preserving their
+  /// ignored-on-other-chains semantics. Scenario files (core/scenario.hpp)
+  /// populate this.
+  chain::ChainParams chain_params{};
   /// Submission shape (average rate stays tps_per_client). The paper uses
   /// the constant shape; the others quantify its §8 limitation.
   WorkloadConfig workload{};

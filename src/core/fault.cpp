@@ -1,13 +1,23 @@
 #include "core/fault.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 namespace stabl::core {
 namespace {
 
 bool is_targeted(FaultType type) {
   return type != FaultType::kNone && type != FaultType::kSecureClient;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
 }
 
 }  // namespace
@@ -26,6 +36,20 @@ std::string to_string(FaultType type) {
     case FaultType::kGray: return "gray";
   }
   return "?";
+}
+
+FaultType fault_from_name(std::string_view name) {
+  const std::string lower = to_lower(name);
+  for (const FaultType type : kAllFaultTypes) {
+    if (to_string(type) == lower) return type;
+  }
+  std::string valid;
+  for (const FaultType type : kAllFaultTypes) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(type);
+  }
+  throw std::invalid_argument("unknown fault type '" + std::string(name) +
+                              "' (valid: " + valid + ")");
 }
 
 bool uses_recovery_window(FaultType type) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/message.hpp"
@@ -38,7 +39,17 @@ enum class FaultType {
                // traffic with inflated latency (slow disk / saturated NIC)
 };
 
+inline constexpr FaultType kAllFaultTypes[] = {
+    FaultType::kNone,  FaultType::kCrash,        FaultType::kTransient,
+    FaultType::kPartition, FaultType::kSecureClient, FaultType::kDelay,
+    FaultType::kChurn, FaultType::kLoss,         FaultType::kThrottle,
+    FaultType::kGray};
+
 std::string to_string(FaultType type);
+
+/// Inverse of to_string, case-insensitive. Throws std::invalid_argument
+/// listing every valid name when `name` matches none of them.
+FaultType fault_from_name(std::string_view name);
 
 struct FaultPlan {
   FaultType type = FaultType::kNone;

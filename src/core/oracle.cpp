@@ -290,44 +290,21 @@ std::string OracleReport::summary() const {
 }
 
 std::vector<OracleExemption> default_exemptions() {
-  // The paper's chain-specific failure modes. Each exemption requires the
-  // named chain_metrics evidence to actually be present in the run, so a
-  // Solana liveness loss without a panic still counts as a violation.
-  return {
-      {ChainKind::kSolana, FaultType::kTransient, "panicked",
-       "restarting validators panic on the snapshot/EAH race (paper §5)"},
-      {ChainKind::kSolana, FaultType::kPartition, "panicked",
-       "partitioned validators panic once the epoch accounts hash stalls "
-       "(paper §6)"},
-      {ChainKind::kSolana, FaultType::kDelay, "panicked",
-       "delayed gossip stalls the epoch accounts hash and panics every "
-       "validator (paper §6)"},
-      {ChainKind::kSolana, FaultType::kChurn, "panicked",
-       "crash-recovery churn repeatedly triggers the restart panic"},
-      {ChainKind::kSolana, FaultType::kGray, "panicked",
-       "flapping loss suppresses rooting across the epoch-accounts-hash "
-       "window; the EAH check panics every validator (paper §5 mechanism)"},
-      {ChainKind::kAvalanche, FaultType::kTransient, "throttled_dropped",
-       "the inbound throttler starves restarted nodes and the network "
-       "never refills its frontier (paper §5)"},
-      {ChainKind::kAvalanche, FaultType::kPartition, "throttled_dropped",
-       "post-partition catch-up traffic trips the inbound throttler "
-       "(paper §6)"},
-      {ChainKind::kAvalanche, FaultType::kDelay, "throttled_dropped",
-       "two-minute-late messages accumulate until the throttler drops "
-       "them (paper §6)"},
-      {ChainKind::kAvalanche, FaultType::kThrottle, "throttled_dropped",
-       "bandwidth collapse plus the CPU throttler is the death spiral the "
-       "paper attributes Avalanche's outage to"},
-      {ChainKind::kAvalanche, FaultType::kChurn, "throttled_dropped",
-       "every churn restart re-enters the throttler starvation"},
-      {ChainKind::kAvalanche, FaultType::kLoss, "throttled_dropped",
-       "lost queries force repolls whose backlog trips the inbound "
-       "throttler; the frontier never refills"},
-      {ChainKind::kAvalanche, FaultType::kGray, "throttled_dropped",
-       "flapping links alternate between backlog build-up and repoll "
-       "storms until the throttler starves consensus"},
-  };
+  // Every registered chain's self-declared failure modes (the paper's
+  // per-chain observations live in ChainTraits::loss_exemptions next to
+  // each chain's model). Each exemption requires the named chain_metrics
+  // evidence to actually be present in the run, so a Solana liveness loss
+  // without a panic still counts as a violation.
+  std::vector<OracleExemption> exemptions;
+  const chain::Registry& registry = chain_registry();
+  for (const chain::ChainId id : registry.ids()) {
+    for (const chain::ChainLossExemption& exemption :
+         registry.traits(id).loss_exemptions) {
+      exemptions.push_back({chain_kind(id), exemption.fault,
+                            exemption.evidence_metric, exemption.reason});
+    }
+  }
+  return exemptions;
 }
 
 OracleContext make_oracle_context(const ExperimentConfig& config) {

@@ -1,0 +1,372 @@
+#include "core/scenario.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.hpp"
+
+namespace stabl::core {
+namespace {
+
+/// Shortest round-trip formatting (std::to_chars): "0.2" stays "0.2",
+/// integral values carry no trailing ".0". This is what keeps dumped
+/// specs byte-stable through a parse/serialize cycle.
+std::string fmt_double(double value) {
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buffer, end);
+}
+
+void append_string(std::string& out, const std::string& value) {
+  out += '"';
+  out += value;  // harness strings never contain quotes or escapes
+  out += '"';
+}
+
+bool parse_bool(JsonCursor& cursor) {
+  if (cursor.consume('t')) {
+    cursor.expect('r');
+    cursor.expect('u');
+    cursor.expect('e');
+    return true;
+  }
+  cursor.expect('f');
+  cursor.expect('a');
+  cursor.expect('l');
+  cursor.expect('s');
+  cursor.expect('e');
+  return false;
+}
+
+std::int64_t parse_integer(JsonCursor& cursor, const std::string& key) {
+  const double value = cursor.parse_number();
+  if (value != std::floor(value) || std::abs(value) > 9e15) {
+    throw std::invalid_argument("scenario: \"" + key +
+                                "\" must be an integer");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace
+
+std::string validate_scenario(const ScenarioSpec& spec) {
+  std::ostringstream error;
+  if (spec.chain.empty()) {
+    error << "\"chain\" must not be empty";
+  } else if (spec.fault.empty()) {
+    error << "\"fault\" must not be empty";
+  } else if (spec.duration_s < 30) {
+    error << "\"duration_s\" must be >= 30 (got " << spec.duration_s << ")";
+  } else if (spec.num_seeds < 1) {
+    error << "\"num_seeds\" must be >= 1 (got " << spec.num_seeds << ")";
+  } else if (spec.jobs < 1) {
+    error << "\"jobs\" must be >= 1 (got " << spec.jobs << ")";
+  } else if (spec.chaos_trials < 0) {
+    error << "\"chaos_trials\" must be >= 0 (got " << spec.chaos_trials
+          << ")";
+  } else if (spec.fanout < 1) {
+    error << "\"fanout\" must be >= 1 (got " << spec.fanout << ")";
+  } else if (spec.matching < 0) {
+    error << "\"matching\" must be >= 0 (got " << spec.matching << ")";
+  } else if (!(spec.vcpus > 0.0)) {
+    error << "\"vcpus\" must be > 0 (got " << fmt_double(spec.vcpus) << ")";
+  } else if (!(spec.loss_probability > 0.0) || spec.loss_probability > 1.0) {
+    error << "\"loss_probability\" must be in (0, 1] (got "
+          << fmt_double(spec.loss_probability) << ")";
+  } else if (!(spec.throttle_bytes_per_s > 0.0)) {
+    error << "\"throttle_bytes_per_s\" must be > 0 (got "
+          << fmt_double(spec.throttle_bytes_per_s) << ")";
+  } else if (spec.gray_delay_s < 0.0) {
+    error << "\"gray_delay_s\" must be >= 0 (got "
+          << fmt_double(spec.gray_delay_s) << ")";
+  } else if (!(spec.commit_timeout_s > 0.0)) {
+    error << "\"commit_timeout_s\" must be > 0 (got "
+          << fmt_double(spec.commit_timeout_s) << ")";
+  } else if (spec.workload != "constant" && spec.workload != "bursty" &&
+             spec.workload != "ramp") {
+    error << "\"workload\" must be constant, bursty or ramp (got \""
+          << spec.workload << "\")";
+  } else if (spec.shrink && spec.chaos_trials == 0) {
+    error << "\"shrink\" needs \"chaos_trials\" > 0";
+  }
+  return error.str();
+}
+
+std::string scenario_to_json(const ScenarioSpec& spec) {
+  std::string out = "{\n";
+  const auto field = [&out](const char* key, bool last = false) {
+    out += "  \"";
+    out += key;
+    out += "\": ";
+    if (!last) out.reserve(out.size() + 16);
+  };
+  const auto close = [&out](bool last = false) {
+    if (!last) out += ',';
+    out += '\n';
+  };
+
+  field("name");
+  append_string(out, spec.name);
+  close();
+  field("chain");
+  append_string(out, spec.chain);
+  close();
+  field("chain_params");
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : spec.chain_params) {
+    if (!first) out += ", ";
+    first = false;
+    append_string(out, key);
+    out += ": ";
+    out += fmt_double(value);
+  }
+  out += '}';
+  close();
+  field("fault");
+  append_string(out, spec.fault);
+  close();
+  field("fault_targets");
+  out += '[';
+  for (std::size_t i = 0; i < spec.fault_targets.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(spec.fault_targets[i]);
+  }
+  out += ']';
+  close();
+  field("extra_faults");
+  out += '[';
+  for (std::size_t i = 0; i < spec.extra_faults.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_string(out, spec.extra_faults[i]);
+  }
+  out += ']';
+  close();
+  field("loss_probability");
+  out += fmt_double(spec.loss_probability);
+  close();
+  field("throttle_bytes_per_s");
+  out += fmt_double(spec.throttle_bytes_per_s);
+  close();
+  field("gray_delay_s");
+  out += fmt_double(spec.gray_delay_s);
+  close();
+  field("duration_s");
+  out += std::to_string(spec.duration_s);
+  close();
+  field("seed");
+  out += std::to_string(spec.seed);
+  close();
+  field("num_seeds");
+  out += std::to_string(spec.num_seeds);
+  close();
+  field("jobs");
+  out += std::to_string(spec.jobs);
+  close();
+  field("workload");
+  append_string(out, spec.workload);
+  close();
+  field("fanout");
+  out += std::to_string(spec.fanout);
+  close();
+  field("matching");
+  out += std::to_string(spec.matching);
+  close();
+  field("vcpus");
+  out += fmt_double(spec.vcpus);
+  close();
+  field("resilient");
+  out += spec.resilient ? "true" : "false";
+  close();
+  field("commit_timeout_s");
+  out += fmt_double(spec.commit_timeout_s);
+  close();
+  field("chaos_trials");
+  out += std::to_string(spec.chaos_trials);
+  close();
+  field("shrink");
+  out += spec.shrink ? "true" : "false";
+  close();
+  field("trace");
+  append_string(out, spec.trace);
+  close();
+  field("metrics", /*last=*/true);
+  append_string(out, spec.metrics);
+  close(/*last=*/true);
+  out += "}";
+  return out;
+}
+
+ScenarioSpec scenario_from_json(const std::string& json) {
+  ScenarioSpec spec;
+  JsonCursor cursor(json);
+  std::set<std::string> seen;
+  cursor.expect('{');
+  bool first = true;
+  while (!cursor.consume('}')) {
+    if (!first) cursor.expect(',');
+    first = false;
+    const std::string key = cursor.parse_string();
+    cursor.expect(':');
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("scenario: duplicate key \"" + key + "\"");
+    }
+    if (key == "name") {
+      spec.name = cursor.parse_string();
+    } else if (key == "chain") {
+      spec.chain = cursor.parse_string();
+    } else if (key == "chain_params") {
+      cursor.expect('{');
+      bool first_param = true;
+      while (!cursor.consume('}')) {
+        if (!first_param) cursor.expect(',');
+        first_param = false;
+        const std::string param = cursor.parse_string();
+        cursor.expect(':');
+        if (!spec.chain_params.emplace(param, cursor.parse_number())
+                 .second) {
+          throw std::invalid_argument(
+              "scenario: duplicate chain parameter \"" + param + "\"");
+        }
+      }
+    } else if (key == "fault") {
+      spec.fault = cursor.parse_string();
+    } else if (key == "fault_targets") {
+      cursor.expect('[');
+      if (!cursor.consume(']')) {
+        do {
+          const std::int64_t id = parse_integer(cursor, key);
+          if (id < 0) {
+            throw std::invalid_argument(
+                "scenario: \"fault_targets\" ids must be >= 0");
+          }
+          spec.fault_targets.push_back(static_cast<net::NodeId>(id));
+        } while (cursor.consume(','));
+        cursor.expect(']');
+      }
+    } else if (key == "extra_faults") {
+      cursor.expect('[');
+      if (!cursor.consume(']')) {
+        do {
+          spec.extra_faults.push_back(cursor.parse_string());
+        } while (cursor.consume(','));
+        cursor.expect(']');
+      }
+    } else if (key == "loss_probability") {
+      spec.loss_probability = cursor.parse_number();
+    } else if (key == "throttle_bytes_per_s") {
+      spec.throttle_bytes_per_s = cursor.parse_number();
+    } else if (key == "gray_delay_s") {
+      spec.gray_delay_s = cursor.parse_number();
+    } else if (key == "duration_s") {
+      spec.duration_s = parse_integer(cursor, key);
+    } else if (key == "seed") {
+      const std::int64_t seed = parse_integer(cursor, key);
+      if (seed < 0) {
+        throw std::invalid_argument("scenario: \"seed\" must be >= 0");
+      }
+      spec.seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "num_seeds") {
+      spec.num_seeds = parse_integer(cursor, key);
+    } else if (key == "jobs") {
+      spec.jobs = parse_integer(cursor, key);
+    } else if (key == "workload") {
+      spec.workload = cursor.parse_string();
+    } else if (key == "fanout") {
+      spec.fanout = parse_integer(cursor, key);
+    } else if (key == "matching") {
+      spec.matching = parse_integer(cursor, key);
+    } else if (key == "vcpus") {
+      spec.vcpus = cursor.parse_number();
+    } else if (key == "resilient") {
+      spec.resilient = parse_bool(cursor);
+    } else if (key == "commit_timeout_s") {
+      spec.commit_timeout_s = cursor.parse_number();
+    } else if (key == "chaos_trials") {
+      spec.chaos_trials = parse_integer(cursor, key);
+    } else if (key == "shrink") {
+      spec.shrink = parse_bool(cursor);
+    } else if (key == "trace") {
+      spec.trace = cursor.parse_string();
+    } else if (key == "metrics") {
+      spec.metrics = cursor.parse_string();
+    } else {
+      throw std::invalid_argument(
+          "scenario: unknown key \"" + key +
+          "\" (scenarios are strict; see core/scenario.hpp for the "
+          "schema)");
+    }
+  }
+  cursor.finish();
+  const std::string error = validate_scenario(spec);
+  if (!error.empty()) throw std::invalid_argument("scenario: " + error);
+  return spec;
+}
+
+ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
+  const std::string error = validate_scenario(spec);
+  if (!error.empty()) throw std::invalid_argument("scenario: " + error);
+
+  ResolvedScenario resolved;
+  ExperimentConfig& config = resolved.config;
+  config.chain = parse_chain_name(spec.chain);
+  config.chain_params = spec.chain_params;
+  // Reject unknown parameter keys now, with the resolving chain named,
+  // rather than deep inside the first run.
+  (void)chain::merge_params(chain_traits(config.chain), spec.chain_params);
+  config.fault = fault_from_name(spec.fault);
+  config.seed = spec.seed;
+  config.duration = sim::sec(spec.duration_s);
+  // The historical CLI windows: integer thirds of the duration (400 s
+  // runs keep the paper's 133 s / 266 s schedule).
+  config.inject_at = sim::sec(spec.duration_s / 3);
+  config.recover_at = sim::sec(2 * spec.duration_s / 3);
+  config.fault_targets = spec.fault_targets;
+  config.loss_probability = spec.loss_probability;
+  config.throttle_bytes_per_s = spec.throttle_bytes_per_s;
+  config.gray_latency = sim::seconds(spec.gray_delay_s);
+  for (const std::string& name : spec.extra_faults) {
+    // Composed plans share the primary fault window and knob values; the
+    // runner fills in their default targets.
+    FaultPlan plan;
+    plan.type = fault_from_name(name);
+    plan.inject_at = config.inject_at;
+    plan.recover_at = config.recover_at;
+    plan.loss_probability = config.loss_probability;
+    plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
+    plan.gray_latency = config.gray_latency;
+    config.extra_faults.add(std::move(plan));
+  }
+  config.client_fanout = static_cast<int>(spec.fanout);
+  config.client_matching = static_cast<std::size_t>(spec.matching);
+  config.vcpus = spec.vcpus;
+  if (spec.workload == "bursty") {
+    config.workload.shape = WorkloadShape::kBursty;
+  } else if (spec.workload == "ramp") {
+    config.workload.shape = WorkloadShape::kRamp;
+  }
+  config.resilience.enabled = spec.resilient;
+  config.resilience.retry.commit_timeout =
+      sim::seconds(spec.commit_timeout_s);
+  // The §7 secure-client geometry: t_B+1 = 4 endpoints, 8-vCPU VMs.
+  if (config.fault == FaultType::kSecureClient &&
+      config.client_fanout == 1) {
+    config.client_fanout = 4;
+    config.vcpus = 8.0;
+  }
+
+  resolved.num_seeds = static_cast<std::size_t>(spec.num_seeds);
+  resolved.jobs = static_cast<unsigned>(spec.jobs);
+  resolved.chaos_trials = static_cast<std::size_t>(spec.chaos_trials);
+  resolved.shrink = spec.shrink;
+  resolved.trace_path = spec.trace;
+  resolved.metrics_path = spec.metrics;
+  return resolved;
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,104 @@
+// Declarative scenarios: one JSON document describing a complete stabl_cli
+// invocation — chain + per-chain parameter overrides, fault schedule,
+// workload, duration, seeds/jobs and observability outputs.
+//
+// The spec is data, not code (the usability gap the blockchain-simulator
+// mapping study arXiv:2208.11202 calls out): checked-in files under
+// examples/scenarios/ reproduce the paper's figure cells, CI replays them,
+// and `stabl_cli --dump-scenario` emits the spec any flag combination
+// resolves to. Validation is strict — unknown keys, unknown chains/faults
+// and out-of-range values are errors, never silently ignored — and
+// scenario_to_json/scenario_from_json round-trip byte-stably, so a dumped
+// spec replayed through --scenario reproduces the flag run's report bytes
+// exactly (tests assert this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/registry.hpp"
+#include "core/experiment.hpp"
+#include "net/message.hpp"
+
+namespace stabl::core {
+
+/// The declarative form of a run. Field defaults mirror stabl_cli's flag
+/// defaults exactly, so an empty JSON object {} is the paper's default
+/// Redbelly baseline and every checked-in spec only needs to state what
+/// it changes.
+struct ScenarioSpec {
+  /// Free-form label, carried through for humans and file indexes.
+  std::string name{};
+  std::string chain = "redbelly";
+  /// Per-chain parameter overrides (chain::ChainTraits::default_params
+  /// keys). Unknown keys are rejected when the scenario resolves.
+  chain::ChainParams chain_params{};
+  std::string fault = "none";
+  /// Explicit target override; empty selects the paper's defaults.
+  std::vector<net::NodeId> fault_targets{};
+  /// Fault types composed onto the primary window (engine v2).
+  std::vector<std::string> extra_faults{};
+  double loss_probability = 0.2;
+  double throttle_bytes_per_s = 64.0 * 1024.0;
+  double gray_delay_s = 2.0;
+  std::int64_t duration_s = 400;
+  std::uint64_t seed = 42;
+  std::int64_t num_seeds = 1;
+  std::int64_t jobs = 1;
+  std::string workload = "constant";
+  std::int64_t fanout = 1;
+  std::int64_t matching = 0;
+  double vcpus = 4.0;
+  bool resilient = false;
+  double commit_timeout_s = 10.0;
+  std::int64_t chaos_trials = 0;
+  bool shrink = false;
+  /// Observability outputs; empty = disabled.
+  std::string trace{};
+  std::string metrics{};
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// Range/consistency validation that needs no registry: duration >= 30 s,
+/// seeds/jobs >= 1, probability in (0, 1], known workload shape, ...
+/// Returns an empty string when well-formed, else a human-readable error.
+/// Name lookups (chain, fault, chain_params keys) happen when the
+/// scenario resolves, against whatever chains the binary registered.
+[[nodiscard]] std::string validate_scenario(const ScenarioSpec& spec);
+
+/// Pretty two-space-indented JSON with every field present in declaration
+/// order; doubles use shortest round-trip formatting. Byte-stable:
+/// scenario_to_json(scenario_from_json(j)) == j for any j this emitted.
+[[nodiscard]] std::string scenario_to_json(const ScenarioSpec& spec);
+
+/// Strict parse: unknown or duplicate keys, malformed JSON, non-integral
+/// integer fields and validate_scenario failures all throw
+/// std::invalid_argument. Missing keys keep their defaults, so hand
+/// written specs only state what they change.
+[[nodiscard]] ScenarioSpec scenario_from_json(const std::string& json);
+
+/// A spec lowered onto the experiment machinery: the ExperimentConfig plus
+/// the driver-level knobs (sweep width, parallelism, chaos mode,
+/// observability paths) that live outside ExperimentConfig.
+struct ResolvedScenario {
+  ExperimentConfig config{};
+  std::size_t num_seeds = 1;
+  unsigned jobs = 1;
+  std::size_t chaos_trials = 0;
+  bool shrink = false;
+  std::string trace_path{};
+  std::string metrics_path{};
+};
+
+/// Validate + resolve. Performs exactly stabl_cli's historical flag
+/// post-processing — inject/recover at the duration's integer thirds,
+/// extra plans sharing the primary window and knob values, the
+/// secure-client fanout-4/8-vCPU adjustment — so a dumped spec reproduces
+/// the flag run byte-for-byte. Throws std::invalid_argument on validation
+/// failures, unknown chain/fault names, or chain_params keys the chain
+/// does not declare.
+[[nodiscard]] ResolvedScenario resolve_scenario(const ScenarioSpec& spec);
+
+}  // namespace stabl::core

@@ -1,0 +1,198 @@
+// The chain plugin registry (chain/registry.hpp): deterministic id
+// assignment, registry-backed name parsing and dispatch, strict parameter
+// merging — and the seam itself, proven by RefBFT, the tier-1 reference
+// chain that only this binary links. With it linked the registry holds six
+// chains and a full experiment runs on the sixth, without any core file
+// knowing it exists.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "chain/registry.hpp"
+#include "chains/refbft/refbft.hpp"
+#include "core/experiment.hpp"
+#include "core/oracle.hpp"
+
+namespace stabl {
+namespace {
+
+const chain::Registry& registry() {
+  // Anchor the test-only plugin, then query through the same accessor
+  // production code uses (it anchors the five built-ins).
+  refbft::ensure_registered();
+  return core::chain_registry();
+}
+
+// ------------------------------------------------------ id determinism
+
+TEST(Registry, PaperChainsKeepHistoricalIdsRefbftFollows) {
+  const chain::Registry& reg = registry();
+  ASSERT_EQ(reg.size(), 6u);
+  // Tier 0 alphabetical = the historical ChainKind enum values.
+  EXPECT_EQ(reg.id_of("algorand"), 0u);
+  EXPECT_EQ(reg.id_of("aptos"), 1u);
+  EXPECT_EQ(reg.id_of("avalanche"), 2u);
+  EXPECT_EQ(reg.id_of("redbelly"), 3u);
+  EXPECT_EQ(reg.id_of("solana"), 4u);
+  // Extensions (tier 1) sort after every paper chain.
+  EXPECT_EQ(reg.id_of("refbft"), 5u);
+}
+
+TEST(Registry, IterationOrderIsIdOrder) {
+  const chain::Registry& reg = registry();
+  const std::vector<chain::ChainId> ids = reg.ids();
+  ASSERT_EQ(ids.size(), reg.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<chain::ChainId>(i));
+  }
+  EXPECT_EQ(reg.names(),
+            (std::vector<std::string>{"algorand", "aptos", "avalanche",
+                                      "redbelly", "solana", "refbft"}));
+  EXPECT_EQ(reg.names_csv(),
+            "algorand, aptos, avalanche, redbelly, solana, refbft");
+}
+
+TEST(Registry, RegistrationAfterFinalizeThrows) {
+  (void)registry().size();  // first query finalizes id assignment
+  chain::ChainTraits traits;
+  traits.name = "latecomer";
+  traits.fault_tolerance = chain::tolerance_third;
+  traits.make_cluster = [](sim::Simulation&, net::Network&,
+                           const chain::NodeConfig&,
+                           const chain::ChainParams&) {
+    return std::vector<std::unique_ptr<chain::BlockchainNode>>{};
+  };
+  EXPECT_THROW(chain::Registry::global().add(std::move(traits)),
+               std::logic_error);
+}
+
+// ----------------------------------------------------------- name lookup
+
+TEST(Registry, ParseChainNameIsCaseInsensitive) {
+  EXPECT_EQ(core::parse_chain_name("Redbelly"), core::ChainKind::kRedbelly);
+  EXPECT_EQ(core::parse_chain_name("SOLANA"), core::ChainKind::kSolana);
+  EXPECT_EQ(core::parse_chain_name("refbft"),
+            core::chain_kind(registry().id_of("refbft")));
+}
+
+TEST(Registry, UnknownChainErrorListsRegisteredNames) {
+  try {
+    (void)core::parse_chain_name("cardano");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("cardano"), std::string::npos) << what;
+    EXPECT_NE(what.find("algorand"), std::string::npos) << what;
+    EXPECT_NE(what.find("refbft"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, UnknownFaultErrorListsValidNames) {
+  try {
+    (void)core::fault_from_name("meteor");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("meteor"), std::string::npos) << what;
+    EXPECT_NE(what.find("partition"), std::string::npos) << what;
+    EXPECT_NE(what.find("secure-client"), std::string::npos) << what;
+  }
+  EXPECT_EQ(core::fault_from_name("Secure-Client"),
+            core::FaultType::kSecureClient);
+}
+
+// Regression: an out-of-range ChainKind used to fall off the dispatch
+// switches undefined; it must throw descriptively everywhere.
+TEST(Registry, OutOfRangeChainKindThrowsDescriptively) {
+  const auto bogus = static_cast<core::ChainKind>(99);
+  EXPECT_THROW((void)core::to_string(bogus), std::invalid_argument);
+  EXPECT_THROW((void)core::fault_tolerance(bogus, 10), std::invalid_argument);
+  EXPECT_THROW((void)core::chain_traits(bogus), std::invalid_argument);
+  try {
+    (void)core::to_string(bogus);
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+    EXPECT_NE(what.find("registered"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------------------ parameters
+
+TEST(Registry, MergeParamsAppliesOverridesStrictly) {
+  const chain::ChainTraits& avalanche =
+      core::chain_traits(core::ChainKind::kAvalanche);
+  const chain::ChainParams merged =
+      chain::merge_params(avalanche, {{"cpu_target", 0.8}});
+  EXPECT_DOUBLE_EQ(merged.at("cpu_target"), 0.8);
+  EXPECT_DOUBLE_EQ(merged.at("throttling"), 1.0);  // default survives
+  try {
+    (void)chain::merge_params(avalanche, {{"cpu_tarjet", 0.8}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("avalanche"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu_tarjet"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu_target"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, TolerancesMatchThePaperFormulas) {
+  const chain::Registry& reg = registry();
+  // §2: 20% coalitions for Algorand/Avalanche, < n/3 for the BFT chains.
+  EXPECT_EQ(reg.traits(reg.id_of("algorand")).fault_tolerance(10), 1u);
+  EXPECT_EQ(reg.traits(reg.id_of("aptos")).fault_tolerance(10), 3u);
+  EXPECT_EQ(reg.traits(reg.id_of("refbft")).fault_tolerance(10), 3u);
+  EXPECT_EQ(core::fault_tolerance(core::ChainKind::kAlgorand, 10), 1u);
+}
+
+TEST(Registry, OracleExemptionsComeFromTraits) {
+  // The chains own their documented loss modes now; the oracle's defaults
+  // are assembled from the registry.
+  const auto exemptions = core::default_exemptions();
+  std::size_t avalanche = 0;
+  std::size_t solana = 0;
+  for (const auto& exemption : exemptions) {
+    if (exemption.chain == core::ChainKind::kAvalanche) ++avalanche;
+    if (exemption.chain == core::ChainKind::kSolana) ++solana;
+  }
+  EXPECT_EQ(avalanche, 7u);
+  EXPECT_EQ(solana, 5u);
+  EXPECT_EQ(exemptions.size(), avalanche + solana);
+}
+
+// ------------------------------------------------- the seam, end to end
+
+TEST(Registry, RefbftRunsAFullExperimentThroughTheCore) {
+  core::ExperimentConfig config;
+  config.chain = core::chain_kind(registry().id_of("refbft"));
+  config.fault = core::FaultType::kNone;
+  config.duration = sim::sec(60);
+  config.inject_at = sim::sec(20);
+  config.recover_at = sim::sec(40);
+  const core::ExperimentResult healthy = core::run_experiment(config);
+  EXPECT_TRUE(healthy.live_at_end);
+  EXPECT_GT(healthy.committed, 500u);
+
+  config.fault = core::FaultType::kCrash;  // f = t crashes: must stay live
+  const core::ExperimentResult faulted = core::run_experiment(config);
+  EXPECT_TRUE(faulted.live_at_end);
+  EXPECT_GT(faulted.committed, 100u);
+  EXPECT_LE(faulted.committed, healthy.committed);
+}
+
+TEST(Registry, RefbftHonorsItsRegisteredParameters) {
+  core::ExperimentConfig config;
+  config.chain = core::chain_kind(registry().id_of("refbft"));
+  config.duration = sim::sec(40);
+  config.inject_at = sim::sec(13);
+  config.recover_at = sim::sec(26);
+  config.chain_params = {{"max_block_txs", 1.0}};  // starve block capacity
+  const core::ExperimentResult starved = core::run_experiment(config);
+  config.chain_params.clear();
+  const core::ExperimentResult normal = core::run_experiment(config);
+  EXPECT_LT(starved.committed, normal.committed / 2);
+}
+
+}  // namespace
+}  // namespace stabl
