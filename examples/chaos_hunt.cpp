@@ -5,10 +5,19 @@
 //
 // Usage:
 //   chaos_hunt [--chains a,b,...] [--trials N] [--seed N] [--duration S]
-//              [--jobs N] [--shrink] [--out DIR]
+//              [--jobs N] [--shrink] [--out DIR] [--adversarial] [--defend]
 //
-// Exit status: 0 when no oracle violated (expected losses are fine), 1 on
-// any violation. Violating (minimized, when --shrink) schedules are
+// --adversarial widens the sampled plan space with the Byzantine family
+// (equivocate, withhold, eclipse). --defend turns every chain's
+// misbehavior scorer on (misbehavior_defense=1), so an adversarial hunt
+// only reports what the defenses fail to contain. The defense's contract
+// is "at-worst a liveness cost" (DESIGN.md §13), so under --defend only
+// a *safety* finding (honest-replica fork, duplicate-height commit) is a
+// regression and fails the run; liveness violations still write repros
+// but exit 0. Without --defend every violation gates, as before.
+//
+// Exit status: 0 when no gating oracle violated (expected losses are
+// fine), 1 otherwise. Violating (minimized, when --shrink) schedules are
 // written to DIR/chaos_<chain>_trial<k>.json for replay and for CI
 // artifact upload, each next to a Perfetto timeline of the minimized
 // repro run at DIR/chaos_<chain>_trial<k>.trace.json (ui.perfetto.dev).
@@ -28,7 +37,7 @@ std::string usage_text(const char* argv0) {
   return "usage: " + std::string(argv0) +
          " [--chains names] [--trials n] [--seed n]\n"
          "          [--duration seconds] [--jobs n] [--shrink]\n"
-         "          [--out dir]";
+         "          [--out dir] [--adversarial] [--defend]";
 }
 
 [[noreturn]] void usage(const char* argv0) {
@@ -43,6 +52,8 @@ int main(int argc, char** argv) {
   config.trials_per_chain = 5;
   config.base.duration = sim::sec(120);
   std::string out_dir = ".";
+  bool adversarial = false;
+  bool defend = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +80,10 @@ int main(int argc, char** argv) {
       config.jobs = static_cast<unsigned>(jobs);
     } else if (arg == "--shrink") {
       config.shrink = true;
+    } else if (arg == "--adversarial") {
+      adversarial = true;
+    } else if (arg == "--defend") {
+      defend = true;
     } else if (arg == "--out") {
       out_dir = value();
     } else {
@@ -76,12 +91,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (adversarial) {
+    config.gen = core::adversarial_gen_for(config.base.duration);
+  }
+  if (defend) config.base.chain_params["misbehavior_defense"] = 1.0;
+
   std::printf("chaos hunt: %zu chains x %zu trials, seed %llu, %g s runs, "
-              "%u jobs%s\n",
+              "%u jobs%s%s%s\n",
               config.chains.size(), config.trials_per_chain,
               static_cast<unsigned long long>(config.seed),
               sim::to_seconds(config.base.duration), config.jobs,
-              config.shrink ? ", shrinking" : "");
+              config.shrink ? ", shrinking" : "",
+              adversarial ? ", adversarial plan space" : "",
+              defend ? ", defenses on" : "");
 
   const core::ChaosCampaignResult result = core::run_chaos_campaign(config);
   std::printf("%s", result.summary_table().c_str());
@@ -130,10 +152,17 @@ int main(int argc, char** argv) {
     ++written;
   }
 
-  std::printf("\n%zu/%zu violations (%zu repro files), %zu expected "
-              "losses\n",
-              result.violations(), result.trials.size(), written,
+  std::size_t safety = 0;
+  for (const core::ChaosTrial& trial : result.trials) {
+    if (trial.report.safety_violation() != nullptr) ++safety;
+  }
+  std::printf("\n%zu/%zu violations (%zu safety, %zu repro files), %zu "
+              "expected losses\n",
+              result.violations(), result.trials.size(), safety, written,
               result.expected_losses());
   std::printf("\nwall-clock profile:\n%s", result.timing_table().c_str());
+  // With the defenses on, liveness-only violations are within the
+  // containment contract; a safety finding is a genuine regression.
+  if (defend) return safety > 0 ? 1 : 0;
   return result.violations() > 0 ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 //             [--trace FILE] [--metrics FILE]
 //   stabl_cli --scenario FILE [--format FMT] [--dump-scenario]
 //   stabl_cli [flags...] --dump-scenario
+//   stabl_cli --list-faults | --list-chains
 //
 // Every flag combination is internally a core::ScenarioSpec — a
 // declarative JSON description of the run. --dump-scenario prints that
@@ -82,6 +83,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s [options]\n"
       "       %s --scenario FILE [--format FMT] [--dump-scenario]\n"
+      "       %s --list-faults | --list-chains\n"
       "\n"
       "Run one STABL experiment pair (baseline vs faulted) and report the\n"
       "sensitivity score; sweep seeds; or run a randomized chaos campaign.\n"
@@ -99,7 +101,9 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --chain NAME        registered chain, case-insensitive\n"
       "                      (%s; default redbelly)\n"
       "  --fault NAME        none|crash|transient|partition|secure-client|\n"
-      "                      delay|churn|loss|throttle|gray (default none)\n"
+      "                      delay|churn|loss|throttle|gray|equivocate|\n"
+      "                      withhold|eclipse (default none; see\n"
+      "                      --list-faults for one-line descriptions)\n"
       "  --duration S        simulated seconds, >= 30 (default 400)\n"
       "  --seed N            root RNG seed (default 42)\n"
       "  --fault-targets IDS comma-separated node ids to fault, e.g. 0,1\n"
@@ -118,6 +122,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       "                      oracles; exit 1 when any oracle fires\n"
       "  --shrink            delta-debug every violating schedule to a\n"
       "                      minimal replayable JSON repro\n"
+      "  --chaos-adversarial sample the adversarial plan space too\n"
+      "                      (equivocate, withhold, eclipse schedules)\n"
       "\n"
       "observability:\n"
       "  --trace FILE        write the faulted run's sim-time timeline as\n"
@@ -141,6 +147,9 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --loss-prob P       packet-loss probability for loss plans\n"
       "  --gray-delay S      gray-failure added latency, seconds\n"
       "  --throttle-bps B    throttle bandwidth, bytes per second\n"
+      "  --eclipse-victim N  node whose view eclipse attackers intercept\n"
+      "  --eclipse-delay S   eclipse interception delay, seconds\n"
+      "  --eclipse-filter P  eclipse per-packet drop probability, [0, 1)\n"
       "\n"
       "chain tuning:\n"
       "  --chain-param K=V   override a registered chain parameter by\n"
@@ -151,8 +160,33 @@ void print_usage(std::FILE* out, const char* argv0) {
       "\n"
       "output:\n"
       "  --format FMT        text|csv|json (default text)\n"
+      "  --list-faults       list every fault type with a one-line\n"
+      "                      description and exit 0\n"
+      "  --list-chains       list every registered chain with its tier and\n"
+      "                      description and exit 0\n"
       "  --help              print this help and exit 0\n",
-      argv0, argv0, core::chain_registry().names_csv().c_str());
+      argv0, argv0, argv0, core::chain_registry().names_csv().c_str());
+}
+
+// --list-faults: every FaultType in enum order with its one-line
+// description. Registry-free, so listing works even for a misconfigured
+// build.
+void print_fault_list() {
+  for (const core::FaultType type : core::kAllFaultTypes) {
+    std::printf("%-14s %s\n", core::to_string(type).c_str(),
+                core::fault_description(type).c_str());
+  }
+}
+
+// --list-chains: every registered chain in registry (tier, name) order.
+// Linked extension plugins (e.g. refbft) show up here automatically.
+void print_chain_list() {
+  const chain::Registry& registry = core::chain_registry();
+  for (const chain::ChainId id : registry.ids()) {
+    const chain::ChainTraits& traits = core::chain_traits(core::chain_kind(id));
+    std::printf("%-10s tier %d  %s\n", traits.name.c_str(), traits.tier,
+                traits.description.c_str());
+  }
 }
 
 std::string help_hint(const char* argv0) {
@@ -191,6 +225,12 @@ int main(int argc, char** argv) {
     auto experiment_flag = [&experiment_flags] { experiment_flags = true; };
     if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--list-faults") {
+      print_fault_list();
+      return 0;
+    } else if (arg == "--list-chains") {
+      print_chain_list();
       return 0;
     } else if (arg == "--scenario") {
       scenario_path = value();
@@ -262,6 +302,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--throttle-bps") {
       experiment_flag();
       spec.throttle_bytes_per_s = std::atof(value().c_str());
+    } else if (arg == "--eclipse-victim") {
+      experiment_flag();
+      spec.eclipse_victim = std::atol(value().c_str());
+    } else if (arg == "--eclipse-delay") {
+      experiment_flag();
+      spec.eclipse_delay_s = std::atof(value().c_str());
+    } else if (arg == "--eclipse-filter") {
+      experiment_flag();
+      spec.eclipse_filter = std::atof(value().c_str());
     } else if (arg == "--resilient") {
       experiment_flag();
       spec.resilient = true;
@@ -295,6 +344,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--shrink") {
       experiment_flag();
       spec.shrink = true;
+    } else if (arg == "--chaos-adversarial") {
+      experiment_flag();
+      spec.chaos_adversarial = true;
     } else if (arg == "--trace") {
       experiment_flag();
       spec.trace = value();
@@ -376,6 +428,9 @@ int main(int argc, char** argv) {
     chaos.seed = config.seed;
     chaos.base = config;
     chaos.base.fault = core::FaultType::kNone;
+    if (resolved.chaos_adversarial) {
+      chaos.gen = core::adversarial_gen_for(chaos.base.duration);
+    }
     chaos.shrink = resolved.shrink;
     chaos.trace_repros = !trace_path.empty();
     chaos.jobs = resolved.jobs;

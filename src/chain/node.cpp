@@ -37,7 +37,8 @@ BlockchainNode::BlockchainNode(sim::Simulation& simulation,
               [this](net::NodeId peer) { on_peer_down(peer); }}),
       mempool_(),
       cpu_(*this, config.vcpus),
-      rng_(simulation.rng().fork()) {
+      rng_(simulation.rng().fork()),
+      misbehavior_(config.misbehavior) {
   network.attach(config.id, this);
 }
 
@@ -73,6 +74,9 @@ void BlockchainNode::on_crash() {
   watchers_.clear();
   cpu_.reset();
   accounts_.clear();
+  withheld_replay_.reset();  // stale-replay buffer is volatile
+  misbehavior_.reset();      // peer reputation is volatile too
+  misbehavior_active_ = false;
   stop_protocol();
 }
 
@@ -90,6 +94,14 @@ void BlockchainNode::rebuild_accounts() {
 void BlockchainNode::deliver(const net::Envelope& envelope) {
   if (!booted_) return;  // still booting: not listening yet
   if (connections_.handle(envelope)) return;
+  // Peer-misbehavior defense: messages from throttled/banned blockchain
+  // peers are dropped after the connection layer (keepalives survive so the
+  // ban is an application-level quarantine, not a TCP reset storm).
+  if (misbehavior_active_ && is_blockchain_peer(envelope.from) &&
+      misbehavior_.should_drop(envelope.from, now())) {
+    ++misbehavior_dropped_;
+    return;
+  }
   if (const auto* submit =
           dynamic_cast<const SubmitTxPayload*>(envelope.payload.get())) {
     (void)submit;
@@ -282,9 +294,65 @@ bool BlockchainNode::send_to(net::NodeId peer, net::PayloadPtr payload,
 
 void BlockchainNode::broadcast(const net::PayloadPtr& payload,
                                std::uint32_t bytes) {
+  if (equivocating_) {
+    if (net::PayloadPtr twin = equivocate_payload(payload)) {
+      // Split-brain broadcast: even-positioned peers receive the original
+      // payload, odd-positioned peers the conflicting twin. Deterministic —
+      // no RNG draw — so compromised runs replay exactly.
+      ++equivocations_sent_;
+      if (auto* trace = simulation().trace()) {
+        trace->instant(static_cast<std::int32_t>(node_id()), now(),
+                       "equivocate", "adversary");
+      }
+      bool odd = false;
+      for (const net::NodeId peer : connections_.peers()) {
+        connections_.send(peer, odd ? twin : payload, bytes);
+        odd = !odd;
+      }
+      return;
+    }
+  }
+  if (withholding_ && withholdable(*payload)) {
+    ++withheld_count_;
+    if (withheld_replay_ == nullptr) {
+      // First suppressed payload: keep it as the stale replay source.
+      withheld_replay_ = payload;
+      return;
+    }
+    for (const net::NodeId peer : connections_.peers()) {
+      connections_.send(peer, withheld_replay_, bytes);
+    }
+    return;
+  }
   for (const net::NodeId peer : connections_.peers()) {
     connections_.send(peer, payload, bytes);
   }
+}
+
+void BlockchainNode::report_misbehavior(net::NodeId peer,
+                                        core::Offense offense) {
+  if (!misbehavior_.enabled()) return;
+  const bool was_banned = misbehavior_.banned(peer);
+  misbehavior_.report(peer, offense, now());
+  misbehavior_active_ = true;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(),
+                   misbehavior_.banned(peer) && !was_banned
+                       ? "peer_banned"
+                       : "misbehavior_report",
+                   "adversary",
+                   "\"peer\":" + std::to_string(peer) + ",\"offense\":\"" +
+                       core::to_string(offense) + "\"");
+  }
+}
+
+std::map<std::string, double> BlockchainNode::adversarial_metrics() const {
+  return {{"equivocations_sent", static_cast<double>(equivocations_sent_)},
+          {"withheld", static_cast<double>(withheld_count_)},
+          {"misbehavior_reports", static_cast<double>(misbehavior_.reports())},
+          {"misbehavior_banned",
+           static_cast<double>(misbehavior_.banned_count())},
+          {"misbehavior_dropped", static_cast<double>(misbehavior_dropped_)}};
 }
 
 }  // namespace stabl::chain

@@ -28,6 +28,7 @@
 #include "chain/ledger.hpp"
 #include "chain/mempool.hpp"
 #include "chain/types.hpp"
+#include "core/misbehavior.hpp"
 #include "net/connection.hpp"
 #include "net/network.hpp"
 #include "sim/process.hpp"
@@ -68,6 +69,9 @@ struct NodeConfig {
   /// fully connected (the paper's deployment). Chains with hierarchical
   /// topologies (Algorand relay nodes) restrict this.
   std::vector<net::NodeId> peers;
+  /// Peer-misbehavior defense knobs (disabled by default; the registered
+  /// "misbehavior_defense"/"misbehavior_ban" chain parameters set them).
+  core::MisbehaviorConfig misbehavior{};
 };
 
 class BlockchainNode : public sim::Process, public net::Endpoint {
@@ -97,6 +101,31 @@ class BlockchainNode : public sim::Process, public net::Endpoint {
   /// number of tolerated Byzantine faults to zero" attack of §7.
   void set_rpc_byzantine(bool byzantine) { rpc_byzantine_ = byzantine; }
   [[nodiscard]] bool rpc_byzantine() const { return rpc_byzantine_; }
+
+  /// Compromise this node with equivocation (kEquivocate): every broadcast
+  /// whose payload the chain can equivocate is split-brained — one half of
+  /// the peers receives the original, the other half a conflicting variant
+  /// built by the chain's equivocate_payload() hook.
+  void set_equivocating(bool on) { equivocating_ = on; }
+  [[nodiscard]] bool equivocating() const { return equivocating_; }
+
+  /// Compromise this node with withholding (kWithhold): broadcasts the
+  /// chain marks withholdable() are suppressed; the first suppressed
+  /// payload is replayed (stale) in place of every later fresh one.
+  void set_withholding(bool on) {
+    withholding_ = on;
+    if (!on) withheld_replay_.reset();
+  }
+  [[nodiscard]] bool withholding() const { return withholding_; }
+
+  /// The peer-misbehavior scorer guarding this node's inbound traffic.
+  [[nodiscard]] const core::MisbehaviorScorer& misbehavior() const {
+    return misbehavior_;
+  }
+
+  /// Adversarial/defense diagnostic counters, aggregated by the harness
+  /// separately from the chain-specific metrics(). All zero on benign runs.
+  [[nodiscard]] std::map<std::string, double> adversarial_metrics() const;
 
   /// Result digest a correct replica reports for a committed transaction;
   /// identical across replicas (position in the agreed block sequence).
@@ -136,6 +165,27 @@ class BlockchainNode : public sim::Process, public net::Endpoint {
 
   /// Hook invoked after a state-sync chunk was applied to the ledger.
   virtual void on_synced() {}
+
+  /// kEquivocate hook: return a payload conflicting with `payload` (same
+  /// round/slot, different content) or nullptr when this payload cannot be
+  /// equivocated. Only consulted while the node is compromised.
+  [[nodiscard]] virtual net::PayloadPtr equivocate_payload(
+      const net::PayloadPtr& payload) {
+    (void)payload;
+    return nullptr;
+  }
+
+  /// kWithhold hook: true when `payload` is a proposal/vote the adversary
+  /// suppresses. Only consulted while the node is compromised.
+  [[nodiscard]] virtual bool withholdable(const net::Payload& payload) const {
+    (void)payload;
+    return false;
+  }
+
+  /// Chains call this when they hold protocol-level evidence that `peer`
+  /// misbehaved (conflicting payloads for one round/slot, stale replay).
+  /// No-op while the defense is disabled.
+  void report_misbehavior(net::NodeId peer, core::Offense offense);
 
   /// Pool a transaction learned from another node (gossip), with the same
   /// dedup/stale checks as the RPC path. Returns true when newly pooled.
@@ -190,6 +240,18 @@ class BlockchainNode : public sim::Process, public net::Endpoint {
   std::unordered_map<TxId, std::vector<net::NodeId>> watchers_;
   CommitHook commit_hook_;
   bool rpc_byzantine_ = false;
+  // Adversarial compromise switches (fault engine, kEquivocate/kWithhold).
+  bool equivocating_ = false;
+  bool withholding_ = false;
+  net::PayloadPtr withheld_replay_;  // first suppressed payload
+  std::uint64_t equivocations_sent_ = 0;
+  std::uint64_t withheld_count_ = 0;
+  // Defense: inbound peer reputation. `misbehavior_active_` flips on at
+  // the first reported offense, so an armed-but-idle scorer costs one
+  // branch per delivery (gated by bench/micro_adversarial_overhead).
+  core::MisbehaviorScorer misbehavior_;
+  bool misbehavior_active_ = false;
+  std::uint64_t misbehavior_dropped_ = 0;
 };
 
 }  // namespace stabl::chain

@@ -28,6 +28,17 @@ std::size_t tolerance_third(std::size_t n) {
   return static_cast<std::size_t>(std::max(0.0, std::ceil(dn / 3.0 - 1.0)));
 }
 
+ChainParams misbehavior_default_params() {
+  const core::MisbehaviorConfig defaults;
+  return {{"misbehavior_defense", 0.0},
+          {"misbehavior_ban", defaults.ban_threshold}};
+}
+
+void apply_misbehavior_params(NodeConfig& config, const ChainParams& params) {
+  config.misbehavior.enabled = params.at("misbehavior_defense") != 0.0;
+  config.misbehavior.ban_threshold = params.at("misbehavior_ban");
+}
+
 ChainParams merge_params(const ChainTraits& traits,
                          const ChainParams& overrides) {
   ChainParams params = traits.default_params;

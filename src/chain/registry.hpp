@@ -67,6 +67,8 @@ struct ChainLossExemption {
 struct ChainTraits {
   /// Lower-case identifier used in flags, reports and scenario files.
   std::string name;
+  /// One-line human description (stabl_cli --list-chains).
+  std::string description;
   /// Id-assignment tier: 0 = the five paper chains (ids 0-4), 1 (default)
   /// = extensions, ordered after every tier-0 chain.
   int tier = 1;
@@ -95,6 +97,16 @@ std::size_t tolerance_third(std::size_t n);
 /// scenario resolver share this, so both reject typos identically.
 ChainParams merge_params(const ChainTraits& traits,
                          const ChainParams& overrides);
+
+/// The misbehavior-defense parameters every chain registers, for appending
+/// to a chain's default_params: {"misbehavior_defense" (0/1, default off),
+/// "misbehavior_ban" (ban threshold score)}.
+ChainParams misbehavior_default_params();
+
+/// Read the registered misbehavior parameters out of a merged `params` map
+/// into a node config's scorer knobs. Chain factories call this once on
+/// their NodeConfig template.
+void apply_misbehavior_params(NodeConfig& config, const ChainParams& params);
 
 class Registry {
  public:
@@ -141,9 +153,15 @@ class Registry {
   mutable std::map<std::string, ChainId> by_name_;  // lower-case keys
 };
 
-/// Namespace-scope self-registration hook:
+/// Self-registration hook:
 ///   const chain::ChainRegistrar kRegistrar{[] { ... return traits; }()};
 /// placed in the chain's .cpp next to its make_cluster definition.
+/// Extension chains may declare it at namespace scope (registered by the
+/// TU's static initializers, i.e. before main). The five built-in chains
+/// instead declare it as a function-local static inside their
+/// ensure_registered(), so core::chain_registry() can force registration
+/// even from another TU's static initializer, where cross-TU init order
+/// is unspecified.
 struct ChainRegistrar {
   explicit ChainRegistrar(ChainTraits traits) {
     Registry::global().add(std::move(traits));

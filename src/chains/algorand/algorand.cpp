@@ -298,6 +298,15 @@ void AlgorandNode::on_app_message(const net::Envelope& envelope) {
       return;
     }
     if (proposal->round != round_) return;
+    if (proposal_value_ == proposal->proposer && !proposal_txs_.empty() &&
+        proposal->txs.size() != proposal_txs_.size()) {
+      // Two different batches under the same (round, proposer): a
+      // double-propose. The first batch stays adopted (and the CertAnchor
+      // pins whichever content certifies first, so agreement holds); the
+      // conflicting pair is the evidence peer scoring acts on.
+      report_misbehavior(proposal->proposer, core::Offense::kEquivocation);
+      return;
+    }
     if (proposal_value_ == kEmptyValue ||
         proposal_value_ == proposal->proposer) {
       proposal_value_ = proposal->proposer;
@@ -322,9 +331,23 @@ void AlgorandNode::on_app_message(const net::Envelope& envelope) {
     }
     if (vote->round != round_) return;
     if (vote->step == VoteStep::kSoft) {
+      // Double-vote evidence: switching soft votes *from the empty value*
+      // to a proposal is legitimate BA* recovery (see rebroadcast());
+      // switching away from a non-empty value is not.
+      const auto known = soft_votes_.find(vote->voter);
+      if (known != soft_votes_.end() && known->second != kEmptyValue &&
+          known->second != vote->value) {
+        report_misbehavior(vote->voter, core::Offense::kEquivocation);
+      }
       soft_votes_[vote->voter] = vote->value;
       tally_soft_votes();
     } else {
+      // Cert votes are cast at most once per round (persisted to disk
+      // before sending); any conflicting pair is equivocation.
+      const auto known = cert_votes_.find(vote->voter);
+      if (known != cert_votes_.end() && known->second != vote->value) {
+        report_misbehavior(vote->voter, core::Offense::kEquivocation);
+      }
       cert_votes_[vote->voter] = vote->value;
       tally_cert_votes();
     }
@@ -344,6 +367,34 @@ void AlgorandNode::relay_forward(const net::Envelope& envelope,
       connections().send(peer, envelope.payload, envelope.bytes);
     }
   }
+}
+
+net::PayloadPtr AlgorandNode::equivocate_payload(
+    const net::PayloadPtr& payload) {
+  if (const auto* proposal =
+          dynamic_cast<const ProposalPayload*>(payload.get())) {
+    if (proposal->txs.size() < 2) return nullptr;
+    // Double-propose: a conflicting batch under the same (round, proposer).
+    std::vector<chain::Transaction> twin(proposal->txs.rbegin(),
+                                         proposal->txs.rend());
+    twin.pop_back();
+    return std::make_shared<const ProposalPayload>(
+        proposal->round, proposal->proposer, std::move(twin));
+  }
+  if (const auto* vote = dynamic_cast<const VotePayload*>(payload.get())) {
+    if (vote->value == kEmptyValue) return nullptr;
+    // Double-vote: endorse the proposal to one half of the cluster and the
+    // empty value to the other, splitting the quorum count.
+    return std::make_shared<const VotePayload>(vote->round, vote->step,
+                                               vote->voter, kEmptyValue);
+  }
+  return nullptr;
+}
+
+bool AlgorandNode::withholdable(const net::Payload& payload) const {
+  // Only proposals: votes are re-gossiped every rebroadcast tick anyway,
+  // so withholding them replays payloads the protocol already replays.
+  return dynamic_cast<const ProposalPayload*>(&payload) != nullptr;
 }
 
 void AlgorandNode::on_transaction(const chain::Transaction& tx) {
@@ -439,27 +490,41 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
 
 namespace {
 
-const chain::ChainRegistrar kRegistrar{[] {
+chain::ChainTraits make_traits() {
   chain::ChainTraits traits;
   traits.name = "algorand";
+  traits.description =
+      "BA* sortition rounds with dynamic round time and an 80% online-stake "
+      "certification quorum (paper Algorand)";
   traits.tier = 0;
   traits.fault_tolerance = chain::tolerance_fifth;
   const AlgorandConfig defaults;
   traits.default_params = {
       {"relays", static_cast<double>(defaults.relay_count)}};
+  traits.default_params.merge(chain::misbehavior_default_params());
   traits.make_cluster = [](sim::Simulation& simulation,
                            net::Network& network,
                            const chain::NodeConfig& node_config,
                            const chain::ChainParams& params) {
     AlgorandConfig config;
     config.relay_count = static_cast<std::size_t>(params.at("relays"));
-    return make_cluster(simulation, network, node_config, config);
+    chain::NodeConfig node_template = node_config;
+    chain::apply_misbehavior_params(node_template, params);
+    return make_cluster(simulation, network, node_template, config);
   };
   return traits;
-}()};
+}
 
 }  // namespace
 
-void ensure_registered() {}
+void ensure_registered() {
+  // Function-local static, not a namespace-scope registrar: the
+  // registration must be safe to trigger from another TU's static
+  // initializer (figure benches name benchmarks after registered
+  // chains at namespace scope), where cross-TU init order is
+  // unspecified.
+  [[maybe_unused]] static const chain::ChainRegistrar kRegistrar{
+      make_traits()};
+}
 
 }  // namespace stabl::algorand

@@ -117,6 +117,9 @@ class AlgorandNode final : public chain::BlockchainNode {
   void on_transaction(const chain::Transaction& tx) override;
   void on_peer_up(net::NodeId peer) override;
   void on_synced() override;
+  [[nodiscard]] net::PayloadPtr equivocate_payload(
+      const net::PayloadPtr& payload) override;
+  [[nodiscard]] bool withholdable(const net::Payload& payload) const override;
 
  private:
   /// Sentinel vote value meaning "no proposal seen" (the empty block).

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "chain/hash.hpp"
 #include "chain/registry.hpp"
 
 namespace stabl::aptos {
@@ -22,10 +23,23 @@ struct ProposalPayload final : net::Payload {
   std::vector<chain::Transaction> txs;
 };
 
+/// Content identity of a proposal batch — what a vote's digest binds to.
+std::uint64_t batch_digest(const std::vector<chain::Transaction>& txs) {
+  std::uint64_t digest = 0x4150'544F'53ull;  // "APTOS"
+  for (const chain::Transaction& tx : txs) {
+    digest = chain::hash_combine(digest, chain::mix64(tx.id));
+  }
+  return digest;
+}
+
 struct VotePayload final : net::Payload {
-  VotePayload(std::uint64_t r, net::NodeId l) : round(r), leader(l) {}
+  VotePayload(std::uint64_t r, net::NodeId l, std::uint64_t d)
+      : round(r), leader(l), digest(d) {}
   std::uint64_t round;
   net::NodeId leader;
+  /// Digest of the proposal content the voter holds; the vote tally is
+  /// content-blind unless the misbehavior defense binds votes to it.
+  std::uint64_t digest;
 };
 
 struct TimeoutPayload final : net::Payload {
@@ -79,6 +93,7 @@ void AptosNode::stop_protocol() {
   lock_parent_ = -1;
   lock_round_ = 0;
   proposal_txs_.clear();
+  proposal_digest_ = 0;
   votes_.clear();
   timeouts_.clear();
   consecutive_fails_.clear();
@@ -117,6 +132,7 @@ void AptosNode::enter_round(std::uint64_t round) {
   committing_ = false;
   have_proposal_ = false;
   proposal_txs_.clear();
+  proposal_digest_ = 0;
   votes_.clear();
   timeouts_.clear();
   proposal_parent_ = -1;
@@ -151,11 +167,14 @@ void AptosNode::propose() {
   have_proposal_ = true;
   proposal_parent_ = parent;
   proposal_txs_ = payload->txs;
+  proposal_digest_ = batch_digest(proposal_txs_);
   voted_ = true;
   lock_parent_ = parent;
   lock_round_ = round_;
-  votes_[node_id()] = node_id();
-  broadcast(std::make_shared<const VotePayload>(round_, node_id()), 96);
+  votes_[node_id()] = {node_id(), proposal_digest_};
+  broadcast(std::make_shared<const VotePayload>(round_, node_id(),
+                                                proposal_digest_),
+            96);
   try_commit();
 }
 
@@ -169,7 +188,8 @@ void AptosNode::on_round_timeout() {
   // retries consensus messages): one lost vote packet must not split the
   // cluster between committing the round and timing it out.
   if (voted_) {
-    broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_),
+    broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_,
+                                                  proposal_digest_),
               96);
   }
   // Pacemaker: shout that the round is stuck; re-arm so the timeout keeps
@@ -204,16 +224,22 @@ void AptosNode::maybe_vote() {
   voted_ = true;
   lock_parent_ = proposal_parent_;
   lock_round_ = round_;
-  votes_[node_id()] = proposal_leader_;
-  broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_),
+  votes_[node_id()] = {proposal_leader_, proposal_digest_};
+  broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_,
+                                                proposal_digest_),
             96);
 }
 
 void AptosNode::try_commit() {
   if (committing_ || !have_proposal_) return;
   std::size_t count = 0;
-  for (const auto& [voter, leader] : votes_) {
-    if (leader == proposal_leader_) ++count;
+  for (const auto& [voter, vote] : votes_) {
+    if (vote.leader != proposal_leader_) continue;
+    // Defense on: content-bound counting — only votes matching the
+    // proposal we hold certify it, so an equivocated round times out on
+    // both variants instead of forking.
+    if (misbehavior().enabled() && vote.digest != proposal_digest_) continue;
+    ++count;
   }
   const std::size_t quorum = cluster_size() - (cluster_size() - 1) / 3;
   if (count < quorum) return;
@@ -298,11 +324,20 @@ void AptosNode::on_app_message(const net::Envelope& envelope) {
     if (proposal->round > round_) {
       jump_to_round(proposal->round, envelope.from);
     }
-    if (have_proposal_) return;  // adopt the first proposal for the round
+    if (have_proposal_) {
+      // A second, different proposal for the same round from the leader we
+      // already adopted is equivocation evidence against that leader.
+      if (proposal->leader == proposal_leader_ &&
+          batch_digest(proposal->txs) != proposal_digest_) {
+        report_misbehavior(proposal->leader, core::Offense::kEquivocation);
+      }
+      return;  // adopt the first proposal for the round
+    }
     proposal_leader_ = proposal->leader;
     have_proposal_ = true;
     proposal_parent_ = proposal->parent_round;
     proposal_txs_ = proposal->txs;
+    proposal_digest_ = batch_digest(proposal_txs_);
     if (proposal->parent_round > tip_round()) {
       // The leader extends blocks we never committed (we timed out of a
       // round the cluster decided, or rejoined late): repair before voting.
@@ -318,7 +353,13 @@ void AptosNode::on_app_message(const net::Envelope& envelope) {
       jump_to_round(vote->round, envelope.from);
       return;
     }
-    votes_[envelope.from] = vote->leader;
+    // A vote binding the same round and leader to different content than
+    // our proposal means that leader fed the cluster two variants.
+    if (have_proposal_ && vote->leader == proposal_leader_ &&
+        vote->digest != proposal_digest_) {
+      report_misbehavior(vote->leader, core::Offense::kEquivocation);
+    }
+    votes_[envelope.from] = {vote->leader, vote->digest};
     try_commit();
     return;
   }
@@ -351,6 +392,32 @@ void AptosNode::on_synced() {
   // votable (and a buffered quorum committable).
   maybe_vote();
   try_commit();
+}
+
+net::PayloadPtr AptosNode::equivocate_payload(const net::PayloadPtr& payload) {
+  if (const auto* proposal =
+          dynamic_cast<const ProposalPayload*>(payload.get())) {
+    if (proposal->txs.size() < 2) return nullptr;  // nothing to conflict on
+    // Conflicting variant: same round/leader/parent-QC linkage, different
+    // committed sequence (batch reversed minus its last transaction).
+    std::vector<chain::Transaction> txs(proposal->txs.begin(),
+                                        proposal->txs.end() - 1);
+    std::reverse(txs.begin(), txs.end());
+    return std::make_shared<const ProposalPayload>(
+        proposal->round, proposal->leader, proposal->parent_round,
+        std::move(txs));
+  }
+  if (const auto* vote = dynamic_cast<const VotePayload*>(payload.get())) {
+    // Double-vote: same round and leader, conflicting content claim.
+    return std::make_shared<const VotePayload>(
+        vote->round, vote->leader, vote->digest ^ 0x0BAD'BEEFull);
+  }
+  return nullptr;
+}
+
+bool AptosNode::withholdable(const net::Payload& payload) const {
+  return dynamic_cast<const ProposalPayload*>(&payload) != nullptr ||
+         dynamic_cast<const VotePayload*>(&payload) != nullptr;
 }
 
 void AptosNode::accept_transaction(const chain::Transaction& tx) {
@@ -399,22 +466,36 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
 
 namespace {
 
-const chain::ChainRegistrar kRegistrar{[] {
+chain::ChainTraits make_traits() {
   chain::ChainTraits traits;
   traits.name = "aptos";
+  traits.description =
+      "DiemBFT/HotStuff rounds with Block-STM execution and leader "
+      "reputation (paper Aptos)";
   traits.tier = 0;
   traits.fault_tolerance = chain::tolerance_third;
+  traits.default_params = chain::misbehavior_default_params();
   traits.make_cluster = [](sim::Simulation& simulation,
                            net::Network& network,
                            const chain::NodeConfig& node_config,
-                           const chain::ChainParams&) {
-    return make_cluster(simulation, network, node_config);
+                           const chain::ChainParams& params) {
+    chain::NodeConfig node_template = node_config;
+    chain::apply_misbehavior_params(node_template, params);
+    return make_cluster(simulation, network, node_template);
   };
   return traits;
-}()};
+}
 
 }  // namespace
 
-void ensure_registered() {}
+void ensure_registered() {
+  // Function-local static, not a namespace-scope registrar: the
+  // registration must be safe to trigger from another TU's static
+  // initializer (figure benches name benchmarks after registered
+  // chains at namespace scope), where cross-TU init order is
+  // unspecified.
+  [[maybe_unused]] static const chain::ChainRegistrar kRegistrar{
+      make_traits()};
+}
 
 }  // namespace stabl::aptos

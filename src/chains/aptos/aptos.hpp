@@ -104,6 +104,9 @@ class AptosNode final : public chain::BlockchainNode {
   void on_peer_up(net::NodeId peer) override;
 
   void on_synced() override;
+  [[nodiscard]] net::PayloadPtr equivocate_payload(
+      const net::PayloadPtr& payload) override;
+  [[nodiscard]] bool withholdable(const net::Payload& payload) const override;
 
  private:
   void enter_round(std::uint64_t round);
@@ -135,7 +138,15 @@ class AptosNode final : public chain::BlockchainNode {
   std::int64_t lock_parent_ = -1;
   std::uint64_t lock_round_ = 0;
   std::vector<chain::Transaction> proposal_txs_;
-  std::map<net::NodeId, net::NodeId> votes_;     // voter -> leader voted for
+  std::uint64_t proposal_digest_ = 0;
+  /// voter -> (leader voted for, content digest the voter claims). The
+  /// quorum count is content-blind like DiemBFT's vote tally; with the
+  /// misbehavior defense on, only digest-matching votes certify a block.
+  struct VoteInfo {
+    net::NodeId leader = 0;
+    std::uint64_t digest = 0;
+  };
+  std::map<net::NodeId, VoteInfo> votes_;
   std::set<net::NodeId> timeouts_;               // round-timeout senders
   std::map<net::NodeId, int> consecutive_fails_; // leader reputation
   std::set<net::NodeId> excluded_;

@@ -349,6 +349,19 @@ void AvalancheNode::handle_app(const net::Envelope& envelope) {
       if (candidate->height > height_) request_sync(envelope.from);
       return;
     }
+    // Double-propose evidence: a second candidate for this height from a
+    // proposer we already hold a *different* block from. Snowball still
+    // converges on one id (and the anchor pins commits), so the damage is
+    // liveness — but the conflicting pair is exactly what peer scoring
+    // punishes.
+    for (const auto& [known_id, known] : candidates_) {
+      if (known.proposer == candidate->proposer &&
+          known_id != candidate->id) {
+        report_misbehavior(candidate->proposer,
+                           core::Offense::kEquivocation);
+        break;
+      }
+    }
     candidates_.emplace(candidate->id,
                         Candidate{candidate->id, candidate->proposer,
                                   candidate->txs});
@@ -401,6 +414,27 @@ void AvalancheNode::handle_app(const net::Envelope& envelope) {
 
 void AvalancheNode::on_transaction(const chain::Transaction& tx) {
   gossip_queue_.push_back(tx.id);
+}
+
+net::PayloadPtr AvalancheNode::equivocate_payload(
+    const net::PayloadPtr& payload) {
+  const auto* candidate = dynamic_cast<const CandidatePayload*>(payload.get());
+  if (candidate == nullptr || candidate->txs.size() < 2) return nullptr;
+  // Double-propose: a *competing* candidate (distinct block id) for the
+  // same height. Half the cluster seeds its preference with each block, so
+  // Snowball has to fight through a genuinely split initial vote.
+  std::vector<chain::Transaction> twin(candidate->txs.rbegin(),
+                                       candidate->txs.rend());
+  twin.pop_back();
+  return std::make_shared<const CandidatePayload>(
+      candidate->height, chain::hash_combine(candidate->id, 0x7477'696Eull),
+      candidate->proposer, std::move(twin));
+}
+
+bool AvalancheNode::withholdable(const net::Payload& payload) const {
+  // Only candidates: withholding chits/queries would just look like the
+  // packet loss the throttler already models.
+  return dynamic_cast<const CandidatePayload*>(&payload) != nullptr;
 }
 
 void AvalancheNode::gossip_tick() {
@@ -464,15 +498,19 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
 
 namespace {
 
-const chain::ChainRegistrar kRegistrar{[] {
+chain::ChainTraits make_traits() {
   chain::ChainTraits traits;
   traits.name = "avalanche";
+  traits.description =
+      "Snowball sampling over an inbound CPU throttler, anchored one block "
+      "per height (paper Avalanche C-Chain)";
   traits.tier = 0;
   traits.fault_tolerance = chain::tolerance_fifth;
   const AvalancheConfig defaults;
   traits.default_params = {
       {"throttling", defaults.throttler.enabled ? 1.0 : 0.0},
       {"cpu_target", defaults.throttler.cpu_target}};
+  traits.default_params.merge(chain::misbehavior_default_params());
   traits.make_cluster = [](sim::Simulation& simulation,
                            net::Network& network,
                            const chain::NodeConfig& node_config,
@@ -480,7 +518,9 @@ const chain::ChainRegistrar kRegistrar{[] {
     AvalancheConfig config;
     config.throttler.enabled = params.at("throttling") != 0.0;
     config.throttler.cpu_target = params.at("cpu_target");
-    return make_cluster(simulation, network, node_config, config);
+    chain::NodeConfig node_template = node_config;
+    chain::apply_misbehavior_params(node_template, params);
+    return make_cluster(simulation, network, node_template, config);
   };
   // The paper's observed failure modes (DESIGN.md §10 table): the inbound
   // throttler starves the chain to death after restarts, partitions,
@@ -510,10 +550,18 @@ const chain::ChainRegistrar kRegistrar{[] {
        "storms until the throttler starves consensus"},
   };
   return traits;
-}()};
+}
 
 }  // namespace
 
-void ensure_registered() {}
+void ensure_registered() {
+  // Function-local static, not a namespace-scope registrar: the
+  // registration must be safe to trigger from another TU's static
+  // initializer (figure benches name benchmarks after registered
+  // chains at namespace scope), where cross-TU init order is
+  // unspecified.
+  [[maybe_unused]] static const chain::ChainRegistrar kRegistrar{
+      make_traits()};
+}
 
 }  // namespace stabl::avalanche

@@ -203,6 +203,16 @@ void RedbellyNode::on_app_message(const net::Envelope& envelope) {
   const net::Payload* payload = envelope.payload.get();
   if (const auto* proposal = dynamic_cast<const ProposalPayload*>(payload)) {
     if (proposal->round != round_) return;
+    const auto known = proposals_.find(proposal->proposer);
+    if (known != proposals_.end() &&
+        known->second.size() != proposal->txs.size()) {
+      // Two different batches under the same (round, proposer): a
+      // double-propose. Keep the first (the DecisionLog pins one canonical
+      // superblock regardless, so agreement holds); the conflicting pair
+      // is the evidence peer scoring acts on.
+      report_misbehavior(proposal->proposer, core::Offense::kEquivocation);
+      return;
+    }
     proposals_[proposal->proposer] = proposal->txs;
     return;
   }
@@ -250,6 +260,27 @@ void RedbellyNode::on_synced() {
   }
 }
 
+net::PayloadPtr RedbellyNode::equivocate_payload(
+    const net::PayloadPtr& payload) {
+  const auto* proposal = dynamic_cast<const ProposalPayload*>(payload.get());
+  if (proposal == nullptr || proposal->txs.size() < 2) return nullptr;
+  // Double-propose: a conflicting batch under the same (round, proposer),
+  // so the two halves of the cluster hold different content for the same
+  // superblock component.
+  std::vector<chain::Transaction> twin(proposal->txs.rbegin(),
+                                       proposal->txs.rend());
+  twin.pop_back();
+  return std::make_shared<const ProposalPayload>(
+      proposal->round, proposal->proposer, std::move(twin));
+}
+
+bool RedbellyNode::withholdable(const net::Payload& payload) const {
+  // Only proposals: a withheld proposal drops the node's batch out of the
+  // superblock (delay), a replayed one targets the duplicate-detection
+  // path. Echo/commit withholding would look like ordinary packet loss.
+  return dynamic_cast<const ProposalPayload*>(&payload) != nullptr;
+}
+
 void RedbellyNode::rebroadcast() {
   if (round_open_) {
     if (own_proposal_ != nullptr) broadcast(own_proposal_, 256);
@@ -276,27 +307,41 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
 
 namespace {
 
-const chain::ChainRegistrar kRegistrar{[] {
+chain::ChainTraits make_traits() {
   chain::ChainTraits traits;
   traits.name = "redbelly";
+  traits.description =
+      "leaderless DBFT superblocks: union of every proposal echoed by t+1 "
+      "nodes (paper Redbelly)";
   traits.tier = 0;
   traits.fault_tolerance = chain::tolerance_third;
   const RedbellyConfig defaults;
   traits.default_params = {
       {"max_idle_s", sim::to_seconds(defaults.max_idle_time)}};
+  traits.default_params.merge(chain::misbehavior_default_params());
   traits.make_cluster = [](sim::Simulation& simulation,
                            net::Network& network,
                            const chain::NodeConfig& node_config,
                            const chain::ChainParams& params) {
     RedbellyConfig config;
     config.max_idle_time = sim::seconds(params.at("max_idle_s"));
-    return make_cluster(simulation, network, node_config, config);
+    chain::NodeConfig node_template = node_config;
+    chain::apply_misbehavior_params(node_template, params);
+    return make_cluster(simulation, network, node_template, config);
   };
   return traits;
-}()};
+}
 
 }  // namespace
 
-void ensure_registered() {}
+void ensure_registered() {
+  // Function-local static, not a namespace-scope registrar: the
+  // registration must be safe to trigger from another TU's static
+  // initializer (figure benches name benchmarks after registered
+  // chains at namespace scope), where cross-TU init order is
+  // unspecified.
+  [[maybe_unused]] static const chain::ChainRegistrar kRegistrar{
+      make_traits()};
+}
 
 }  // namespace stabl::redbelly

@@ -107,6 +107,9 @@ class RedbellyNode final : public chain::BlockchainNode {
   void on_app_message(const net::Envelope& envelope) override;
   void on_peer_up(net::NodeId peer) override;
   void on_synced() override;
+  [[nodiscard]] net::PayloadPtr equivocate_payload(
+      const net::PayloadPtr& payload) override;
+  [[nodiscard]] bool withholdable(const net::Payload& payload) const override;
 
  private:
   void schedule_round_start();

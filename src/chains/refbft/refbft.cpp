@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "chain/hash.hpp"
 #include "chain/registry.hpp"
 
 namespace stabl::refbft {
@@ -18,10 +19,24 @@ struct ProposalPayload final : net::Payload {
   std::vector<chain::Transaction> txs;
 };
 
+/// Content identity of a proposal batch — what a vote's digest binds to.
+std::uint64_t batch_digest(const std::vector<chain::Transaction>& txs) {
+  std::uint64_t digest = 0x5245'4642'4654ull;  // "REFBFT"
+  for (const chain::Transaction& tx : txs) {
+    digest = chain::hash_combine(digest, chain::mix64(tx.id));
+  }
+  return digest;
+}
+
 struct VotePayload final : net::Payload {
-  VotePayload(std::uint64_t r, net::NodeId l) : round(r), leader(l) {}
+  VotePayload(std::uint64_t r, net::NodeId l, std::uint64_t d)
+      : round(r), leader(l), digest(d) {}
   std::uint64_t round;
   net::NodeId leader;
+  /// Digest of the proposal content the voter holds. Plain RefBFT commits
+  /// on vote *count* alone; the digest rides along so the misbehavior
+  /// defense can bind votes to content and spot equivocating leaders.
+  std::uint64_t digest;
 };
 
 struct TimeoutPayload final : net::Payload {
@@ -51,6 +66,7 @@ void RefBftNode::stop_protocol() {
   have_proposal_ = false;
   proposal_parent_ = -1;
   proposal_txs_.clear();
+  proposal_digest_ = 0;
   votes_.clear();
   timeouts_.clear();
   round_timer_ = sim::kInvalidTimer;
@@ -69,6 +85,7 @@ void RefBftNode::enter_round(std::uint64_t round) {
   have_proposal_ = false;
   proposal_parent_ = -1;
   proposal_txs_.clear();
+  proposal_digest_ = 0;
   votes_.clear();
   timeouts_.clear();
   cancel_timer(round_timer_);
@@ -93,9 +110,12 @@ void RefBftNode::propose() {
   proposal_leader_ = node_id();
   proposal_parent_ = parent;
   proposal_txs_ = payload->txs;
+  proposal_digest_ = batch_digest(proposal_txs_);
   voted_ = true;
-  votes_.insert(node_id());
-  broadcast(std::make_shared<const VotePayload>(round_, node_id()), 96);
+  votes_[node_id()] = proposal_digest_;
+  broadcast(std::make_shared<const VotePayload>(round_, node_id(),
+                                                proposal_digest_),
+            96);
   try_commit();
 }
 
@@ -103,7 +123,8 @@ void RefBftNode::on_round_timeout() {
   // Retransmit our vote (lost packets must not split the round), shout
   // that the round is stuck, and re-arm so laggards keep hearing us.
   if (voted_) {
-    broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_),
+    broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_,
+                                                  proposal_digest_),
               96);
   }
   broadcast(std::make_shared<const TimeoutPayload>(round_), 96);
@@ -120,14 +141,27 @@ void RefBftNode::maybe_vote() {
   if (!have_proposal_ || voted_) return;
   if (proposal_parent_ != tip_round()) return;  // cannot extend this chain
   voted_ = true;
-  votes_.insert(node_id());
-  broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_),
+  votes_[node_id()] = proposal_digest_;
+  broadcast(std::make_shared<const VotePayload>(round_, proposal_leader_,
+                                                proposal_digest_),
             96);
   try_commit();
 }
 
 void RefBftNode::try_commit() {
-  if (!have_proposal_ || votes_.size() < quorum()) return;
+  if (!have_proposal_) return;
+  std::size_t counted = votes_.size();
+  if (misbehavior().enabled()) {
+    // Defense on: votes are content-bound — only votes whose digest
+    // matches the proposal we hold certify it. An equivocated round then
+    // never reaches quorum on either variant and times out instead of
+    // forking.
+    counted = 0;
+    for (const auto& [voter, digest] : votes_) {
+      if (digest == proposal_digest_) ++counted;
+    }
+  }
+  if (counted < quorum()) return;
   if (proposal_parent_ != tip_round()) {
     // A quorum certified a proposal extending blocks we are missing.
     if (proposal_parent_ > tip_round()) request_sync(proposal_leader_);
@@ -153,11 +187,21 @@ void RefBftNode::on_app_message(const net::Envelope& envelope) {
   if (const auto* proposal = dynamic_cast<const ProposalPayload*>(payload)) {
     if (proposal->round < round_) return;
     if (proposal->round > round_) jump_to_round(proposal->round, envelope.from);
-    if (have_proposal_) return;  // first proposal for the round wins
+    if (have_proposal_) {
+      // First proposal for the round wins; a SECOND proposal for the same
+      // round from the same leader with different content is equivocation
+      // evidence against that leader.
+      if (proposal->leader == proposal_leader_ &&
+          batch_digest(proposal->txs) != proposal_digest_) {
+        report_misbehavior(proposal->leader, core::Offense::kEquivocation);
+      }
+      return;
+    }
     have_proposal_ = true;
     proposal_leader_ = proposal->leader;
     proposal_parent_ = proposal->parent_round;
     proposal_txs_ = proposal->txs;
+    proposal_digest_ = batch_digest(proposal_txs_);
     if (proposal->parent_round > tip_round()) request_sync(envelope.from);
     maybe_vote();
     try_commit();
@@ -169,7 +213,13 @@ void RefBftNode::on_app_message(const net::Envelope& envelope) {
       jump_to_round(vote->round, envelope.from);
       return;
     }
-    votes_.insert(envelope.from);
+    // A vote binding the SAME round and leader to DIFFERENT content than
+    // the proposal we hold means the leader fed the cluster two variants.
+    if (have_proposal_ && vote->leader == proposal_leader_ &&
+        vote->digest != proposal_digest_) {
+      report_misbehavior(vote->leader, core::Offense::kEquivocation);
+    }
+    votes_.emplace(envelope.from, vote->digest);
     try_commit();
     return;
   }
@@ -205,6 +255,32 @@ void RefBftNode::on_synced() {
   try_commit();
 }
 
+net::PayloadPtr RefBftNode::equivocate_payload(const net::PayloadPtr& payload) {
+  if (const auto* proposal =
+          dynamic_cast<const ProposalPayload*>(payload.get())) {
+    if (proposal->txs.size() < 2) return nullptr;  // nothing to conflict on
+    // Conflicting variant: same round/leader/parent, different committed
+    // sequence (batch reversed minus its last transaction).
+    std::vector<chain::Transaction> txs(proposal->txs.begin(),
+                                        proposal->txs.end() - 1);
+    std::reverse(txs.begin(), txs.end());
+    return std::make_shared<const ProposalPayload>(
+        proposal->round, proposal->leader, proposal->parent_round,
+        std::move(txs));
+  }
+  if (const auto* vote = dynamic_cast<const VotePayload*>(payload.get())) {
+    // Double-vote: same round and leader, conflicting content claim.
+    return std::make_shared<const VotePayload>(
+        vote->round, vote->leader, vote->digest ^ 0x0BAD'BEEFull);
+  }
+  return nullptr;
+}
+
+bool RefBftNode::withholdable(const net::Payload& payload) const {
+  return dynamic_cast<const ProposalPayload*>(&payload) != nullptr ||
+         dynamic_cast<const VotePayload*>(&payload) != nullptr;
+}
+
 std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
     sim::Simulation& simulation, net::Network& network,
     chain::NodeConfig node_config_template, RefBftConfig config) {
@@ -224,19 +300,24 @@ namespace {
 const chain::ChainRegistrar kRegistrar{[] {
   chain::ChainTraits traits;
   traits.name = "refbft";
+  traits.description =
+      "minimal round-robin BFT reference chain proving the plugin seam";
   // tier 1 (the default): extension chains sort after the paper's five,
   // so the historical ChainKind ids 0..4 never move.
   traits.fault_tolerance = chain::tolerance_third;
   const RefBftConfig defaults;
   traits.default_params = {
       {"max_block_txs", static_cast<double>(defaults.max_block_txs)}};
+  traits.default_params.merge(chain::misbehavior_default_params());
   traits.make_cluster = [](sim::Simulation& simulation, net::Network& network,
                            const chain::NodeConfig& node_config,
                            const chain::ChainParams& params) {
     RefBftConfig config;
     config.max_block_txs =
         static_cast<std::size_t>(params.at("max_block_txs"));
-    return make_cluster(simulation, network, node_config, config);
+    chain::NodeConfig node_template = node_config;
+    chain::apply_misbehavior_params(node_template, params);
+    return make_cluster(simulation, network, node_template, config);
   };
   return traits;
 }()};

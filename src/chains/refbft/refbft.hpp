@@ -49,6 +49,9 @@ class RefBftNode final : public chain::BlockchainNode {
   void on_transaction(const chain::Transaction& tx) override;
   void on_peer_up(net::NodeId peer) override;
   void on_synced() override;
+  [[nodiscard]] net::PayloadPtr equivocate_payload(
+      const net::PayloadPtr& payload) override;
+  [[nodiscard]] bool withholdable(const net::Payload& payload) const override;
 
  private:
   void enter_round(std::uint64_t round);
@@ -71,7 +74,12 @@ class RefBftNode final : public chain::BlockchainNode {
   net::NodeId proposal_leader_ = 0;
   std::int64_t proposal_parent_ = -1;
   std::vector<chain::Transaction> proposal_txs_;
-  std::set<net::NodeId> votes_;
+  std::uint64_t proposal_digest_ = 0;
+  // voter -> content digest the voter claims for this round's proposal.
+  // Plain quorum counting ignores the digest (votes are content-blind,
+  // which is what an equivocating leader exploits); with the misbehavior
+  // defense on, only votes matching our own digest count towards commit.
+  std::map<net::NodeId, std::uint64_t> votes_;
   std::set<net::NodeId> timeouts_;
   sim::TimerId round_timer_ = sim::kInvalidTimer;
   sim::TimerId propose_timer_ = sim::kInvalidTimer;

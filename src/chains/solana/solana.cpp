@@ -31,13 +31,28 @@ struct BankBlockPayload final : net::Payload {
 };
 
 struct VotePayload final : net::Payload {
-  VotePayload(std::uint64_t s, net::NodeId v) : slot(s), voter(v) {}
+  VotePayload(std::uint64_t s, net::NodeId v, std::uint64_t digest)
+      : slot(s), voter(v), bank_digest(digest) {}
   std::uint64_t slot;
   net::NodeId voter;
+  /// Digest of the bank the vote endorses (real tower votes carry the
+  /// bank hash). Content-blind counting ignores it; the misbehavior
+  /// defense uses it to refuse quorum across an equivocation split.
+  std::uint64_t bank_digest;
 };
 
 std::uint32_t batch_bytes(std::size_t tx_count) {
   return 128 + static_cast<std::uint32_t>(tx_count) * 128;
+}
+
+/// Content digest of a bank's batch (stands in for the shred merkle root);
+/// used only to compare two banks claiming the same slot.
+std::uint64_t batch_digest(const std::vector<chain::Transaction>& txs) {
+  std::uint64_t digest = 0x534F'4C41'4E41ull;
+  for (const chain::Transaction& tx : txs) {
+    digest = chain::hash_combine(digest, chain::mix64(tx.id));
+  }
+  return digest;
 }
 
 }  // namespace
@@ -139,7 +154,9 @@ void SolanaNode::on_slot_tick() {
   for (const auto& [slot, state] : slots_) {
     if (state.voted && !state.finalized && state.have_block &&
         slot + 2 <= current_slot_) {
-      broadcast(std::make_shared<const VotePayload>(slot, node_id()), 96);
+      broadcast(std::make_shared<const VotePayload>(slot, node_id(),
+                                                    batch_digest(state.txs)),
+                96);
     }
   }
   const sim::Time next_boundary =
@@ -245,12 +262,30 @@ void SolanaNode::maybe_vote(std::uint64_t slot, SlotState& state) {
   // trimmed), which in normal operation is every slot.
   if (!anchor_live) last_voted_slot_ = static_cast<std::int64_t>(slot);
   state.votes.insert(node_id());
-  broadcast(std::make_shared<const VotePayload>(slot, node_id()), 96);
+  const std::uint64_t digest = batch_digest(state.txs);
+  state.vote_digests[node_id()] = digest;
+  broadcast(std::make_shared<const VotePayload>(slot, node_id(), digest),
+            96);
 }
 
 bool SolanaNode::finalize_one(std::uint64_t slot, SlotState& state) {
   if (state.finalized || !state.have_block) return false;
-  if (state.votes.size() < vote_quorum()) return false;
+  // Content-blind counting by default (the property an equivocating leader
+  // exploits). With the defense on, only votes whose bank digest matches
+  // the locally replayed bank support it — an equivocation split then
+  // starves BOTH variants of quorum instead of finalizing each half.
+  std::size_t supporting = state.votes.size();
+  if (misbehavior().enabled()) {
+    const std::uint64_t digest = batch_digest(state.txs);
+    supporting = 0;
+    for (const net::NodeId voter : state.votes) {
+      const auto known = state.vote_digests.find(voter);
+      if (known == state.vote_digests.end() || known->second == digest) {
+        ++supporting;
+      }
+    }
+  }
+  if (supporting < vote_quorum()) return false;
   if (state.parent_slot != tip_slot()) {
     // Quorum on a bank we cannot replay. If its chain is ahead of ours we
     // are missing committed blocks — repair the ledger from the leader;
@@ -338,6 +373,21 @@ void SolanaNode::on_app_message(const net::Envelope& envelope) {
       state.leader = block->leader;
       state.parent_slot = block->parent_slot;
       state.txs = block->txs;
+    } else if (block->leader == state.leader &&
+               (block->parent_slot != state.parent_slot ||
+                batch_digest(block->txs) != batch_digest(state.txs))) {
+      // Two conflicting banks for one slot from the same leader — the
+      // duplicate-shred evidence real clusters gossip proofs about. The
+      // first bank wins locally (validators vote per slot, content-blind,
+      // which is why an equivocating leader can split finality without the
+      // defense); report the leader so the scorer can throttle/ban it.
+      report_misbehavior(state.leader, core::Offense::kEquivocation);
+    } else if (block->leader == state.leader &&
+               block->slot + config_.leader_group_slots < current_slot_) {
+      // An identical bank replayed well past its slot: withhold-replay.
+      // Banks are never retransmitted in normal operation (votes are), so
+      // a late duplicate is evidence, not gossip noise.
+      report_misbehavior(state.leader, core::Offense::kStaleReplay);
     }
     if (block->parent_slot > tip_slot()) {
       // The leader built on blocks we never replayed: repair before voting.
@@ -348,10 +398,35 @@ void SolanaNode::on_app_message(const net::Envelope& envelope) {
     return;
   }
   if (const auto* vote = dynamic_cast<const VotePayload*>(payload)) {
-    slots_[vote->slot].votes.insert(vote->voter);
+    SlotState& state = slots_[vote->slot];
+    state.votes.insert(vote->voter);
+    state.vote_digests[vote->voter] = vote->bank_digest;
+    if (state.have_block && vote->bank_digest != batch_digest(state.txs)) {
+      // A peer endorsed a different bank for this slot than the one its
+      // leader sent us: duplicate-bank evidence against the leader.
+      report_misbehavior(state.leader, core::Offense::kEquivocation);
+    }
     try_finalize(vote->slot);
     return;
   }
+}
+
+net::PayloadPtr SolanaNode::equivocate_payload(const net::PayloadPtr& payload) {
+  const auto* block = dynamic_cast<const BankBlockPayload*>(payload.get());
+  if (block == nullptr || block->txs.size() < 2) return nullptr;
+  // Conflicting bank for the same slot: same leader and parent, different
+  // batch (reversed, minus the last transaction, so the digests differ).
+  std::vector<chain::Transaction> twin(block->txs.rbegin(),
+                                       block->txs.rend());
+  twin.pop_back();
+  return std::make_shared<const BankBlockPayload>(
+      block->slot, block->leader, block->parent_slot, std::move(twin));
+}
+
+bool SolanaNode::withholdable(const net::Payload& payload) const {
+  // Only banks: votes are retransmitted every slot tick anyway, so
+  // withholding them would replay payloads the protocol already replays.
+  return dynamic_cast<const BankBlockPayload*>(&payload) != nullptr;
 }
 
 void SolanaNode::accept_transaction(const chain::Transaction& tx) {
@@ -377,21 +452,27 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(
 
 namespace {
 
-const chain::ChainRegistrar kRegistrar{[] {
+chain::ChainTraits make_traits() {
   chain::ChainTraits traits;
   traits.name = "solana";
+  traits.description =
+      "PoH leader schedule, TowerBFT votes and the epoch-accounts-hash "
+      "panic (paper Solana)";
   traits.tier = 0;
   traits.fault_tolerance = chain::tolerance_third;
   const SolanaConfig defaults;
   traits.default_params = {
       {"warmup_epochs", defaults.warmup_epochs ? 1.0 : 0.0}};
+  traits.default_params.merge(chain::misbehavior_default_params());
   traits.make_cluster = [](sim::Simulation& simulation,
                            net::Network& network,
                            const chain::NodeConfig& node_config,
                            const chain::ChainParams& params) {
     SolanaConfig config;
     config.warmup_epochs = params.at("warmup_epochs") != 0.0;
-    return make_cluster(simulation, network, node_config, config);
+    chain::NodeConfig node_template = node_config;
+    chain::apply_misbehavior_params(node_template, params);
+    return make_cluster(simulation, network, node_template, config);
   };
   // The paper's observed failure modes (DESIGN.md §10 table): validators
   // panic when transient outages, partitions or delays stall the epoch
@@ -414,10 +495,18 @@ const chain::ChainRegistrar kRegistrar{[] {
        "window; the EAH check panics every validator (paper §5 mechanism)"},
   };
   return traits;
-}()};
+}
 
 }  // namespace
 
-void ensure_registered() {}
+void ensure_registered() {
+  // Function-local static, not a namespace-scope registrar: the
+  // registration must be safe to trigger from another TU's static
+  // initializer (figure benches name benchmarks after registered
+  // chains at namespace scope), where cross-TU init order is
+  // unspecified.
+  [[maybe_unused]] static const chain::ChainRegistrar kRegistrar{
+      make_traits()};
+}
 
 }  // namespace stabl::solana

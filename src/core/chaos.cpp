@@ -52,6 +52,12 @@ std::string plan_json(const FaultPlan& plan) {
       out << ",\"gray_ms\":"
           << Table::num(sim::to_seconds(plan.gray_latency) * 1000.0, 0);
       break;
+    case FaultType::kEclipse:
+      out << ",\"eclipse_victim\":" << plan.eclipse_victim
+          << ",\"eclipse_ms\":"
+          << Table::num(sim::to_seconds(plan.eclipse_delay) * 1000.0, 0)
+          << ",\"eclipse_filter\":" << Table::num(plan.eclipse_filter, 2);
+      break;
     default:
       break;
   }
@@ -95,6 +101,12 @@ FaultPlan parse_plan(JsonCursor& cursor) {
       plan.throttle_bytes_per_s = cursor.parse_number();
     } else if (key == "gray_ms") {
       plan.gray_latency = sim::seconds(cursor.parse_number() / 1000.0);
+    } else if (key == "eclipse_victim") {
+      plan.eclipse_victim = static_cast<net::NodeId>(cursor.parse_number());
+    } else if (key == "eclipse_ms") {
+      plan.eclipse_delay = sim::seconds(cursor.parse_number() / 1000.0);
+    } else if (key == "eclipse_filter") {
+      plan.eclipse_filter = cursor.parse_number();
     } else {
       cursor.fail("unknown plan field \"" + key + "\"");
     }
@@ -111,6 +123,14 @@ ChaosGenConfig default_gen_for(sim::Duration duration) {
   config.latest_recover_s =
       std::max(config.earliest_inject_s + config.min_window_s, d / 3);
   config.max_window_s = std::max(10, d / 6);
+  return config;
+}
+
+ChaosGenConfig adversarial_gen_for(sim::Duration duration) {
+  ChaosGenConfig config = default_gen_for(duration);
+  config.types.push_back(FaultType::kEquivocate);
+  config.types.push_back(FaultType::kWithhold);
+  config.types.push_back(FaultType::kEclipse);
   return config;
 }
 
@@ -177,6 +197,30 @@ FaultSchedule generate_schedule(sim::Rng& rng, const ChaosGenConfig& config) {
         plan.gray_latency = sim::ms(
             rng.uniform_int(config.min_gray_ms, config.max_gray_ms));
         break;
+      case FaultType::kEclipse: {
+        // The victim is drawn from the nodes the plan does not control
+        // (validate() rejects a victim that is also an attacker).
+        std::vector<net::NodeId> eligible;
+        for (std::size_t id = 0; id < config.n; ++id) {
+          const auto node = static_cast<net::NodeId>(id);
+          if (std::find(plan.targets.begin(), plan.targets.end(), node) ==
+              plan.targets.end()) {
+            eligible.push_back(node);
+          }
+        }
+        plan.eclipse_victim = eligible[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(eligible.size()) - 1))];
+        plan.eclipse_delay = sim::ms(
+            rng.uniform_int(config.min_eclipse_ms, config.max_eclipse_ms));
+        const auto filter_percent = rng.uniform_int(
+            static_cast<std::int64_t>(
+                std::lround(config.min_eclipse_filter * 100.0)),
+            static_cast<std::int64_t>(
+                std::lround(config.max_eclipse_filter * 100.0)));
+        plan.eclipse_filter = static_cast<double>(filter_percent) / 100.0;
+        break;
+      }
       default:
         break;
     }

@@ -69,12 +69,19 @@ struct ChaosGenConfig {
   int min_delay_s = 1, max_delay_s = 120;               // whole seconds
   int min_churn_period_s = 3, max_churn_period_s = 20;  // down + up each
   int min_gray_ms = 500, max_gray_ms = 5000;            // whole ms
+  int min_eclipse_ms = 100, max_eclipse_ms = 2000;      // whole ms
+  double min_eclipse_filter = 0.05, max_eclipse_filter = 0.90;  // percents
 };
 
 /// Generator windows scaled for a run of the given duration: inject from
 /// duration/8, everything recovered by duration/3, so the recovery-resume
 /// oracle always has a conclusive observation window.
 ChaosGenConfig default_gen_for(sim::Duration duration);
+
+/// default_gen_for plus the adversarial plan space: equivocate, withhold
+/// and eclipse join the sampled types. Opt-in — default campaigns stay
+/// byte-identical to builds that predate the adversarial family.
+ChaosGenConfig adversarial_gen_for(sim::Duration duration);
 
 /// Sample one schedule. Consumes rng state. Every returned schedule is
 /// canonical() and passes validate() against config.n (enforced by

@@ -65,12 +65,20 @@ std::size_t default_fault_count(FaultType fault, std::size_t t) {
     case FaultType::kCrash:
     case FaultType::kChurn:
       return t;
+    // Adversarial coalition within tolerance: the interesting question is
+    // whether t compromised nodes can break safety, not whether t+1 can.
+    case FaultType::kEquivocate:
+    case FaultType::kWithhold:
+      return t;
     case FaultType::kTransient:
     case FaultType::kPartition:
     case FaultType::kDelay:
     case FaultType::kLoss:
     case FaultType::kThrottle:
     case FaultType::kGray:
+      return t + 1;
+    // Eclipse: t+1 attackers suffice to dominate the victim's view.
+    case FaultType::kEclipse:
       return t + 1;
     case FaultType::kNone:
     case FaultType::kSecureClient:
@@ -133,6 +141,9 @@ FaultSchedule resolved_schedule(const ExperimentConfig& config) {
   plan.loss_probability = config.loss_probability;
   plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
   plan.gray_latency = config.gray_latency;
+  plan.eclipse_victim = config.eclipse_victim;
+  plan.eclipse_delay = config.eclipse_delay;
+  plan.eclipse_filter = config.eclipse_filter;
   if (!config.fault_targets.empty()) {
     // Explicit override: the caller is deliberately faulting specific
     // nodes — possibly entry nodes, to study client-side mitigations.
@@ -349,6 +360,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& node : nodes) {
     for (const auto& [key, value] : node->metrics()) {
       result.chain_metrics[key] += value;
+    }
+    // Base-node adversarial counters (equivocations sent, misbehavior
+    // reports/bans, ...). Zero values are elided so benign-run reports
+    // stay byte-identical to builds that predate the adversarial family.
+    for (const auto& [key, value] : node->adversarial_metrics()) {
+      if (value != 0.0) result.chain_metrics[key] += value;
     }
   }
   if (config.capture_replicas) {

@@ -124,6 +124,13 @@ struct ExperimentConfig {
   double throttle_bytes_per_s = 64.0 * 1024.0;
   /// kGray: service latency added to all traffic touching a target.
   sim::Duration gray_latency = sim::sec(2);
+  /// kEclipse: the victim whose connectivity the targets (attackers)
+  /// intercept, the extra delay added to each intercepted packet, and the
+  /// per-packet filter (drop) probability. The default victim is the last
+  /// node — like the paper's fault targets it takes no client traffic.
+  net::NodeId eclipse_victim = 9;
+  sim::Duration eclipse_delay = sim::ms(500);
+  double eclipse_filter = 0.2;
   /// Additional fault plans armed alongside the primary `fault` (engine
   /// v2 composition: loss during a partition, churn plus delay, ...).
   /// Plans with empty targets get the same default target selection as

@@ -22,6 +22,11 @@ std::string to_lower(std::string_view text) {
 
 }  // namespace
 
+bool is_adversarial(FaultType type) {
+  return type == FaultType::kEquivocate || type == FaultType::kWithhold ||
+         type == FaultType::kEclipse;
+}
+
 std::string to_string(FaultType type) {
   switch (type) {
     case FaultType::kNone: return "none";
@@ -34,6 +39,41 @@ std::string to_string(FaultType type) {
     case FaultType::kLoss: return "loss";
     case FaultType::kThrottle: return "throttle";
     case FaultType::kGray: return "gray";
+    case FaultType::kEquivocate: return "equivocate";
+    case FaultType::kWithhold: return "withhold";
+    case FaultType::kEclipse: return "eclipse";
+  }
+  return "?";
+}
+
+std::string fault_description(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "baseline: no failure injected";
+    case FaultType::kCrash:
+      return "halt the targets at inject_at, never restart them";
+    case FaultType::kTransient:
+      return "halt the targets at inject_at, restart them at recover_at";
+    case FaultType::kPartition:
+      return "drop all packets between the targets and the rest";
+    case FaultType::kSecureClient:
+      return "no failure: clients submit every transaction to t+1 nodes";
+    case FaultType::kDelay:
+      return "add delay_amount one-way latency between targets and rest";
+    case FaultType::kChurn:
+      return "repeatedly kill and restart the targets during the window";
+    case FaultType::kLoss:
+      return "drop packets between targets and rest with loss_probability";
+    case FaultType::kThrottle:
+      return "throttle target links to throttle_bytes_per_s";
+    case FaultType::kGray:
+      return "serve all traffic touching the targets gray_latency late";
+    case FaultType::kEquivocate:
+      return "targets double-propose/vote: conflicting payloads per half";
+    case FaultType::kWithhold:
+      return "targets suppress own proposals/votes, replay stale ones";
+    case FaultType::kEclipse:
+      return "attacker targets intercept, delay and filter a victim's view";
   }
   return "?";
 }
@@ -65,6 +105,9 @@ bool uses_recovery_window(FaultType type) {
     case FaultType::kLoss:
     case FaultType::kThrottle:
     case FaultType::kGray:
+    case FaultType::kEquivocate:
+    case FaultType::kWithhold:
+    case FaultType::kEclipse:
       return true;
   }
   return false;
@@ -130,6 +173,21 @@ std::string validate(const FaultPlan& plan, std::size_t n) {
         error << "gray plan needs a positive gray_latency";
       }
       break;
+    case FaultType::kEclipse:
+      if (plan.eclipse_victim >= n) {
+        error << "eclipse plan victim node " << plan.eclipse_victim
+              << " is outside the cluster 0.." << (n - 1);
+      } else if (std::find(plan.targets.begin(), plan.targets.end(),
+                           plan.eclipse_victim) != plan.targets.end()) {
+        error << "eclipse plan victim node " << plan.eclipse_victim
+              << " cannot also be an attacker target";
+      } else if (plan.eclipse_delay <= sim::Duration::zero()) {
+        error << "eclipse plan needs a positive eclipse_delay";
+      } else if (!(plan.eclipse_filter >= 0.0 && plan.eclipse_filter < 1.0)) {
+        error << "eclipse plan needs eclipse_filter in [0, 1), got "
+              << plan.eclipse_filter;
+      }
+      break;
     default:
       break;
   }
@@ -156,6 +214,11 @@ FaultPlan canonical(FaultPlan plan) {
     plan.throttle_bytes_per_s = defaults.throttle_bytes_per_s;
   }
   if (plan.type != FaultType::kGray) plan.gray_latency = defaults.gray_latency;
+  if (plan.type != FaultType::kEclipse) {
+    plan.eclipse_victim = defaults.eclipse_victim;
+    plan.eclipse_delay = defaults.eclipse_delay;
+    plan.eclipse_filter = defaults.eclipse_filter;
+  }
   std::sort(plan.targets.begin(), plan.targets.end());
   return plan;
 }
@@ -163,6 +226,20 @@ FaultPlan canonical(FaultPlan plan) {
 FaultSchedule canonical(FaultSchedule schedule) {
   for (FaultPlan& plan : schedule.plans) plan = canonical(std::move(plan));
   return schedule;
+}
+
+std::vector<net::NodeId> adversarial_nodes(const FaultSchedule& schedule) {
+  std::vector<net::NodeId> nodes;
+  for (const FaultPlan& plan : schedule.plans) {
+    if (plan.type != FaultType::kEquivocate &&
+        plan.type != FaultType::kWithhold) {
+      continue;
+    }
+    nodes.insert(nodes.end(), plan.targets.begin(), plan.targets.end());
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
 }
 
 }  // namespace stabl::core

@@ -37,15 +37,34 @@ enum class FaultType {
                // rest: packets queue behind a serialization delay
   kGray,       // gray failure: the targets stay alive but serve all their
                // traffic with inflated latency (slow disk / saturated NIC)
+  // --- adversarial family: the targets are *compromised*, not failed ---
+  kEquivocate,  // targets double-propose/double-vote: every consensus
+                // broadcast is split-brained, one half of the peers gets
+                // the original payload and the other half a conflicting
+                // variant for the same round/slot
+  kWithhold,    // targets suppress their own proposals/votes and replay
+                // the first suppressed payload instead of fresh ones
+  kEclipse,     // a victim node's view is intercepted: all of its traffic
+                // to and from non-attackers is routed through the attacker
+                // targets, which delay (reorder) and filter it
 };
 
 inline constexpr FaultType kAllFaultTypes[] = {
     FaultType::kNone,  FaultType::kCrash,        FaultType::kTransient,
     FaultType::kPartition, FaultType::kSecureClient, FaultType::kDelay,
     FaultType::kChurn, FaultType::kLoss,         FaultType::kThrottle,
-    FaultType::kGray};
+    FaultType::kGray,  FaultType::kEquivocate,   FaultType::kWithhold,
+    FaultType::kEclipse};
+
+/// True for the adversarial (Byzantine) family: the targets misbehave
+/// instead of failing. Oracles exclude such nodes from the correct-replica
+/// set when auditing safety.
+[[nodiscard]] bool is_adversarial(FaultType type);
 
 std::string to_string(FaultType type);
+
+/// One-line human description of a fault type (stabl_cli --list-faults).
+std::string fault_description(FaultType type);
 
 /// Inverse of to_string, case-insensitive. Throws std::invalid_argument
 /// listing every valid name when `name` matches none of them.
@@ -67,6 +86,15 @@ struct FaultPlan {
   double throttle_bytes_per_s = 64.0 * 1024.0;
   /// kGray only: service latency added to all traffic touching a target.
   sim::Duration gray_latency = sim::sec(2);
+  /// kEclipse only: the victim whose traffic the attacker targets
+  /// intercept. Must not itself be a target.
+  net::NodeId eclipse_victim = 9;
+  /// kEclipse only: relay latency the attackers add to every intercepted
+  /// packet (the detour through the attacker overlay).
+  sim::Duration eclipse_delay = sim::ms(500);
+  /// kEclipse only: probability in [0, 1) that the attackers filter
+  /// (silently drop) an intercepted packet.
+  double eclipse_filter = 0.2;
 };
 
 /// Whether the plan's recover_at action means anything (kCrash never
@@ -108,5 +136,13 @@ struct FaultSchedule {
 
 /// canonical() applied to every plan of a schedule.
 [[nodiscard]] FaultSchedule canonical(FaultSchedule schedule);
+
+/// Nodes under adversarial control anywhere in the schedule: the targets
+/// of every equivocate/withhold plan (eclipse attackers stay honest at the
+/// protocol layer — they only tamper with the victim's links). Sorted,
+/// deduplicated. Safety oracles exclude these replicas from the
+/// correct-replica set.
+[[nodiscard]] std::vector<net::NodeId> adversarial_nodes(
+    const FaultSchedule& schedule);
 
 }  // namespace stabl::core

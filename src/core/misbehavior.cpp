@@ -1,0 +1,17 @@
+#include "core/misbehavior.hpp"
+
+#include <sstream>
+
+namespace stabl::core {
+
+std::string describe(const MisbehaviorConfig& config) {
+  if (!config.enabled) return "defense off";
+  std::ostringstream out;
+  out << "defense on: equivocation+" << config.equivocation_penalty
+      << ", stale+" << config.stale_penalty << ", decay "
+      << config.decay_per_s << "/s, throttle>=" << config.throttle_threshold
+      << ", ban>=" << config.ban_threshold;
+  return out.str();
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,158 @@
+// Peer-misbehavior scoring: the defense side of the adversarial fault
+// family (DESIGN.md §13).
+//
+// Every node owns a MisbehaviorScorer. Chains report offenses when they
+// observe protocol-level evidence of misbehavior — two conflicting payloads
+// for the same round/slot from the same originator, a stale replay storm —
+// and the base node consults the scorer on delivery: peers above the
+// throttle threshold have every other message dropped, peers that ever
+// cross the ban threshold are dropped permanently. Scores decay linearly
+// with simulated time so a one-off accident is forgiven while a persistent
+// equivocator is not (the shape of real gossip-layer peer scoring, e.g.
+// libp2p gossipsub v1.1).
+//
+// Header-only on purpose: the scorer is used from chain/node.* (stabl_chain
+// does not link stabl_core — the dependency runs the other way), while the
+// CLI-facing name/description helpers live in misbehavior.cpp inside
+// stabl_core. Everything is deterministic: no RNG, no wall clock, and a
+// disabled scorer never mutates state, so compiling the defense in does not
+// perturb benign runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::core {
+
+/// Protocol-level evidence a chain can hold against a peer.
+enum class Offense : std::uint8_t {
+  kEquivocation,  // two conflicting payloads for the same round/slot
+  kStaleReplay,   // the same already-known payload replayed again
+};
+
+// Inline: used from stabl_chain, which does not link stabl_core.
+inline std::string to_string(Offense offense) {
+  switch (offense) {
+    case Offense::kEquivocation: return "equivocation";
+    case Offense::kStaleReplay: return "stale-replay";
+  }
+  return "?";
+}
+
+struct MisbehaviorConfig;
+
+/// One-line rendering of the defense knobs ("defense on: ban>=30, ...")
+/// for reports and the CLI. Lives in stabl_core (misbehavior.cpp).
+std::string describe(const MisbehaviorConfig& config);
+
+struct MisbehaviorConfig {
+  /// Master switch; disabled scorers report nothing and drop nothing.
+  /// Registered per chain as the "misbehavior_defense" parameter so
+  /// mitigation-on vs mitigation-off is a scenario diff.
+  bool enabled = false;
+  /// Score added per offense.
+  double equivocation_penalty = 10.0;
+  double stale_penalty = 1.0;
+  /// Linear score decay in points per simulated second.
+  double decay_per_s = 0.1;
+  /// At or above this score every other message from the peer is dropped.
+  double throttle_threshold = 15.0;
+  /// At or above this score the peer is dropped permanently (sticky:
+  /// a ban survives later decay). Registered as "misbehavior_ban".
+  double ban_threshold = 30.0;
+};
+
+class MisbehaviorScorer {
+ public:
+  MisbehaviorScorer() = default;
+  explicit MisbehaviorScorer(MisbehaviorConfig config)
+      : config_(config) {}
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const MisbehaviorConfig& config() const { return config_; }
+
+  /// Record an offense observed against `peer` at simulated time `now`.
+  /// No-op while the scorer is disabled.
+  void report(net::NodeId peer, Offense offense, sim::Time now) {
+    if (!config_.enabled) return;
+    ++reports_;
+    Entry& entry = entries_[peer];
+    decay(entry, now);
+    entry.score += offense == Offense::kEquivocation
+                       ? config_.equivocation_penalty
+                       : config_.stale_penalty;
+    if (entry.score >= config_.ban_threshold && !banned_.contains(peer)) {
+      banned_.insert(peer);
+    }
+  }
+
+  /// Current (decayed) score of a peer. Pure.
+  [[nodiscard]] double score(net::NodeId peer, sim::Time now) const {
+    const auto it = entries_.find(peer);
+    if (it == entries_.end()) return 0.0;
+    Entry entry = it->second;
+    decay(entry, now);
+    return entry.score;
+  }
+
+  [[nodiscard]] bool banned(net::NodeId peer) const {
+    return banned_.contains(peer);
+  }
+
+  /// Delivery-time verdict: true when the message from `peer` should be
+  /// dropped. Banned peers always drop; throttled peers drop every other
+  /// message (a deterministic half-rate limiter). Mutates the throttle
+  /// parity counter, so call exactly once per candidate message.
+  [[nodiscard]] bool should_drop(net::NodeId peer, sim::Time now) {
+    if (!config_.enabled) return false;
+    // Armed-but-idle fast path: a scorer that has never seen an offense
+    // must cost one branch per message, so enabling the defense on a
+    // benign run stays free (gated by micro_adversarial_overhead).
+    if (entries_.empty() && banned_.empty()) return false;
+    if (banned_.contains(peer)) return true;
+    const auto it = entries_.find(peer);
+    if (it == entries_.end()) return false;
+    decay(it->second, now);
+    if (it->second.score < config_.throttle_threshold) return false;
+    return (++it->second.throttle_parity % 2) == 0;
+  }
+
+  /// Total offenses reported (diagnostic counter for metrics).
+  [[nodiscard]] std::uint64_t reports() const { return reports_; }
+  [[nodiscard]] std::size_t banned_count() const { return banned_.size(); }
+
+  /// Forget everything (process restart loses volatile reputation state).
+  void reset() {
+    entries_.clear();
+    banned_.clear();
+  }
+
+ private:
+  struct Entry {
+    double score = 0.0;
+    sim::Time updated{0};
+    std::uint64_t throttle_parity = 0;
+  };
+
+  void decay(Entry& entry, sim::Time now) const {
+    if (now > entry.updated) {
+      entry.score = std::max(
+          0.0, entry.score - config_.decay_per_s *
+                                 sim::to_seconds(now - entry.updated));
+      entry.updated = now;
+    }
+  }
+
+  MisbehaviorConfig config_;
+  std::unordered_map<net::NodeId, Entry> entries_;
+  std::unordered_set<net::NodeId> banned_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace stabl::core

@@ -68,7 +68,16 @@ void Observers::churn_kill(const FaultPlan& plan, sim::Time at) {
 }
 
 void Observers::arm(const FaultSchedule& schedule) {
-  for (const FaultPlan& plan : schedule.plans) arm(plan);
+  for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
+    try {
+      arm(schedule.plans[i]);
+    } catch (const std::invalid_argument& error) {
+      // Multi-plan schedules say WHICH plan was malformed.
+      throw std::invalid_argument("plan " + std::to_string(i) + " of " +
+                                  std::to_string(schedule.plans.size()) +
+                                  ": " + error.what());
+    }
+  }
 }
 
 void Observers::arm(const FaultPlan& plan) {
@@ -128,6 +137,48 @@ void Observers::arm(const FaultPlan& plan) {
         trace_recover(plan.type);
       });
       return;
+    case FaultType::kEquivocate:
+      sim_.schedule_at(plan.inject_at, [this, plan, trace_inject] {
+        trace_inject(plan);
+        for (const net::NodeId id : plan.targets) {
+          nodes_.at(id)->set_equivocating(true);
+        }
+      });
+      sim_.schedule_at(plan.recover_at, [this, plan, trace_recover] {
+        for (const net::NodeId id : plan.targets) {
+          nodes_.at(id)->set_equivocating(false);
+        }
+        trace_recover(plan.type);
+      });
+      return;
+    case FaultType::kWithhold:
+      sim_.schedule_at(plan.inject_at, [this, plan, trace_inject] {
+        trace_inject(plan);
+        for (const net::NodeId id : plan.targets) {
+          nodes_.at(id)->set_withholding(true);
+        }
+      });
+      sim_.schedule_at(plan.recover_at, [this, plan, trace_recover] {
+        for (const net::NodeId id : plan.targets) {
+          nodes_.at(id)->set_withholding(false);
+        }
+        trace_recover(plan.type);
+      });
+      return;
+    case FaultType::kEclipse: {
+      auto rule = std::make_shared<net::RuleId>(0);
+      sim_.schedule_at(plan.inject_at, [this, plan, rule, trace_inject] {
+        trace_inject(plan);
+        *rule = net_.add_eclipse(plan.eclipse_victim, plan.targets,
+                                 plan.eclipse_delay, plan.eclipse_filter);
+      });
+      sim_.schedule_at(plan.recover_at,
+                       [this, rule, type = plan.type, trace_recover] {
+        if (*rule != 0) net_.remove_rule(*rule);
+        trace_recover(type);
+      });
+      return;
+    }
     case FaultType::kPartition:
     case FaultType::kDelay:
     case FaultType::kLoss:

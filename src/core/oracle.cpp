@@ -43,6 +43,7 @@ void check_agreement(const std::vector<ReplicaSnapshot>& replicas,
                      OracleReport& report) {
   OracleFinding finding;
   finding.oracle = "agreement";
+  finding.cls = OracleClass::kSafety;
   // Reference = the replica with the longest ledger; every other replica
   // must match it block-for-block over their common prefix. Transaction
   // *sequences* are compared — commit times and rounds are replica-local.
@@ -76,6 +77,7 @@ void check_no_duplicate_commit(const std::vector<ReplicaSnapshot>& replicas,
                                OracleReport& report) {
   OracleFinding finding;
   finding.oracle = "no-duplicate-commit";
+  finding.cls = OracleClass::kSafety;
   for (const ReplicaSnapshot& replica : replicas) {
     std::unordered_set<chain::TxId> seen;
     for (const BlockSummary& block : replica.blocks) {
@@ -100,6 +102,7 @@ void check_monotone(const std::vector<ReplicaSnapshot>& replicas,
                     OracleReport& report) {
   OracleFinding finding;
   finding.oracle = "monotone";
+  finding.cls = OracleClass::kSafety;
   for (const ReplicaSnapshot& replica : replicas) {
     double last_commit_s = 0.0;
     for (std::size_t i = 0; i < replica.blocks.size(); ++i) {
@@ -133,6 +136,7 @@ void check_committed_subset(const std::vector<ReplicaSnapshot>& replicas,
                             OracleReport& report) {
   OracleFinding finding;
   finding.oracle = "committed-subset";
+  finding.cls = OracleClass::kSafety;
   const std::unordered_set<chain::TxId> submitted(submitted_ids.begin(),
                                                   submitted_ids.end());
   for (const ReplicaSnapshot& replica : replicas) {
@@ -160,6 +164,7 @@ void check_recovery_resume(const OracleContext& context,
                            OracleReport& report) {
   OracleFinding finding;
   finding.oracle = "recovery-resume";
+  finding.cls = OracleClass::kLiveness;
   if (context.schedule.empty()) {
     // Fault-free run: the chain must simply stay live.
     if (result.live_at_end) {
@@ -237,6 +242,7 @@ void check_recovery_consistency(const OracleContext& context,
   if (!uses_recovery_window(context.primary_fault)) return;
   OracleFinding finding;
   finding.oracle = "recovery-consistency";
+  finding.cls = OracleClass::kHarness;
   const double recomputed = recovery_seconds(
       result.throughput, sim::to_seconds(context.primary_recover_at),
       context.recovery_threshold_tps, /*window_s=*/3.0);
@@ -268,9 +274,28 @@ std::string to_string(OracleVerdict verdict) {
   return "?";
 }
 
+std::string to_string(OracleClass cls) {
+  switch (cls) {
+    case OracleClass::kSafety: return "safety";
+    case OracleClass::kLiveness: return "liveness";
+    case OracleClass::kHarness: return "harness";
+  }
+  return "?";
+}
+
 const OracleFinding* OracleReport::violation() const {
   for (const OracleFinding& finding : findings) {
     if (finding.verdict == OracleVerdict::kViolation) return &finding;
+  }
+  return nullptr;
+}
+
+const OracleFinding* OracleReport::safety_violation() const {
+  for (const OracleFinding& finding : findings) {
+    if (finding.cls == OracleClass::kSafety &&
+        finding.verdict == OracleVerdict::kViolation) {
+      return &finding;
+    }
   }
   return nullptr;
 }
@@ -311,6 +336,7 @@ OracleContext make_oracle_context(const ExperimentConfig& config) {
   OracleContext context;
   context.chain = config.chain;
   context.schedule = resolved_schedule(config);
+  context.adversarial = adversarial_nodes(context.schedule);
   context.duration = config.duration;
   context.primary_fault = config.fault;
   context.primary_recover_at = config.recover_at;
@@ -323,16 +349,29 @@ OracleReport check_invariants(const OracleContext& context,
                               const ExperimentResult& result,
                               const OracleConfig& config) {
   OracleReport report;
-  if (result.replicas.empty()) {
+  // A Byzantine replica's own ledger proves nothing: audit safety over the
+  // honest replicas only. A fork *between honest replicas* — the damage an
+  // equivocator actually does — remains a violation.
+  std::vector<ReplicaSnapshot> honest;
+  honest.reserve(result.replicas.size());
+  for (const ReplicaSnapshot& replica : result.replicas) {
+    if (!std::binary_search(context.adversarial.begin(),
+                            context.adversarial.end(), replica.id)) {
+      honest.push_back(replica);
+    }
+  }
+  if (honest.empty()) {
     report.findings.push_back(
-        {"safety", OracleVerdict::kPass,
-         "skipped: result carries no replica snapshots (set "
-         "ExperimentConfig::capture_replicas)"});
+        {"safety", OracleClass::kSafety, OracleVerdict::kPass,
+         result.replicas.empty()
+             ? "skipped: result carries no replica snapshots (set "
+               "ExperimentConfig::capture_replicas)"
+             : "skipped: every captured replica is adversarial"});
   } else {
-    check_agreement(result.replicas, report);
-    check_no_duplicate_commit(result.replicas, report);
-    check_monotone(result.replicas, report);
-    check_committed_subset(result.replicas, result.submitted_ids, report);
+    check_agreement(honest, report);
+    check_no_duplicate_commit(honest, report);
+    check_monotone(honest, report);
+    check_committed_subset(honest, result.submitted_ids, report);
   }
   check_recovery_resume(context, result, config, report);
   check_recovery_consistency(context, result, config, report);

@@ -47,8 +47,20 @@ enum class OracleVerdict {
 
 std::string to_string(OracleVerdict verdict);
 
+/// What a finding is about. Safety violations (ledger forks, duplicate
+/// commits) can never be exempted — there is no "expected" safety loss;
+/// harness findings flag inconsistencies in the measurement itself.
+enum class OracleClass {
+  kSafety,
+  kLiveness,
+  kHarness,
+};
+
+std::string to_string(OracleClass cls);
+
 struct OracleFinding {
   std::string oracle;  ///< "agreement", "recovery-resume", ...
+  OracleClass cls = OracleClass::kLiveness;
   OracleVerdict verdict = OracleVerdict::kPass;
   std::string detail;  ///< human-readable explanation / evidence
 };
@@ -63,6 +75,11 @@ struct OracleReport {
   }
   /// First violating finding, or nullptr.
   [[nodiscard]] const OracleFinding* violation() const;
+  /// First violating *safety* finding, or nullptr. The distinction drives
+  /// the sensitivity-to-attack verdicts: an equivocation schedule that
+  /// forks a ledger is a safety violation, one that merely stalls commits
+  /// is a (possibly expected) liveness loss.
+  [[nodiscard]] const OracleFinding* safety_violation() const;
   /// One line per non-pass finding ("all oracles passed" when clean).
   [[nodiscard]] std::string summary() const;
 };
@@ -104,6 +121,11 @@ struct OracleContext {
   /// Every plan armed on the run (resolved targets/windows) — see
   /// resolved_schedule().
   FaultSchedule schedule{};
+  /// Replicas under adversarial control (targets of equivocate/withhold
+  /// plans — see adversarial_nodes()). Safety oracles exclude their
+  /// ledgers: a Byzantine replica's own ledger proves nothing, while a
+  /// fork *between honest replicas* remains a violation.
+  std::vector<net::NodeId> adversarial{};
   sim::Duration duration = sim::sec(400);
   /// Primary fault knobs run_experiment derives recovery_seconds from.
   FaultType primary_fault = FaultType::kNone;

@@ -26,6 +26,19 @@ struct RadarSweepCell {
   double stddev = 0.0;
 };
 
+/// One cell of the sensitivity-to-attack radar: the sensitivity score and
+/// oracle verdict of an adversarial dimension, with the misbehavior
+/// defense off (the attack surface) and on (what the defense contains).
+/// Verdict strings are short labels: "SAFETY" (a safety oracle fired —
+/// ledger fork or duplicate-height commit), "liveness", "loss" (expected
+/// loss) or "ok".
+struct RadarAttackCell {
+  SensitivityScore undefended{};
+  std::string undefended_verdict = "ok";
+  SensitivityScore defended{};
+  std::string defended_verdict = "ok";
+};
+
 class RadarSummary {
  public:
   void record(ChainKind chain, FaultType dimension,
@@ -33,11 +46,17 @@ class RadarSummary {
   /// Record a cell's seed-sweep aggregate (shown by sweep_table()).
   void record_sweep(ChainKind chain, FaultType dimension,
                     const SeedSweepStats& stats);
+  /// Record an adversarial dimension's defended/undefended pair (shown by
+  /// attack_table()).
+  void record_attack(ChainKind chain, FaultType dimension,
+                     RadarAttackCell cell);
 
   [[nodiscard]] const SensitivityScore* get(ChainKind chain,
                                             FaultType dimension) const;
   [[nodiscard]] const RadarSweepCell* get_sweep(ChainKind chain,
                                                 FaultType dimension) const;
+  [[nodiscard]] const RadarAttackCell* get_attack(ChainKind chain,
+                                                  FaultType dimension) const;
 
   /// Table with one row per chain and one column per dimension; scores
   /// rendered like the paper's figures ("inf", trailing '*' = benefits).
@@ -46,10 +65,18 @@ class RadarSummary {
   /// liveness-loss fraction when any seed died. Cells without a recorded
   /// sweep render as "-".
   [[nodiscard]] std::string sweep_table() const;
+  /// Sensitivity-to-attack table, one column per adversarial dimension
+  /// (equivocate, withhold, eclipse): "<score> <verdict> | <score>
+  /// <verdict>" per cell, defenses off | on. The paper's radar asks how
+  /// sensitive each chain is to failures; this companion asks how
+  /// sensitive it is to a Byzantine coalition, and whether the
+  /// misbehavior defense changes the answer.
+  [[nodiscard]] std::string attack_table() const;
 
  private:
   std::map<std::pair<ChainKind, FaultType>, SensitivityScore> scores_;
   std::map<std::pair<ChainKind, FaultType>, RadarSweepCell> sweeps_;
+  std::map<std::pair<ChainKind, FaultType>, RadarAttackCell> attacks_;
 };
 
 }  // namespace stabl::core

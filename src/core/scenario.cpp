@@ -84,6 +84,15 @@ std::string validate_scenario(const ScenarioSpec& spec) {
   } else if (spec.gray_delay_s < 0.0) {
     error << "\"gray_delay_s\" must be >= 0 (got "
           << fmt_double(spec.gray_delay_s) << ")";
+  } else if (spec.eclipse_victim < 0) {
+    error << "\"eclipse_victim\" must be >= 0 (got " << spec.eclipse_victim
+          << ")";
+  } else if (spec.eclipse_delay_s < 0.0) {
+    error << "\"eclipse_delay_s\" must be >= 0 (got "
+          << fmt_double(spec.eclipse_delay_s) << ")";
+  } else if (spec.eclipse_filter < 0.0 || spec.eclipse_filter >= 1.0) {
+    error << "\"eclipse_filter\" must be in [0, 1) (got "
+          << fmt_double(spec.eclipse_filter) << ")";
   } else if (!(spec.commit_timeout_s > 0.0)) {
     error << "\"commit_timeout_s\" must be > 0 (got "
           << fmt_double(spec.commit_timeout_s) << ")";
@@ -93,6 +102,8 @@ std::string validate_scenario(const ScenarioSpec& spec) {
           << spec.workload << "\")";
   } else if (spec.shrink && spec.chaos_trials == 0) {
     error << "\"shrink\" needs \"chaos_trials\" > 0";
+  } else if (spec.chaos_adversarial && spec.chaos_trials == 0) {
+    error << "\"chaos_adversarial\" needs \"chaos_trials\" > 0";
   }
   return error.str();
 }
@@ -156,6 +167,15 @@ std::string scenario_to_json(const ScenarioSpec& spec) {
   field("gray_delay_s");
   out += fmt_double(spec.gray_delay_s);
   close();
+  field("eclipse_victim");
+  out += std::to_string(spec.eclipse_victim);
+  close();
+  field("eclipse_delay_s");
+  out += fmt_double(spec.eclipse_delay_s);
+  close();
+  field("eclipse_filter");
+  out += fmt_double(spec.eclipse_filter);
+  close();
   field("duration_s");
   out += std::to_string(spec.duration_s);
   close();
@@ -191,6 +211,9 @@ std::string scenario_to_json(const ScenarioSpec& spec) {
   close();
   field("shrink");
   out += spec.shrink ? "true" : "false";
+  close();
+  field("chaos_adversarial");
+  out += spec.chaos_adversarial ? "true" : "false";
   close();
   field("trace");
   append_string(out, spec.trace);
@@ -263,6 +286,12 @@ ScenarioSpec scenario_from_json(const std::string& json) {
       spec.throttle_bytes_per_s = cursor.parse_number();
     } else if (key == "gray_delay_s") {
       spec.gray_delay_s = cursor.parse_number();
+    } else if (key == "eclipse_victim") {
+      spec.eclipse_victim = parse_integer(cursor, key);
+    } else if (key == "eclipse_delay_s") {
+      spec.eclipse_delay_s = cursor.parse_number();
+    } else if (key == "eclipse_filter") {
+      spec.eclipse_filter = cursor.parse_number();
     } else if (key == "duration_s") {
       spec.duration_s = parse_integer(cursor, key);
     } else if (key == "seed") {
@@ -291,6 +320,8 @@ ScenarioSpec scenario_from_json(const std::string& json) {
       spec.chaos_trials = parse_integer(cursor, key);
     } else if (key == "shrink") {
       spec.shrink = parse_bool(cursor);
+    } else if (key == "chaos_adversarial") {
+      spec.chaos_adversarial = parse_bool(cursor);
     } else if (key == "trace") {
       spec.trace = cursor.parse_string();
     } else if (key == "metrics") {
@@ -330,6 +361,9 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   config.loss_probability = spec.loss_probability;
   config.throttle_bytes_per_s = spec.throttle_bytes_per_s;
   config.gray_latency = sim::seconds(spec.gray_delay_s);
+  config.eclipse_victim = static_cast<net::NodeId>(spec.eclipse_victim);
+  config.eclipse_delay = sim::seconds(spec.eclipse_delay_s);
+  config.eclipse_filter = spec.eclipse_filter;
   for (const std::string& name : spec.extra_faults) {
     // Composed plans share the primary fault window and knob values; the
     // runner fills in their default targets.
@@ -340,6 +374,9 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
     plan.loss_probability = config.loss_probability;
     plan.throttle_bytes_per_s = config.throttle_bytes_per_s;
     plan.gray_latency = config.gray_latency;
+    plan.eclipse_victim = config.eclipse_victim;
+    plan.eclipse_delay = config.eclipse_delay;
+    plan.eclipse_filter = config.eclipse_filter;
     config.extra_faults.add(std::move(plan));
   }
   config.client_fanout = static_cast<int>(spec.fanout);
@@ -364,6 +401,7 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   resolved.jobs = static_cast<unsigned>(spec.jobs);
   resolved.chaos_trials = static_cast<std::size_t>(spec.chaos_trials);
   resolved.shrink = spec.shrink;
+  resolved.chaos_adversarial = spec.chaos_adversarial;
   resolved.trace_path = spec.trace;
   resolved.metrics_path = spec.metrics;
   return resolved;

@@ -42,6 +42,11 @@ struct ScenarioSpec {
   double loss_probability = 0.2;
   double throttle_bytes_per_s = 64.0 * 1024.0;
   double gray_delay_s = 2.0;
+  /// kEclipse knobs: victim node, per-packet interception delay, and the
+  /// probability an intercepted packet is silently dropped.
+  std::int64_t eclipse_victim = 9;
+  double eclipse_delay_s = 0.5;
+  double eclipse_filter = 0.2;
   std::int64_t duration_s = 400;
   std::uint64_t seed = 42;
   std::int64_t num_seeds = 1;
@@ -54,6 +59,9 @@ struct ScenarioSpec {
   double commit_timeout_s = 10.0;
   std::int64_t chaos_trials = 0;
   bool shrink = false;
+  /// Chaos campaigns sample the adversarial plan space too (equivocate,
+  /// withhold, eclipse join the generated types).
+  bool chaos_adversarial = false;
   /// Observability outputs; empty = disabled.
   std::string trace{};
   std::string metrics{};
@@ -88,6 +96,7 @@ struct ResolvedScenario {
   unsigned jobs = 1;
   std::size_t chaos_trials = 0;
   bool shrink = false;
+  bool chaos_adversarial = false;
   std::string trace_path{};
   std::string metrics_path{};
 };

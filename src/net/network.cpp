@@ -132,11 +132,24 @@ RuleId Network::add_gray(std::vector<NodeId> nodes, sim::Duration extra) {
   return install(std::move(rule));
 }
 
+RuleId Network::add_eclipse(NodeId victim, std::vector<NodeId> attackers,
+                            sim::Duration extra, double filter_probability) {
+  assert(extra > sim::Duration::zero());
+  assert(filter_probability >= 0.0 && filter_probability < 1.0);
+  Rule rule;
+  rule.kind = Rule::Kind::kEclipse;
+  rule.group_a.insert(victim);
+  rule.group_b.insert(attackers.begin(), attackers.end());
+  rule.extra_delay = extra;
+  rule.loss_probability = filter_probability;
+  return install(std::move(rule));
+}
+
 sim::Duration Network::extra_delay(NodeId a, NodeId b) const {
   sim::Duration total{0};
   for (const auto& [id, rule] : rules_) {
-    if ((rule.kind == Rule::Kind::kDelay ||
-         rule.kind == Rule::Kind::kGray) &&
+    if ((rule.kind == Rule::Kind::kDelay || rule.kind == Rule::Kind::kGray ||
+         rule.kind == Rule::Kind::kEclipse) &&
         rule.matches(a, b)) {
       total += rule.extra_delay;
     }
@@ -147,7 +160,9 @@ sim::Duration Network::extra_delay(NodeId a, NodeId b) const {
 double Network::loss_probability(NodeId a, NodeId b) const {
   double survive = 1.0;
   for (const auto& [id, rule] : rules_) {
-    if (rule.kind == Rule::Kind::kLoss && rule.matches(a, b)) {
+    if ((rule.kind == Rule::Kind::kLoss ||
+         rule.kind == Rule::Kind::kEclipse) &&
+        rule.loss_probability > 0.0 && rule.matches(a, b)) {
       survive *= 1.0 - rule.loss_probability;
     }
   }

@@ -86,6 +86,14 @@ class Network {
   /// answering — it just serves everything slowly.
   RuleId add_gray(std::vector<NodeId> nodes, sim::Duration extra);
 
+  /// Install an eclipse rule: every packet between `victim` and a node
+  /// outside `attackers` is relayed through the attacker overlay, which
+  /// adds `extra` latency and silently filters each relayed packet with
+  /// `filter_probability`. Direct victim<->attacker traffic is untouched
+  /// (the attackers talk to their victim for free).
+  RuleId add_eclipse(NodeId victim, std::vector<NodeId> attackers,
+                     sim::Duration extra, double filter_probability);
+
   /// Total extra delay that delay and gray rules impose on a->b traffic
   /// right now (excludes bandwidth queueing, which depends on the packet).
   [[nodiscard]] sim::Duration extra_delay(NodeId a, NodeId b) const;
@@ -116,19 +124,27 @@ class Network {
       kLoss,       // drop matched packets with loss_probability
       kBandwidth,  // serialize matched packets at bytes_per_second
       kGray,       // extra_delay on everything touching group_a
+      kEclipse,    // victim (group_a) traffic relayed via attackers
+                   // (group_b): extra_delay + loss_probability filtering
     };
 
     Kind kind = Kind::kPartition;
     std::unordered_set<NodeId> group_a;
     std::unordered_set<NodeId> group_b;  // unused for kGray
-    sim::Duration extra_delay{0};        // kDelay, kGray
-    double loss_probability = 0.0;       // kLoss
+    sim::Duration extra_delay{0};        // kDelay, kGray, kEclipse
+    double loss_probability = 0.0;       // kLoss, kEclipse
     double bytes_per_second = 0.0;       // kBandwidth
     sim::Time busy_until{0};             // kBandwidth serialization queue
 
     [[nodiscard]] bool matches(NodeId a, NodeId b) const {
       if (kind == Kind::kGray) {
         return group_a.contains(a) || group_a.contains(b);
+      }
+      if (kind == Kind::kEclipse) {
+        // Matched: one endpoint is the victim and the other is NOT one of
+        // the attackers — that packet has to take the attacker detour.
+        return (group_a.contains(a) || group_a.contains(b)) &&
+               !group_b.contains(a) && !group_b.contains(b);
       }
       return (group_a.contains(a) && group_b.contains(b)) ||
              (group_b.contains(a) && group_a.contains(b));
