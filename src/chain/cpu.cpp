@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <utility>
 
 namespace stabl::chain {
 
@@ -37,17 +36,6 @@ CpuModel::CpuModel(sim::Process& host, double cores)
                     sim::Time{0}),
       usage_(sim::sec(5)) {
   assert(cores > 0);
-}
-
-void CpuModel::submit(sim::Duration cost, std::function<void()> done) {
-  const sim::Time now = host_.now();
-  auto earliest =
-      std::min_element(core_free_at_.begin(), core_free_at_.end());
-  const sim::Time start = std::max(now, *earliest);
-  const sim::Time end = start + cost;
-  *earliest = end;
-  usage_.add(now, sim::to_seconds(cost));
-  host_.set_timer(end - now, std::move(done));
 }
 
 double CpuModel::utilization() const {

@@ -13,8 +13,9 @@
 // Avalanche's resource tracker does (exponentially decayed window).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/process.hpp"
@@ -47,8 +48,19 @@ class CpuModel {
   CpuModel(sim::Process& host, double cores);
 
   /// Enqueue `cost` seconds of CPU work; `done` runs at completion (never
-  /// if the process dies first).
-  void submit(sim::Duration cost, std::function<void()> done);
+  /// if the process dies first). Templated so the completion callback goes
+  /// straight into the pooled event queue without a std::function wrapper.
+  template <typename F>
+  void submit(sim::Duration cost, F&& done) {
+    const sim::Time now = host_.now();
+    auto earliest =
+        std::min_element(core_free_at_.begin(), core_free_at_.end());
+    const sim::Time start = std::max(now, *earliest);
+    const sim::Time end = start + cost;
+    *earliest = end;
+    usage_.add(now, sim::to_seconds(cost));
+    host_.set_timer(end - now, std::forward<F>(done));
+  }
 
   /// Recent utilization in [0, ~1]: smoothed busy-seconds per second per
   /// core.

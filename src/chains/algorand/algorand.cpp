@@ -123,7 +123,6 @@ void AlgorandNode::begin_round() {
   own_cert_vote_.reset();
   own_proposal_.reset();
   seen_proposal_.reset();
-  cancel_timer(vote_timer_);
   propose_if_selected();
   // A proposal that arrived while we were finishing the previous round.
   const auto buffered = future_proposals_.find(round_);
@@ -139,7 +138,9 @@ void AlgorandNode::begin_round() {
   future_proposals_.erase(future_proposals_.begin(),
                           future_proposals_.upper_bound(round_));
   // Filter step: collect proposals for the adaptive wait, then vote.
-  vote_timer_ = set_timer(filter_wait_, [this] { cast_soft_vote(); });
+  // reset_timer retires any vote timer left over from the previous round
+  // (the cancel is an eager O(log n) removal, not lazy-cancel garbage).
+  reset_timer(vote_timer_, filter_wait_, [this] { cast_soft_vote(); });
 }
 
 void AlgorandNode::propose_if_selected() {
@@ -178,8 +179,8 @@ void AlgorandNode::cast_soft_vote() {
     // No proposal yet: grant the grace period once, then vote whatever
     // arrived in the meantime (or the empty value).
     grace_used_ = true;
-    vote_timer_ =
-        set_timer(config_.proposal_grace, [this] { cast_soft_vote(); });
+    reset_timer(vote_timer_, config_.proposal_grace,
+                [this] { cast_soft_vote(); });
     return;
   }
   soft_voted_ = true;

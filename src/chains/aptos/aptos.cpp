@@ -136,11 +136,9 @@ void AptosNode::enter_round(std::uint64_t round) {
   votes_.clear();
   timeouts_.clear();
   proposal_parent_ = -1;
-  cancel_timer(round_timer_);
+  reset_timer(round_timer_, config_.round_timeout,
+              [this] { on_round_timeout(); });
   cancel_timer(propose_timer_);
-  round_timer_ = set_timer(config_.round_timeout, [this] {
-    on_round_timeout();
-  });
   if (leader_of(round_) == node_id()) {
     propose_timer_ = set_timer(config_.block_interval, [this] { propose(); });
   }

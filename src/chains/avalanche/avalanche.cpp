@@ -155,10 +155,17 @@ void AvalancheNode::begin_height() {
       if (height_ == h && !decided_ && candidates_.empty()) propose();
     });
   }
-  set_timer(config_.block_interval + config_.attempt_timeout,
-            [this, h = height_] {
-              if (height_ == h) on_attempt_timeout();
-            });
+  arm_attempt_timer(config_.block_interval + config_.attempt_timeout);
+}
+
+void AvalancheNode::arm_attempt_timer(sim::Duration delay) {
+  // The guard (not a cancel) retires the timer when the height moves on:
+  // a decided height must fire the stale timer as a no-op so that the
+  // pending-event profile stays identical whether heights decide fast or
+  // slow — cancelling here would make event counts depend on luck.
+  set_timer(delay, [this, h = height_] {
+    if (height_ == h) on_attempt_timeout();
+  });
 }
 
 void AvalancheNode::propose() {
@@ -186,9 +193,7 @@ void AvalancheNode::on_attempt_timeout() {
     ++attempt_;
     if (proposer_of(height_, attempt_) == node_id()) propose();
   }
-  set_timer(config_.attempt_timeout, [this, h = height_] {
-    if (height_ == h) on_attempt_timeout();
-  });
+  arm_attempt_timer(config_.attempt_timeout);
 }
 
 void AvalancheNode::poll_tick() {

@@ -136,6 +136,7 @@ class AvalancheNode final : public chain::BlockchainNode {
   [[nodiscard]] net::NodeId proposer_of(std::uint64_t height,
                                         int attempt) const;
   void propose();
+  void arm_attempt_timer(sim::Duration delay);
   void on_attempt_timeout();
   void poll_tick();
   void issue_poll();

@@ -83,8 +83,8 @@ std::size_t RedbellyNode::quorum() const { return cluster_size() - t(); }
 void RedbellyNode::start_protocol() {
   round_ = ledger().height();
   schedule_round_start();
-  rebroadcast_timer_ = set_timer(config_.rebroadcast_interval,
-                                 [this] { rebroadcast(); });
+  reset_timer(rebroadcast_timer_, config_.rebroadcast_interval,
+              [this] { rebroadcast(); });
 }
 
 void RedbellyNode::stop_protocol() {
@@ -128,7 +128,7 @@ void RedbellyNode::start_round() {
   proposals_[node_id()] = proposal->txs;
   own_proposal_ = proposal;
   broadcast(own_proposal_, batch_bytes(proposal->txs.size()));
-  echo_timer_ = set_timer(config_.proposal_window, [this] { send_echo(); });
+  reset_timer(echo_timer_, config_.proposal_window, [this] { send_echo(); });
 }
 
 void RedbellyNode::send_echo() {
@@ -286,8 +286,8 @@ void RedbellyNode::rebroadcast() {
     if (own_proposal_ != nullptr) broadcast(own_proposal_, 256);
     if (own_echo_ != nullptr) broadcast(own_echo_, 128);
   }
-  rebroadcast_timer_ = set_timer(config_.rebroadcast_interval,
-                                 [this] { rebroadcast(); });
+  reset_timer(rebroadcast_timer_, config_.rebroadcast_interval,
+              [this] { rebroadcast(); });
 }
 
 std::vector<std::unique_ptr<chain::BlockchainNode>> make_cluster(

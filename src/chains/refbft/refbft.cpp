@@ -88,10 +88,9 @@ void RefBftNode::enter_round(std::uint64_t round) {
   proposal_digest_ = 0;
   votes_.clear();
   timeouts_.clear();
-  cancel_timer(round_timer_);
+  reset_timer(round_timer_, config_.round_timeout,
+              [this] { on_round_timeout(); });
   cancel_timer(propose_timer_);
-  round_timer_ =
-      set_timer(config_.round_timeout, [this] { on_round_timeout(); });
   if (round_ % cluster_size() == node_id()) {
     propose_timer_ = set_timer(config_.block_interval, [this] { propose(); });
   }

@@ -94,7 +94,13 @@ void SolanaNode::start_protocol() {
   has_root_ = false;
   rooted_slot_ = 0;
   current_slot_ = slot_at(now());
+  schedule_slot_tick();
+}
+
+void SolanaNode::schedule_slot_tick() {
   // Align to the global slot grid (PoH keeps real validators in lockstep).
+  // One timer per node per slot; the timer rides the owning process, so a
+  // crash retires it eagerly and a restart re-aligns from the grid.
   const sim::Time next_boundary =
       sim::Time{(static_cast<std::int64_t>(current_slot_) + 1) *
                 config_.slot_duration.count()};
@@ -159,10 +165,7 @@ void SolanaNode::on_slot_tick() {
                 96);
     }
   }
-  const sim::Time next_boundary =
-      sim::Time{(static_cast<std::int64_t>(current_slot_) + 1) *
-                config_.slot_duration.count()};
-  set_timer(next_boundary - now(), [this] { on_slot_tick(); });
+  schedule_slot_tick();
 }
 
 void SolanaNode::produce_block(std::uint64_t slot) {

@@ -1,0 +1,59 @@
+#include "core/arrivals.hpp"
+
+#include <cstdio>
+
+#include "core/metrics.hpp"
+
+namespace stabl::core {
+
+void ArrivalScheduler::enroll(const ArrivalProfile& profile,
+                              ArrivalSink* sink) {
+  for (Cohort& cohort : cohorts_) {
+    if (cohort.profile == profile) {
+      cohort.members.push_back(sink);
+      return;
+    }
+  }
+  cohorts_.push_back(Cohort{profile, {sink}});
+  const std::size_t index = cohorts_.size() - 1;
+  // Arm the cohort at its window start. Cohorts are armed in enrolment
+  // order, so at a shared start instant the FIFO tie-break pops them in
+  // the same order the per-client timers used to fire.
+  sim_.schedule_at(profile.start_at, [this, index] { tick(index); });
+}
+
+void ArrivalScheduler::tick(std::size_t index) {
+  Cohort& cohort = cohorts_[index];
+  const sim::Time now = sim_.now();
+  // Same end-of-window rule the per-client timer chain had: the tick that
+  // lands at/after stop_at emits nothing and does not reschedule.
+  if (now >= cohort.profile.stop_at) return;
+  const ArrivalStep step =
+      workload_step(cohort.profile.workload, now,
+                    cohort.profile.stop_at - cohort.profile.start_at);
+  if (step.clamped && !floor_bound_) {
+    floor_bound_ = true;
+    if (metrics_ != nullptr) {
+      metrics_->note(
+          "workload arrival-interval floor (100us) bound; batching "
+          "arrivals per tick to preserve the configured average TPS");
+    } else {
+      std::fprintf(stderr,
+                   "stabl: workload arrival-interval floor (100us) bound; "
+                   "batching arrivals per tick to preserve the average\n");
+    }
+  }
+  // Emit before rescheduling — the per-client chain sent, then armed its
+  // next timer, and the network RNG draws at send time, so this order is
+  // what keeps reports byte-identical.
+  for (int burst = 0; burst < step.count; ++burst) {
+    for (ArrivalSink* member : cohort.members) {
+      if (!member->arrivals_active()) continue;
+      member->generate_arrival();
+      ++generated_;
+    }
+  }
+  sim_.schedule_after(step.interval, [this, index] { tick(index); });
+}
+
+}  // namespace stabl::core

@@ -1,0 +1,106 @@
+// Batched open-loop client arrival generation.
+//
+// The paper's harness gave every client machine its own repeating
+// submission timer. At 5 clients that is harmless; at millions of clients
+// (ROADMAP item 1) one persistent timer per client floods the event queue
+// with bookkeeping events that all fire at the same instants anyway. An
+// ArrivalScheduler collapses them: clients sharing one arrival profile —
+// same entry node, same workload shape/rate, same start/stop window —
+// enrol into a single aggregate arrival process (a "cohort") driven by
+// ONE repeating timer, which asks each member to emit its transactions in
+// enrolment order at every tick.
+//
+// Determinism: cohorts are created and armed in enrolment order, member
+// lists preserve enrolment order, and the tick gap comes from the same
+// workload_rate() evaluation the per-client timers used — so the global
+// submission sequence (times, relative order, and therefore every network
+// RNG draw downstream) is byte-for-byte the one the per-client timers
+// produced. Reports stay byte-identical across the swap; only the number
+// of scheduler bookkeeping events shrinks.
+//
+// The 100 us interval floor no longer distorts the rate contract: above
+// 10k TPS per cohort the process emits several transactions per member
+// per tick (workload_step), honouring the configured average, and surfaces
+// the binding floor once through the metrics registry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl::core {
+
+class MetricsRegistry;
+
+/// Something that emits one transaction per call. ClientMachine is the
+/// production implementation; tests enrol lightweight fakes.
+class ArrivalSink {
+ public:
+  virtual ~ArrivalSink() = default;
+  /// Emit one transaction now.
+  virtual void generate_arrival() = 0;
+  /// Inactive sinks are skipped at each tick (a killed client machine
+  /// submits nothing, exactly as its cancelled per-client timer used to
+  /// guarantee).
+  [[nodiscard]] virtual bool arrivals_active() const = 0;
+};
+
+/// Cohort key: two sinks share one aggregate arrival process iff their
+/// profiles compare equal.
+struct ArrivalProfile {
+  /// Primary entry node the sink submits to (cohorts are per (node,
+  /// shape), so per-node backpressure studies can retune one node's
+  /// arrival process without touching the others).
+  net::NodeId node = 0;
+  WorkloadConfig workload{};
+  sim::Time start_at{0};
+  sim::Time stop_at{0};
+
+  friend bool operator==(const ArrivalProfile&,
+                         const ArrivalProfile&) = default;
+};
+
+class ArrivalScheduler {
+ public:
+  /// `metrics` (optional, not owned) receives the one-time note when the
+  /// interval floor binds.
+  explicit ArrivalScheduler(sim::Simulation& simulation,
+                            MetricsRegistry* metrics = nullptr)
+      : sim_(simulation), metrics_(metrics) {}
+
+  ArrivalScheduler(const ArrivalScheduler&) = delete;
+  ArrivalScheduler& operator=(const ArrivalScheduler&) = delete;
+
+  /// Enrol `sink` into the cohort matching `profile`, creating and arming
+  /// the cohort's timer on first use. The sink must outlive the scheduler
+  /// or its simulation (run_experiment tears both down together).
+  void enroll(const ArrivalProfile& profile, ArrivalSink* sink);
+
+  /// Aggregate arrival processes currently driving enrolled sinks.
+  [[nodiscard]] std::size_t cohorts() const { return cohorts_.size(); }
+  /// Total transactions the scheduler asked its sinks to emit.
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  /// True once any cohort's tick gap hit the kMinArrivalGap floor (the
+  /// average still holds; ticks just batch multiple arrivals).
+  [[nodiscard]] bool interval_floor_bound() const { return floor_bound_; }
+
+ private:
+  struct Cohort {
+    ArrivalProfile profile;
+    std::vector<ArrivalSink*> members;
+  };
+
+  void tick(std::size_t index);
+
+  sim::Simulation& sim_;
+  MetricsRegistry* metrics_;
+  std::vector<Cohort> cohorts_;
+  std::uint64_t generated_ = 0;
+  bool floor_bound_ = false;
+};
+
+}  // namespace stabl::core

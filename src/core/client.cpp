@@ -21,11 +21,30 @@ ClientMachine::ClientMachine(sim::Simulation& simulation,
 }
 
 void ClientMachine::on_start() {
+  if (config_.arrivals != nullptr) {
+    ArrivalProfile profile;
+    profile.node = config_.endpoints.front();
+    profile.workload = config_.workload;
+    profile.workload.tps = config_.tps;
+    profile.start_at = config_.start_at;
+    profile.stop_at = config_.stop_at;
+    config_.arrivals->enroll(profile, this);
+    return;
+  }
   set_timer(config_.start_at, [this] { submit_next(); });
 }
 
 void ClientMachine::submit_next() {
   if (now() >= config_.stop_at) return;
+  generate_arrival();
+  WorkloadConfig workload = config_.workload;
+  workload.tps = config_.tps;
+  const auto interval = workload_interval(
+      workload, now(), config_.stop_at - config_.start_at);
+  set_timer(interval, [this] { submit_next(); });
+}
+
+void ClientMachine::generate_arrival() {
   chain::Transaction tx;
   tx.from = config_.account;
   tx.to = config_.recipient;
@@ -54,11 +73,6 @@ void ClientMachine::submit_next() {
       net_.send(id(), endpoint, payload, 192);
     }
   }
-  WorkloadConfig workload = config_.workload;
-  workload.tps = config_.tps;
-  const auto interval = workload_interval(
-      workload, now(), config_.stop_at - config_.start_at);
-  set_timer(interval, [this] { submit_next(); });
 }
 
 void ClientMachine::submit_attempt(chain::TxId id) {
@@ -78,8 +92,8 @@ void ClientMachine::submit_attempt(chain::TxId id) {
   }
   net_.send(this->id(), pending.endpoint,
             std::make_shared<const chain::SubmitTxPayload>(pending.tx), 192);
-  pending.timer = set_timer(config_.resilience.retry.commit_timeout,
-                            [this, id] { on_commit_timeout(id); });
+  reset_timer(pending.timer, config_.resilience.retry.commit_timeout,
+              [this, id] { on_commit_timeout(id); });
 }
 
 void ClientMachine::on_commit_timeout(chain::TxId id) {
@@ -108,7 +122,7 @@ void ClientMachine::on_commit_timeout(chain::TxId id) {
   }
   const auto backoff =
       config_.resilience.retry.backoff(pending.attempts, rng_);
-  pending.timer = set_timer(backoff, [this, id] { submit_attempt(id); });
+  reset_timer(pending.timer, backoff, [this, id] { submit_attempt(id); });
 }
 
 void ClientMachine::on_endpoint_reset(net::NodeId endpoint) {

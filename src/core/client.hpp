@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "chain/types.hpp"
+#include "core/arrivals.hpp"
 #include "core/resilience.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
@@ -59,9 +60,18 @@ struct ClientConfig {
   /// Timeout/failover/backoff/breaker policies; disabled = the paper's
   /// naive client above.
   ResilienceConfig resilience{};
+
+  /// When set (not owned), this machine enrols in the shared batched
+  /// arrival scheduler instead of running its own repeating submission
+  /// timer — one aggregate arrival process per (entry node, workload
+  /// shape) cohort instead of one timer chain per client. Null keeps the
+  /// legacy per-client chain (some unit tests exercise it directly).
+  ArrivalScheduler* arrivals = nullptr;
 };
 
-class ClientMachine final : public sim::Process, public net::Endpoint {
+class ClientMachine final : public sim::Process,
+                            public net::Endpoint,
+                            public ArrivalSink {
  public:
   ClientMachine(sim::Simulation& simulation, net::Network& network,
                 ClientConfig config);
@@ -69,6 +79,12 @@ class ClientMachine final : public sim::Process, public net::Endpoint {
   // net::Endpoint
   void deliver(const net::Envelope& envelope) final;
   [[nodiscard]] bool endpoint_alive() const final { return alive(); }
+
+  // ArrivalSink: build and submit one transaction now (the batched
+  // scheduler owns the pacing; the legacy path wraps this in its own
+  // timer chain).
+  void generate_arrival() final;
+  [[nodiscard]] bool arrivals_active() const final { return alive(); }
 
   [[nodiscard]] const std::vector<double>& latencies() const {
     return latencies_;

@@ -10,6 +10,7 @@
 #include "chains/avalanche/avalanche.hpp"
 #include "chains/redbelly/redbelly.hpp"
 #include "chains/solana/solana.hpp"
+#include "core/arrivals.hpp"
 #include "core/client.hpp"
 #include "core/metrics.hpp"
 #include "core/observer.hpp"
@@ -209,12 +210,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   net::Network network(simulation, net::LatencyConfig{});
 
+  // Size the event pool for the steady state up front: every node keeps a
+  // handful of timers in flight (pacemakers, rebroadcast, per-message
+  // deliveries fan out with the cluster), so one reservation here spares
+  // the queue its growth reallocations during the run.
+  simulation.reserve_events(16 * config.n + 4 * config.clients + 64);
+
   auto nodes = make_chain_nodes(config, simulation, network);
   assert(nodes.size() == config.n);
   for (auto& node : nodes) node->start();
 
-  // Clients attach to nodes 0..clients-1, which are never faulted.
+  // Clients attach to nodes 0..clients-1, which are never faulted. All
+  // clients enrol in one batched arrival scheduler: clients sharing an
+  // entry node and workload shape ride a single aggregate arrival process
+  // instead of one timer chain each.
   const std::size_t entry_nodes = std::min(config.clients, config.n);
+  ArrivalScheduler arrivals(simulation, config.metrics);
   std::vector<std::unique_ptr<ClientMachine>> clients;
   clients.reserve(config.clients);
   for (std::size_t i = 0; i < config.clients; ++i) {
@@ -229,6 +240,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     client_config.stop_at = config.duration;
     client_config.tx_seed = chain::mix64(config.seed ^ 0xC11E57ull);
     client_config.resilience = config.resilience;
+    client_config.arrivals = &arrivals;
     // Resilient clients fail over across every entry node (rotated so
     // client i starts on its paper-default endpoint); naive/secure clients
     // submit to `fanout` endpoints in parallel.

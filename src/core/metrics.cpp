@@ -3,8 +3,11 @@
 #include <sstream>
 #include <utility>
 
+#include <algorithm>
+
 #include "core/json.hpp"
 #include "core/report.hpp"
+#include "core/serialize.hpp"
 
 namespace stabl::core {
 namespace {
@@ -68,6 +71,12 @@ void MetricsRegistry::detach_probes() {
   for (Probe& probe : probes_) probe = nullptr;
 }
 
+void MetricsRegistry::note(const std::string& text) {
+  if (std::find(notes_.begin(), notes_.end(), text) == notes_.end()) {
+    notes_.push_back(text);
+  }
+}
+
 std::string MetricsRegistry::to_csv() const {
   std::vector<std::string> header{"t_s"};
   for (const MetricSeries& s : series_) header.push_back(s.name);
@@ -116,7 +125,16 @@ std::string MetricsRegistry::to_json() const {
     }
     out << "],\"sum\":" << Table::num(hist.sum, kValuePrecision) << '}';
   }
-  out << "]}";
+  out << ']';
+  if (!notes_.empty()) {
+    out << ",\"notes\":[";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '"' << json_escape(notes_[i]) << '"';
+    }
+    out << ']';
+  }
+  out << '}';
   return out.str();
 }
 
@@ -212,20 +230,34 @@ MetricsRegistry metrics_from_json(const std::string& json) {
     } while (cursor.consume(','));
     cursor.expect(']');
   }
+  std::vector<std::string> notes;
+  if (cursor.consume(',')) {
+    if (cursor.parse_string() != "notes") cursor.fail("expected \"notes\"");
+    cursor.expect(':');
+    cursor.expect('[');
+    if (!cursor.consume(']')) {
+      do {
+        notes.push_back(cursor.parse_string());
+      } while (cursor.consume(','));
+      cursor.expect(']');
+    }
+  }
   cursor.expect('}');
   cursor.finish();
 
   registry.restore(std::move(times), std::move(series),
-                   std::move(histograms));
+                   std::move(histograms), std::move(notes));
   return registry;
 }
 
 void MetricsRegistry::restore(std::vector<double> times,
                               std::vector<MetricSeries> series,
-                              std::vector<Histogram> histograms) {
+                              std::vector<Histogram> histograms,
+                              std::vector<std::string> notes) {
   times_ = std::move(times);
   series_ = std::move(series);
   histograms_ = std::move(histograms);
+  notes_ = std::move(notes);
   probes_.assign(series_.size(), nullptr);
 }
 

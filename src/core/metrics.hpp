@@ -65,6 +65,13 @@ class MetricsRegistry {
   /// series shows up as tracks in the timeline UI.
   void sample(double t_s, sim::TraceSink* trace = nullptr);
 
+  /// Record a one-time diagnostic note (e.g. "the workload interval floor
+  /// bound at 12000 TPS"). Duplicates are collapsed, so emit sites can
+  /// fire unconditionally. Notes serialize as a trailing "notes" array —
+  /// omitted entirely when empty, which keeps note-free documents
+  /// byte-identical to those of builds that predate the field.
+  void note(const std::string& text);
+
   /// Drop all probes but keep recorded samples. Called when the sampled
   /// simulation is torn down: probes capture references into it, and a
   /// registry outliving its run must not keep dangling closures callable.
@@ -79,6 +86,9 @@ class MetricsRegistry {
   [[nodiscard]] const std::vector<double>& sample_times() const {
     return times_;
   }
+  [[nodiscard]] const std::vector<std::string>& notes() const {
+    return notes_;
+  }
 
   /// CSV: header "t_s,<name>,..." then one row per sample instant.
   [[nodiscard]] std::string to_csv() const;
@@ -87,13 +97,15 @@ class MetricsRegistry {
 
   /// Replace recorded data wholesale (deserialization path; probes null).
   void restore(std::vector<double> times, std::vector<MetricSeries> series,
-               std::vector<Histogram> histograms);
+               std::vector<Histogram> histograms,
+               std::vector<std::string> notes = {});
 
  private:
   std::vector<MetricSeries> series_;
   std::vector<Probe> probes_;  // parallel to series_
   std::vector<Histogram> histograms_;
   std::vector<double> times_;
+  std::vector<std::string> notes_;
 };
 
 /// Parse a document produced by MetricsRegistry::to_json back into a

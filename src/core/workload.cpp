@@ -38,7 +38,33 @@ sim::Duration workload_interval(const WorkloadConfig& config, sim::Time at,
                                 sim::Duration duration) {
   const double rate = std::max(0.1, workload_rate(config, at, duration));
   const auto gap = static_cast<std::int64_t>(1e6 / rate);
-  return sim::Duration{std::max<std::int64_t>(gap, 100)};
+  return std::max(sim::Duration{gap}, kMinArrivalGap);
+}
+
+ArrivalStep workload_step(const WorkloadConfig& config, sim::Time at,
+                          sim::Duration duration) {
+  const double rate = std::max(0.1, workload_rate(config, at, duration));
+  const auto gap = static_cast<std::int64_t>(1e6 / rate);
+  ArrivalStep step;
+  if (gap >= kMinArrivalGap.count()) {
+    step.interval = sim::Duration{gap};
+    return step;
+  }
+  // Floor bound: batch ceil(floor / gap) arrivals per tick. The tick gap
+  // is count * raw gap, which keeps count/interval == rate exactly, so
+  // the configured average survives arbitrarily high TPS.
+  step.clamped = true;
+  if (gap <= 0) {
+    // rate >= 1e6 TPS: the raw gap truncates below the microsecond clock
+    // resolution; tick once per floor window instead.
+    step.count = static_cast<int>(
+        std::ceil(rate * sim::to_seconds(kMinArrivalGap)));
+    step.interval = kMinArrivalGap;
+    return step;
+  }
+  step.count = static_cast<int>((kMinArrivalGap.count() + gap - 1) / gap);
+  step.interval = sim::Duration{static_cast<std::int64_t>(step.count) * gap};
+  return step;
 }
 
 }  // namespace stabl::core

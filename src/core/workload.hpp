@@ -30,15 +30,44 @@ struct WorkloadConfig {
   double burst_factor = 3.0;
   /// kRamp: start fraction of the average rate (ends at 2 - start).
   double ramp_start_fraction = 0.2;
+
+  /// Identical profiles share one aggregate arrival process
+  /// (core/arrivals.hpp groups enrolment cohorts by equality).
+  friend bool operator==(const WorkloadConfig&,
+                         const WorkloadConfig&) = default;
 };
+
+/// Smallest inter-tick gap an arrival process schedules. Below this the
+/// timer overhead would dominate the simulated work; an aggregate process
+/// preserves the configured average anyway by emitting several
+/// transactions per tick (ArrivalStep::count below).
+inline constexpr sim::Duration kMinArrivalGap = sim::us(100);
 
 /// Stateless rate function: target TPS at time `at` within a run lasting
 /// `duration`. Always averages to `config.tps` over the run.
 double workload_rate(const WorkloadConfig& config, sim::Time at,
                      sim::Duration duration);
 
-/// Inter-arrival gap at time `at`; never smaller than 100 us.
+/// Inter-arrival gap at time `at`, clamped to kMinArrivalGap. Legacy
+/// single-timer-per-client pacing: above 10k TPS the clamp silently binds
+/// and the documented "averages to config.tps" contract breaks — which is
+/// why the aggregate arrival path uses workload_step() instead.
 sim::Duration workload_interval(const WorkloadConfig& config, sim::Time at,
                                 sim::Duration duration);
+
+/// One step of an aggregate arrival process: emit `count` transactions
+/// per enrolled generator now, schedule the next tick `interval` later.
+/// When the raw gap (1/rate) falls below kMinArrivalGap the step batches
+/// `count` arrivals per tick instead of clamping the rate, so the average
+/// still honours config.tps; `clamped` reports that the floor bound (the
+/// arrival scheduler surfaces it once through the metrics registry).
+struct ArrivalStep {
+  sim::Duration interval = kMinArrivalGap;
+  int count = 1;
+  bool clamped = false;
+};
+
+ArrivalStep workload_step(const WorkloadConfig& config, sim::Time at,
+                          sim::Duration duration);
 
 }  // namespace stabl::core

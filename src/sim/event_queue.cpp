@@ -1,59 +1,105 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <utility>
-
 namespace stabl::sim {
 
-TimerId EventQueue::schedule(Time at, Action action) {
-  const TimerId id = next_id_++;
-  heap_.push(Entry{at, id});
-  actions_.emplace(id, std::move(action));
-  ++live_count_;
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNpos;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  s.heap_pos = kNpos;
+  // Stale handles to this slot die here: the generation advances, so a
+  // later cancel() with the old id no longer matches.
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 void EventQueue::cancel(TimerId id) {
   if (id == kInvalidTimer) return;
-  const auto it = actions_.find(id);
-  if (it == actions_.end()) return;  // already fired or cancelled
-  actions_.erase(it);
-  cancelled_.insert(id);
-  --live_count_;
-}
-
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    heap_.pop();
+  const std::uint64_t biased = id >> 32;
+  if (biased == 0 || biased > slots_.size()) return;
+  const auto slot = static_cast<std::uint32_t>(biased - 1);
+  const Slot& s = slots_[slot];
+  if (s.generation != static_cast<std::uint32_t>(id)) {
+    return;  // already fired or cancelled (slot possibly reused)
   }
+  remove_heap_entry(s.heap_pos);
+  release_slot(slot);
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled_head();
-  return heap_.empty();
+void EventQueue::remove_heap_entry(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  const std::uint32_t moved = heap_[last];
+  heap_.pop_back();
+  if (pos == last) return;
+  place(pos, moved);
+  // The relocated entry may order either way relative to its new
+  // neighbourhood; one of the sifts is a no-op.
+  sift_down(pos);
+  sift_up(slots_[moved].heap_pos);
 }
 
 Time EventQueue::next_time() const {
-  drop_cancelled_head();
-  assert(!heap_.empty());
-  return heap_.top().at;
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time() called on empty queue");
+  }
+  return slots_[heap_.front()].at;
 }
 
-EventQueue::Action EventQueue::pop(Time& fired_at) {
-  drop_cancelled_head();
-  assert(!heap_.empty());
-  const Entry entry = heap_.top();
-  heap_.pop();
-  fired_at = entry.at;
-  auto it = actions_.find(entry.id);
-  assert(it != actions_.end());
-  Action action = std::move(it->second);
-  actions_.erase(it);
-  --live_count_;
+EventQueue::Action EventQueue::pop(Time& fired_at, TimerId* fired_id) {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop() called on empty queue");
+  }
+  const std::uint32_t slot = heap_.front();
+  Slot& s = slots_[slot];
+  fired_at = s.at;
+  if (fired_id != nullptr) *fired_id = make_id(slot, s.generation);
+  Action action = std::move(s.action);
+  remove_heap_entry(0);
+  release_slot(slot);
   return action;
+}
+
+void EventQueue::reserve(std::size_t events) {
+  slots_.reserve(events);
+  heap_.reserve(events);
+}
+
+void EventQueue::sift_up(std::uint32_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!before(moving, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, moving);
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  if (pos >= n) return;
+  const std::uint32_t moving = heap_[pos];
+  while (true) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= n) break;
+    const std::uint32_t right = child + 1;
+    if (right < n && before(heap_[right], heap_[child])) child = right;
+    if (!before(heap_[child], moving)) break;
+    place(pos, heap_[child]);
+    pos = child;
+  }
+  place(pos, moving);
 }
 
 }  // namespace stabl::sim

@@ -1,17 +1,31 @@
 // The simulator's time-ordered event queue.
 //
-// Events are closures keyed by (time, sequence number); the sequence number
-// makes ordering of same-time events deterministic (FIFO in scheduling
-// order). Cancellation is lazy: cancelled entries stay in the heap and are
-// skipped on pop, which keeps schedule/cancel O(log n) without a secondary
-// index structure.
+// Scale redesign (DESIGN.md §14): events live in a slab of pooled slots
+// recycled through a free list, ordered by an indexed binary min-heap of
+// slot indices. Event actions are stored inline in the slot (small-buffer
+// storage, no per-event heap allocation for the closures the simulator
+// actually schedules); oversized callables fall back to one heap block.
+// Cancellation is *eager*: the slot's heap entry is removed in O(log n)
+// and the slot recycled immediately, so schedule/cancel churn — timeout
+// timers that almost always get cancelled — no longer grows any internal
+// structure. TimerIds carry a per-slot generation tag, which makes a
+// stale handle (already fired or cancelled, slot possibly reused) a
+// harmless no-op to cancel, exactly like the previous design's lazy set.
+//
+// Ordering contract (unchanged): earliest time first, ties broken FIFO in
+// scheduling order via a monotone sequence number. The pop sequence is
+// byte-for-byte the sequence the previous priority_queue implementation
+// produced, which is what keeps every report byte-identical across the
+// swap.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -19,57 +33,205 @@
 namespace stabl::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Encodes (slot index + 1) in the high 32 bits and the slot's generation
+/// in the low 32 bits; callers must treat it as opaque.
 using TimerId = std::uint64_t;
 
-/// Sentinel returned by operations that have no timer to identify.
+/// Sentinel returned by operations that have no timer to identify. No
+/// valid handle is ever 0 (the encoded slot index is biased by one).
 inline constexpr TimerId kInvalidTimer = 0;
+
+namespace detail {
+
+/// Move-only callable with fixed inline storage. The simulator's closures
+/// (a captured `this` plus a few ids, an envelope with a shared_ptr
+/// payload, ...) fit the inline buffer; anything larger transparently
+/// falls back to a single heap allocation. Replaces std::function on the
+/// event hot path, where the latter's allocation per schedule dominated
+/// large-cell profiles.
+class InlineAction {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction>>>
+  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineAction(InlineAction&& other) noexcept { take(other); }
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage()); }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage()) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    // Move-construct `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      }};
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      }};
+
+  void take(InlineAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage(), other.storage());
+      other.ops_ = nullptr;
+    }
+  }
+
+  void* storage() { return static_cast<void*>(buf_); }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace detail
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// The type pop() hands back: a move-only callable owning the event's
+  /// action. Invoke it at most once.
+  using Action = detail::InlineAction;
 
-  /// Schedule `action` to run at absolute time `at`. Returns a handle that
-  /// can be passed to cancel(). `at` must not be in the past relative to the
-  /// last popped event; the Simulation enforces this.
-  TimerId schedule(Time at, Action action);
+  /// Schedule `action` (any void() callable) to run at absolute time `at`.
+  /// Returns a handle that can be passed to cancel(). `at` must not be in
+  /// the past relative to the last popped event; the Simulation enforces
+  /// this. No heap allocation when the callable fits the inline buffer.
+  template <typename F>
+  TimerId schedule(Time at, F&& action) {
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.at = at;
+    s.seq = next_seq_++;
+    s.action.emplace(std::forward<F>(action));
+    s.heap_pos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(slot);
+    sift_up(s.heap_pos);
+    return make_id(slot, s.generation);
+  }
 
-  /// Cancel a previously scheduled event. Cancelling an already-fired or
-  /// already-cancelled event is a harmless no-op.
+  /// Cancel a previously scheduled event: its heap entry is removed and
+  /// its slot recycled immediately (eager — nothing lingers until the
+  /// fire time). Cancelling an already-fired, already-cancelled or
+  /// invalid handle is a harmless no-op.
   void cancel(TimerId id);
 
-  /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const;
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
-  /// Time of the earliest live event. Requires !empty().
+  /// Time of the earliest live event. Throws std::logic_error when the
+  /// queue is empty — in every build type, not just with assertions on.
   [[nodiscard]] Time next_time() const;
 
   /// Pop and return the earliest live event's action, advancing internal
-  /// bookkeeping. Requires !empty(). `fired_at` receives the event's time.
-  Action pop(Time& fired_at);
+  /// bookkeeping. `fired_at` receives the event's time; `fired_id` (when
+  /// non-null) its handle. Throws std::logic_error when empty.
+  Action pop(Time& fired_at, TimerId* fired_id = nullptr);
 
   /// Number of live events currently scheduled.
-  [[nodiscard]] std::size_t size() const { return live_count_; }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Pre-size the slab and heap for an expected peak of live events
+  /// (plumbed from cluster size so large cells skip growth reallocation).
+  void reserve(std::size_t events);
+
+  /// Slots ever allocated (live + free-listed). Bounded by the peak live
+  /// count, NOT by total schedule/cancel traffic — the regression test
+  /// for the old lazy-cancel leak asserts exactly this.
+  [[nodiscard]] std::size_t allocated_slots() const { return slots_.size(); }
 
  private:
-  struct Entry {
-    Time at;
-    TimerId id;
-    // Heap ordering: earliest time first; ties broken by schedule order.
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return id > other.id;
-    }
+  struct Slot {
+    Time at{0};
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t heap_pos = kNpos;   // kNpos while free
+    std::uint32_t next_free = kNpos;  // free-list link while free
+    detail::InlineAction action;
   };
 
-  void drop_cancelled_head() const;
+  static constexpr std::uint32_t kNpos = ~std::uint32_t{0};
 
-  // `mutable` so that empty()/next_time() can shed cancelled heads lazily.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-      heap_;
-  mutable std::unordered_set<TimerId> cancelled_;
-  std::unordered_map<TimerId, Action> actions_;
-  TimerId next_id_ = 1;
-  std::size_t live_count_ = 0;
+  static TimerId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<TimerId>(slot + 1) << 32) | generation;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void remove_heap_entry(std::uint32_t pos);
+
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void place(std::uint32_t pos, std::uint32_t slot) {
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+  }
+
+  std::vector<Slot> slots_;           // pooled entries, free-list recycled
+  std::vector<std::uint32_t> heap_;   // indexed binary min-heap of slots
+  std::uint32_t free_head_ = kNpos;
+  std::uint64_t next_seq_ = 0;        // FIFO tie-break, monotone forever
 };
 
 }  // namespace stabl::sim

@@ -1,8 +1,5 @@
 #include "sim/process.hpp"
 
-#include <memory>
-#include <utility>
-
 namespace stabl::sim {
 
 Process::~Process() {
@@ -23,23 +20,6 @@ void Process::start() {
   alive_ = true;
   ++restarts_;
   on_start();
-}
-
-TimerId Process::set_timer(Duration delay, std::function<void()> fn) {
-  if (!alive_) return kInvalidTimer;
-  // The closure needs its own id to drop the bookkeeping entry when it
-  // fires, but the id only exists after scheduling; a shared cell bridges
-  // the gap.
-  auto cell = std::make_shared<TimerId>(kInvalidTimer);
-  const TimerId id =
-      sim_.schedule_after(delay, [this, cell, fn = std::move(fn)]() {
-        timers_.erase(*cell);
-        if (!alive_) return;  // defensive; kill() cancels timers anyway
-        fn();
-      });
-  *cell = id;
-  timers_.insert(id);
-  return id;
 }
 
 void Process::cancel_timer(TimerId id) {

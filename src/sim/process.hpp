@@ -9,8 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
+#include <utility>
 
 #include "sim/simulation.hpp"
 
@@ -49,11 +49,32 @@ class Process {
   /// Schedule a timer owned by this process; auto-cancelled on kill() and
   /// skipped if the process somehow died before it fired. Public so that
   /// components owned by the process (connection manager, CPU model) can
-  /// anchor their timers to the owning process's lifetime.
-  TimerId set_timer(Duration delay, std::function<void()> fn);
+  /// anchor their timers to the owning process's lifetime. The wrapper
+  /// learns its own handle from Simulation::current_timer() when it fires,
+  /// so per-timer bookkeeping costs no allocation.
+  template <typename F>
+  TimerId set_timer(Duration delay, F&& fn) {
+    if (!alive_) return kInvalidTimer;
+    const TimerId id = sim_.schedule_after(
+        delay, [this, fn = std::forward<F>(fn)]() mutable {
+          timers_.erase(sim_.current_timer());
+          if (!alive_) return;  // defensive; kill() cancels timers anyway
+          fn();
+        });
+    timers_.insert(id);
+    return id;
+  }
 
   /// Cancel one of this process's timers (no-op if already fired).
   void cancel_timer(TimerId id);
+
+  /// Cancel `id` (if pending) and re-arm it `delay` from now — the
+  /// cancel-then-reschedule idiom every chain backend's pacemaker uses.
+  template <typename F>
+  void reset_timer(TimerId& id, Duration delay, F&& fn) {
+    cancel_timer(id);
+    id = set_timer(delay, std::forward<F>(fn));
+  }
 
  protected:
 

@@ -1,7 +1,6 @@
 #include "sim/simulation.hpp"
 
 #include <cstdio>
-#include <utility>
 
 namespace stabl::sim {
 
@@ -11,28 +10,21 @@ std::string format_time(Time t) {
   return buf;
 }
 
-TimerId Simulation::schedule_at(Time at, EventQueue::Action action) {
-  if (at < now_) at = now_;
-  return queue_.schedule(at, std::move(action));
-}
-
-TimerId Simulation::schedule_after(Duration delay, EventQueue::Action action) {
-  if (delay < Duration::zero()) delay = Duration::zero();
-  return queue_.schedule(now_ + delay, std::move(action));
-}
-
 bool Simulation::step() {
   if (queue_.empty()) return false;
   Time fired_at{};
-  auto action = queue_.pop(fired_at);
+  TimerId fired_id = kInvalidTimer;
+  auto action = queue_.pop(fired_at, &fired_id);
   // Observers see the advance before any event at the new time runs, so a
   // sample at time T reflects exactly the events strictly before T.
   if (observer_ != nullptr && fired_at > now_) {
     observer_->on_time_advance(fired_at);
   }
   now_ = fired_at;
+  current_timer_ = fired_id;
   ++events_processed_;
   action();
+  current_timer_ = kInvalidTimer;
   return true;
 }
 

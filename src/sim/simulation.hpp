@@ -31,14 +31,34 @@ class Simulation {
   Rng& rng() { return rng_; }
 
   /// Schedule `action` at absolute time `at` (clamped to now if in the past,
-  /// which makes "fire immediately" idioms safe).
-  TimerId schedule_at(Time at, EventQueue::Action action);
+  /// which makes "fire immediately" idioms safe). Templated so the callable
+  /// lands directly in the event queue's pooled inline storage — no
+  /// std::function wrapper, no per-event heap allocation.
+  template <typename F>
+  TimerId schedule_at(Time at, F&& action) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::forward<F>(action));
+  }
 
   /// Schedule `action` after `delay` from now. Negative delays clamp to now.
-  TimerId schedule_after(Duration delay, EventQueue::Action action);
+  template <typename F>
+  TimerId schedule_after(Duration delay, F&& action) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    return queue_.schedule(now_ + delay, std::forward<F>(action));
+  }
 
   /// Cancel a scheduled action; no-op if it already fired or was cancelled.
   void cancel(TimerId id) { queue_.cancel(id); }
+
+  /// Handle of the event currently executing (kInvalidTimer outside an
+  /// event). Lets timer owners drop their bookkeeping for the firing timer
+  /// without smuggling the id into the closure via a shared cell.
+  [[nodiscard]] TimerId current_timer() const { return current_timer_; }
+
+  /// Pre-size the event queue for an expected peak of live events. The
+  /// experiment runner plumbs cluster size through this so large cells
+  /// skip slab growth on the hot path.
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
 
   /// Execute the next event, if any. Returns false when the queue is empty.
   bool step();
@@ -75,6 +95,7 @@ class Simulation {
   Time now_{0};
   EventQueue queue_;
   Rng rng_;
+  TimerId current_timer_ = kInvalidTimer;
   std::uint64_t events_processed_ = 0;
   TraceSink* trace_ = nullptr;
   TimeObserver* observer_ = nullptr;

@@ -1,0 +1,211 @@
+// Aggregate arrival scheduling: cohort collapse, enrolment-order emission,
+// high-TPS batching, equivalence with the per-client timer chain it
+// replaced, and byte-stability of a full faulted campaign report.
+#include "core/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain_test_util.hpp"
+#include "chains/redbelly/redbelly.hpp"
+#include "core/client.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+#include "core/sensitivity.hpp"
+#include "core/serialize.hpp"
+#include "core/workload.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl::core {
+namespace {
+
+struct RecordingSink final : ArrivalSink {
+  RecordingSink(int id, std::vector<int>* log) : id(id), log(log) {}
+  void generate_arrival() override {
+    log->push_back(id);
+    ++emitted;
+  }
+  [[nodiscard]] bool arrivals_active() const override { return active; }
+  int id;
+  std::vector<int>* log;
+  std::uint64_t emitted = 0;
+  bool active = true;
+};
+
+ArrivalProfile profile_with(double tps, net::NodeId node = 0) {
+  ArrivalProfile profile;
+  profile.node = node;
+  profile.workload.tps = tps;
+  profile.start_at = sim::Time{0};
+  profile.stop_at = sim::sec(1);
+  return profile;
+}
+
+TEST(Arrivals, SameProfileSharesOneCohort) {
+  sim::Simulation simulation(1);
+  ArrivalScheduler scheduler(simulation);
+  std::vector<int> log;
+  RecordingSink a(0, &log), b(1, &log), c(2, &log);
+  scheduler.enroll(profile_with(100.0), &a);
+  scheduler.enroll(profile_with(100.0), &b);
+  EXPECT_EQ(scheduler.cohorts(), 1u);
+  // A different entry node is a different arrival process.
+  scheduler.enroll(profile_with(100.0, 3), &c);
+  EXPECT_EQ(scheduler.cohorts(), 2u);
+}
+
+TEST(Arrivals, MembersEmitInEnrolmentOrderEachTick) {
+  sim::Simulation simulation(1);
+  ArrivalScheduler scheduler(simulation);
+  std::vector<int> log;
+  RecordingSink a(0, &log), b(1, &log), c(2, &log);
+  for (RecordingSink* sink : {&a, &b, &c}) {
+    scheduler.enroll(profile_with(100.0), sink);  // 10 ms tick gap
+  }
+  simulation.run_until(sim::ms(35));  // ticks at 0, 10, 20, 30 ms
+  ASSERT_EQ(log.size(), 12u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i], static_cast<int>(i % 3)) << "at " << i;
+  }
+  EXPECT_EQ(scheduler.generated(), 12u);
+  EXPECT_FALSE(scheduler.interval_floor_bound());
+}
+
+TEST(Arrivals, InactiveSinkIsSkippedWithoutStallingTheCohort) {
+  sim::Simulation simulation(1);
+  ArrivalScheduler scheduler(simulation);
+  std::vector<int> log;
+  RecordingSink a(0, &log), b(1, &log), c(2, &log);
+  for (RecordingSink* sink : {&a, &b, &c}) {
+    scheduler.enroll(profile_with(100.0), sink);
+  }
+  b.active = false;  // a killed client machine
+  simulation.run_until(sim::ms(25));  // ticks at 0, 10, 20 ms
+  EXPECT_EQ(a.emitted, 3u);
+  EXPECT_EQ(b.emitted, 0u);
+  EXPECT_EQ(c.emitted, 3u);
+  EXPECT_EQ(scheduler.generated(), 6u);
+}
+
+TEST(Arrivals, NothingEmitsAtOrAfterStopTime) {
+  sim::Simulation simulation(1);
+  ArrivalScheduler scheduler(simulation);
+  std::vector<int> log;
+  RecordingSink a(0, &log);
+  ArrivalProfile profile = profile_with(100.0);
+  profile.stop_at = sim::ms(25);
+  scheduler.enroll(profile, &a);
+  simulation.run();  // drains: the tick landing at 30 ms emits nothing
+  EXPECT_EQ(a.emitted, 3u);  // 0, 10, 20 ms
+}
+
+// Satellite: above 10k TPS the old per-client timer silently clamped to
+// the 100 us floor (capping the real rate at 10k); the aggregate process
+// must batch arrivals per tick and honour the configured average.
+TEST(Arrivals, HighTpsCohortHonoursConfiguredAverage) {
+  sim::Simulation simulation(1);
+  MetricsRegistry metrics;
+  ArrivalScheduler scheduler(simulation, &metrics);
+  std::vector<int> log;
+  RecordingSink a(0, &log);
+  scheduler.enroll(profile_with(25000.0), &a);  // raw gap 40 us < floor
+  simulation.run();
+  EXPECT_TRUE(scheduler.interval_floor_bound());
+  // 5 arrivals per 200 us tick over the 1 s window = the configured 25k,
+  // not the 10k the legacy clamp silently delivered.
+  EXPECT_NEAR(static_cast<double>(a.emitted), 25000.0, 25000.0 * 0.01);
+}
+
+TEST(Arrivals, FloorBindingIsReportedOnceThroughMetrics) {
+  sim::Simulation simulation(1);
+  MetricsRegistry metrics;
+  ArrivalScheduler scheduler(simulation, &metrics);
+  std::vector<int> log;
+  RecordingSink a(0, &log), b(1, &log);
+  scheduler.enroll(profile_with(25000.0), &a);
+  scheduler.enroll(profile_with(50000.0, 1), &b);  // second clamped cohort
+  simulation.run();
+  ASSERT_EQ(metrics.notes().size(), 1u);  // once, not per tick or cohort
+  EXPECT_NE(metrics.notes()[0].find("arrival-interval floor"),
+            std::string::npos);
+}
+
+// The aggregate process must be an exact drop-in for the per-client timer
+// chain: same submission times, same tx ids, same commits — the whole
+// cluster byte-for-byte. Run the same cell twice, once with each driver.
+TEST(Arrivals, BatchedClientMatchesPerClientTimerChain) {
+  auto build = [](testing::Harness& harness) {
+    chain::NodeConfig node_config;
+    node_config.n = 10;
+    node_config.network_seed = 77;
+    harness.nodes = redbelly::make_cluster(harness.simulation,
+                                           harness.network, node_config);
+  };
+  auto client_config = [] {
+    ClientConfig config;
+    config.id = 10;
+    config.account = 0;
+    config.recipient = 999;
+    config.endpoints = {0};
+    config.tps = 200.0;
+    config.stop_at = sim::sec(20);
+    return config;
+  };
+
+  testing::Harness legacy;
+  build(legacy);
+  legacy.clients.push_back(std::make_unique<ClientMachine>(
+      legacy.simulation, legacy.network, client_config()));
+  legacy.start_all();
+  legacy.simulation.run_until(sim::sec(25));
+
+  testing::Harness batched;
+  build(batched);
+  ArrivalScheduler arrivals(batched.simulation);
+  ClientConfig config = client_config();
+  config.arrivals = &arrivals;
+  batched.clients.push_back(std::make_unique<ClientMachine>(
+      batched.simulation, batched.network, config));
+  batched.start_all();
+  batched.simulation.run_until(sim::sec(25));
+
+  EXPECT_EQ(arrivals.cohorts(), 1u);
+  EXPECT_EQ(legacy.clients[0]->submitted(), batched.clients[0]->submitted());
+  EXPECT_EQ(legacy.clients[0]->submitted_ids(),
+            batched.clients[0]->submitted_ids());
+  EXPECT_EQ(legacy.clients[0]->committed(), batched.clients[0]->committed());
+  EXPECT_EQ(legacy.simulation.events_processed(),
+            batched.simulation.events_processed());
+}
+
+// Golden-file gate for the whole stack: a faulted campaign (redbelly under
+// crash, the paper's flagship cell) must reproduce its checked-in report
+// byte-for-byte. Any change that perturbs event order, RNG draw order or
+// serialization shows up here as a one-byte diff.
+TEST(Arrivals, FaultedCampaignReportMatchesGoldenBytes) {
+  ScenarioSpec spec;
+  spec.chain = "redbelly";
+  spec.fault = "crash";
+  spec.duration_s = 60;
+  const ResolvedScenario resolved = resolve_scenario(spec);
+  const SensitivityRun run = run_sensitivity(resolved.config);
+  const std::string json =
+      to_json(resolved.config.chain, resolved.config.fault, run);
+
+  std::ifstream in(std::string(STABL_TEST_GOLDEN_DIR) +
+                   "/redbelly_crash.report.json");
+  ASSERT_TRUE(in.good()) << "missing golden report";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string golden = buffer.str();
+  if (!golden.empty() && golden.back() == '\n') golden.pop_back();
+  EXPECT_EQ(json, golden);
+}
+
+}  // namespace
+}  // namespace stabl::core

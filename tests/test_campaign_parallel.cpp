@@ -80,11 +80,12 @@ TEST(ThreadPool, ClampsZeroJobsToOne) {
 }
 
 // ------------------------------------------- EventQueue per worker thread
-// Each worker constructs its own simulation state; the lazy-cancel
-// bookkeeping (size()/empty() shedding cancelled heap heads) must stay
-// consistent with no sharing between threads.
+// Each worker constructs its own simulation state; the queue's cancel
+// bookkeeping (eager removal from the indexed heap, slot recycling
+// through the free list) must stay consistent with no sharing between
+// threads.
 
-TEST(EventQueuePerThread, LazyCancelBookkeepingStaysConsistent) {
+TEST(EventQueuePerThread, CancelBookkeepingStaysConsistentPerThread) {
   ThreadPool pool(4);
   pool.parallel_for(8, [](std::size_t lane) {
     sim::EventQueue queue;

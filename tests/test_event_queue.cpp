@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "sim/rng.hpp"
 
 namespace stabl::sim {
 namespace {
@@ -96,6 +102,185 @@ TEST(EventQueue, ManyEventsStressOrder) {
     EXPECT_GE(at, last);
     last = at;
   }
+}
+
+// Misuse-on-empty must fail loudly in every build type, not only under
+// assert: a release-build caller of the old queue hit UB (top() on an
+// empty container).
+TEST(EventQueue, PopOnEmptyThrowsLogicError) {
+  EventQueue queue;
+  Time at{};
+  EXPECT_THROW(queue.pop(at), std::logic_error);
+  queue.schedule(ms(1), [] {});
+  queue.pop(at);
+  EXPECT_THROW(queue.pop(at), std::logic_error);
+}
+
+TEST(EventQueue, NextTimeOnEmptyThrowsLogicError) {
+  EventQueue queue;
+  EXPECT_THROW(static_cast<void>(queue.next_time()), std::logic_error);
+}
+
+TEST(EventQueue, PopReportsTheScheduledTimerId) {
+  EventQueue queue;
+  const TimerId a = queue.schedule(ms(2), [] {});
+  const TimerId b = queue.schedule(ms(1), [] {});
+  Time at{};
+  TimerId fired = kInvalidTimer;
+  queue.pop(at, &fired);
+  EXPECT_EQ(fired, b);
+  queue.pop(at, &fired);
+  EXPECT_EQ(fired, a);
+}
+
+// Generation tags make a stale handle harmless: cancelling a TimerId
+// whose pool slot has been recycled must not touch the new occupant.
+TEST(EventQueue, StaleHandleAfterSlotReuseIsNoOp) {
+  EventQueue queue;
+  const TimerId old_id = queue.schedule(ms(10), [] {});
+  queue.cancel(old_id);
+  bool fired = false;
+  const TimerId new_id = queue.schedule(ms(20), [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  queue.cancel(old_id);  // stale: same slot, older generation
+  EXPECT_EQ(queue.size(), 1u);
+  Time at{};
+  queue.pop(at)();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, FiredHandleIsStaleForItsRecycledSlot) {
+  EventQueue queue;
+  const TimerId fired_id = queue.schedule(ms(1), [] {});
+  Time at{};
+  queue.pop(at)();
+  const TimerId reuse = queue.schedule(ms(2), [] {});
+  queue.cancel(fired_id);  // must not cancel the slot's new occupant
+  EXPECT_EQ(queue.size(), 1u);
+  queue.cancel(reuse);
+  EXPECT_TRUE(queue.empty());
+}
+
+// Regression for the lazy-cancel leak: the old design kept a heap entry
+// plus a cancelled-set entry per cancelled timer until its fire time, so
+// timeout churn (schedule far in the future, cancel long before firing)
+// grew internal storage without bound. Eager cancellation must keep the
+// pool bounded by the peak live population, no matter how many
+// far-future timers churn through.
+TEST(EventQueue, CancelChurnKeepsInternalStorageBounded) {
+  EventQueue queue;
+  std::vector<TimerId> live;
+  constexpr int kSteady = 64;
+  for (int i = 0; i < kSteady; ++i) {
+    live.push_back(queue.schedule(sec(1000) + ms(i), [] {}));
+  }
+  Rng rng(7);
+  for (int round = 0; round < 100000; ++round) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(live.size()));
+    queue.cancel(live[pick]);
+    live[pick] = queue.schedule(sec(2000) + ms(round), [] {});
+    ASSERT_EQ(queue.size(), static_cast<std::size_t>(kSteady));
+  }
+  // The slab never outgrows the steady-state population (free-list reuse),
+  // and size() reflects exactly the live events.
+  EXPECT_LE(queue.allocated_slots(), static_cast<std::size_t>(kSteady) + 1);
+}
+
+// Tie order is part of the determinism contract: events scheduled for the
+// same instant pop in schedule order, and cancelling neighbours must not
+// reshuffle the survivors (indexed-heap removal swaps entries around).
+TEST(EventQueue, FifoTiesSurviveCancelChurn) {
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(queue.schedule(ms(5), [&, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 3) queue.cancel(ids[i]);
+  Time at{};
+  while (!queue.empty()) queue.pop(at)();
+  std::vector<int> expected;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+// Property test against a reference model with the legacy queue's
+// observable semantics: a map ordered by (time, schedule order) — the old
+// (at, TimerId) heap order. A seeded interleaving of schedule, cancel and
+// pop must produce the exact pop sequence the old implementation gave.
+TEST(EventQueue, SeededChurnMatchesLegacyReferenceModel) {
+  EventQueue queue;
+  std::map<std::pair<Time, std::uint64_t>, int> reference;
+  std::vector<std::pair<TimerId, std::pair<Time, std::uint64_t>>> live;
+  Rng rng(0xF00D);
+  std::uint64_t order_counter = 0;
+  int payload_counter = 0;
+  int last_fired = -1;
+  Time now{0};
+  for (int step = 0; step < 50000; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.5 || queue.empty()) {
+      const Time at =
+          now + Duration{1 + static_cast<std::int64_t>(rng.uniform() * 1e4)};
+      const int payload = payload_counter++;
+      const std::uint64_t order = order_counter++;
+      const TimerId id =
+          queue.schedule(at, [payload, &last_fired] { last_fired = payload; });
+      reference.emplace(std::make_pair(at, order), payload);
+      live.emplace_back(id, std::make_pair(at, order));
+    } else if (roll < 0.65 && !live.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform() * static_cast<double>(live.size()));
+      queue.cancel(live[pick].first);
+      reference.erase(live[pick].second);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      Time at{};
+      TimerId fired = kInvalidTimer;
+      auto action = queue.pop(at, &fired);
+      action();
+      ASSERT_FALSE(reference.empty());
+      const auto expected = reference.begin();
+      ASSERT_EQ(at, expected->first.first) << "pop time diverged";
+      ASSERT_EQ(last_fired, expected->second) << "pop tie order diverged";
+      reference.erase(expected);
+      now = at;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first == fired) {
+          live[i] = live.back();
+          live.pop_back();
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+  // Drain: remaining pops must come out in exact reference order,
+  // including the payload of every same-instant tie.
+  while (!queue.empty()) {
+    Time at{};
+    queue.pop(at)();
+    ASSERT_EQ(at, reference.begin()->first.first);
+    ASSERT_EQ(last_fired, reference.begin()->second);
+    reference.erase(reference.begin());
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+TEST(EventQueue, ReserveDoesNotPerturbBehavior) {
+  EventQueue queue;
+  queue.reserve(4096);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule(ms(8 - i), [&, i] { order.push_back(i); });
+  }
+  Time at{};
+  while (!queue.empty()) queue.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "chain_test_util.hpp"
 #include "chains/redbelly/redbelly.hpp"
 #include "core/experiment.hpp"
@@ -67,6 +69,67 @@ TEST(Workload, IntervalInvertsRate) {
   config.tps = 50.0;
   EXPECT_EQ(workload_interval(config, sim::sec(1), sim::sec(100)),
             sim::us(20000));
+}
+
+TEST(Workload, StepMatchesIntervalBelowTheFloor) {
+  WorkloadConfig config;
+  config.tps = 50.0;
+  const ArrivalStep step = workload_step(config, sim::sec(1), sim::sec(100));
+  EXPECT_EQ(step.interval, sim::us(20000));
+  EXPECT_EQ(step.count, 1);
+  EXPECT_FALSE(step.clamped);
+}
+
+// The legacy clamp silently broke the "averages to config.tps" contract
+// above 10k TPS; the aggregate step must instead batch arrivals per tick
+// and keep count/interval == rate exactly.
+TEST(Workload, StepBatchesInsteadOfClampingAboveTenKTps) {
+  WorkloadConfig config;
+  config.tps = 25000.0;  // raw gap 40 us, below the 100 us floor
+  const ArrivalStep step = workload_step(config, sim::sec(1), sim::sec(100));
+  EXPECT_TRUE(step.clamped);
+  EXPECT_GE(step.interval, kMinArrivalGap);
+  const double achieved =
+      static_cast<double>(step.count) /
+      sim::to_seconds(step.interval);
+  EXPECT_NEAR(achieved, 25000.0, 1.0);
+  // The legacy interval really was wrong here — document the contrast.
+  const auto legacy = workload_interval(config, sim::sec(1), sim::sec(100));
+  EXPECT_EQ(legacy, kMinArrivalGap);  // i.e. 10k TPS, not 25k
+}
+
+TEST(Workload, StepSurvivesRatesAboveTheClockResolution) {
+  WorkloadConfig config;
+  config.tps = 3e6;  // raw gap truncates to 0 us
+  const ArrivalStep step = workload_step(config, sim::sec(1), sim::sec(100));
+  EXPECT_TRUE(step.clamped);
+  EXPECT_EQ(step.interval, kMinArrivalGap);  // never a zero-length tick
+  EXPECT_EQ(step.count, 300);                // 3M TPS * 100 us
+}
+
+TEST(Workload, StepAveragePreservedAcrossBurstyPhases) {
+  WorkloadConfig config;
+  config.shape = WorkloadShape::kBursty;
+  config.tps = 40000.0;
+  config.burst_period = sim::sec(20);
+  config.burst_factor = 3.0;
+  // High phase 60k TPS, low phase 20k TPS: both above the floor's 10k.
+  // The batched step preserves the microsecond-truncated rate exactly
+  // (the same quantisation a per-arrival timer has below the floor): the
+  // raw gap truncates to whole microseconds, so 60k TPS -> 16 us -> 62.5k.
+  for (const long at_s : {5L, 25L}) {
+    const ArrivalStep step =
+        workload_step(config, sim::sec(at_s), sim::sec(400));
+    const double rate = workload_rate(config, sim::sec(at_s), sim::sec(400));
+    const double truncated_rate =
+        1e6 / std::floor(1e6 / rate);  // whole-us gap, as a rate
+    const double achieved =
+        static_cast<double>(step.count) /
+        sim::to_seconds(step.interval);
+    EXPECT_TRUE(step.clamped);
+    EXPECT_NEAR(achieved, truncated_rate, 1e-6 * truncated_rate);
+    EXPECT_NEAR(achieved, rate, rate * 0.05);  // quantisation stays small
+  }
 }
 
 TEST(Workload, ClientFollowsBurstyShape) {
