@@ -13,9 +13,13 @@
 //             [--chain-param KEY=VALUE]...
 //             [--no-throttling] [--no-warmup-epochs] [--max-idle S]
 //             [--chaos N] [--shrink]
+//             [--hedge] [--hedge-percentile P] [--hedge-min S]
+//             [--hedge-max S] [--endpoint-scoring]
 //             [--trace FILE] [--metrics FILE]
 //   stabl_cli --scenario FILE [--format FMT] [--dump-scenario]
 //   stabl_cli [flags...] --dump-scenario
+//   stabl_cli --mitigation-study [--chain NAME] [--fault NAME] [--chaos N]
+//             [--seeds N] [--jobs N] [--format FMT]
 //   stabl_cli --list-faults | --list-chains
 //
 // Every flag combination is internally a core::ScenarioSpec — a
@@ -34,6 +38,13 @@
 // and audits each run with the invariant oracles; --shrink delta-debugs
 // every violating schedule to a minimal JSON repro. Deterministic in
 // (--chain, --seed) for any --jobs value.
+//
+// --mitigation-study runs every (chain, fault, seed) cell TWICE — once
+// as-configured and once with the mitigation stack (nversion_<chain>
+// meta-chain + hedged submissions + endpoint scoring) — over the same
+// seeds and fault schedules, and reports the paired sensitivity deltas.
+// --chain/--fault narrow the grid; --chaos N adds N adversarial chaos
+// schedule pairs per chain. Byte-identical output for any --jobs value.
 //
 // --trace FILE records the faulted run's sim-time timeline as Chrome /
 // Perfetto trace_event JSON (open at ui.perfetto.dev). In chaos mode the
@@ -83,6 +94,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s [options]\n"
       "       %s --scenario FILE [--format FMT] [--dump-scenario]\n"
+      "       %s --mitigation-study [--chain NAME] [--fault NAME]\n"
+      "                             [--chaos N] [--seeds N] [--jobs N]\n"
       "       %s --list-faults | --list-chains\n"
       "\n"
       "Run one STABL experiment pair (baseline vs faulted) and report the\n"
@@ -125,6 +138,15 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --chaos-adversarial sample the adversarial plan space too\n"
       "                      (equivocate, withhold, eclipse schedules)\n"
       "\n"
+      "mitigation study:\n"
+      "  --mitigation-study  run every (chain, fault, seed) cell paired —\n"
+      "                      unmitigated vs the mitigation stack (nversion\n"
+      "                      meta-chain + hedging + endpoint scoring) over\n"
+      "                      the same seeds and schedules — and report the\n"
+      "                      sensitivity deltas; --chain/--fault narrow the\n"
+      "                      grid, --chaos N adds N adversarial schedule\n"
+      "                      pairs per chain\n"
+      "\n"
       "observability:\n"
       "  --trace FILE        write the faulted run's sim-time timeline as\n"
       "                      Perfetto trace_event JSON (ui.perfetto.dev);\n"
@@ -142,6 +164,16 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --vcpus N           per-node vCPUs (default 4)\n"
       "  --resilient         timeout + failover + backoff clients\n"
       "  --commit-timeout S  resilient-client commit timeout, seconds\n"
+      "  --hedge             hedged submissions: arm a second endpoint\n"
+      "                      after the observed latency percentile instead\n"
+      "                      of waiting out the commit timeout (needs\n"
+      "                      --resilient)\n"
+      "  --hedge-percentile P  hedge-delay latency percentile, (0, 1]\n"
+      "                      (default 0.95)\n"
+      "  --hedge-min S       hedge-delay clamp floor, seconds (default .25)\n"
+      "  --hedge-max S       hedge-delay clamp ceiling, seconds (default 8)\n"
+      "  --endpoint-scoring  EWMA latency/failure scoring steers failover\n"
+      "                      and hedge endpoint choice (needs --resilient)\n"
       "\n"
       "fault knobs:\n"
       "  --loss-prob P       packet-loss probability for loss plans\n"
@@ -162,10 +194,12 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --format FMT        text|csv|json (default text)\n"
       "  --list-faults       list every fault type with a one-line\n"
       "                      description and exit 0\n"
-      "  --list-chains       list every registered chain with its tier and\n"
-      "                      description and exit 0\n"
+      "  --list-chains       list every registered chain with its tier,\n"
+      "                      description and (for meta-chains) the base\n"
+      "                      chain it wraps, and exit 0\n"
       "  --help              print this help and exit 0\n",
-      argv0, argv0, argv0, core::chain_registry().names_csv().c_str());
+      argv0, argv0, argv0, argv0,
+      core::chain_registry().names_csv().c_str());
 }
 
 // --list-faults: every FaultType in enum order with its one-line
@@ -179,13 +213,16 @@ void print_fault_list() {
 }
 
 // --list-chains: every registered chain in registry (tier, name) order.
-// Linked extension plugins (e.g. refbft) show up here automatically.
+// Linked extension plugins (refbft, the nversion_* meta-chains) show up
+// here automatically; meta-chains carry a "[wraps <base>]" marker.
 void print_chain_list() {
   const chain::Registry& registry = core::chain_registry();
   for (const chain::ChainId id : registry.ids()) {
     const chain::ChainTraits& traits = core::chain_traits(core::chain_kind(id));
-    std::printf("%-10s tier %d  %s\n", traits.name.c_str(), traits.tier,
-                traits.description.c_str());
+    const std::string wraps =
+        traits.meta_of.empty() ? "" : "  [wraps " + traits.meta_of + "]";
+    std::printf("%-18s tier %d  %s%s\n", traits.name.c_str(), traits.tier,
+                traits.description.c_str(), wraps.c_str());
   }
 }
 
@@ -204,6 +241,11 @@ int main(int argc, char** argv) {
   std::string format = "text";
   std::string scenario_path;
   bool dump_scenario = false;
+  bool mitigation_study = false;
+  // --mitigation-study defaults to the full (5 chains x 2 faults) grid;
+  // explicit --chain/--fault narrow it to the named cell row/column.
+  bool chain_set = false;
+  bool fault_set = false;
   // Whether any flag configured the experiment itself (everything except
   // --format / --dump-scenario / --help); such flags cannot be combined
   // with --scenario, which is the complete description of a run.
@@ -241,10 +283,12 @@ int main(int argc, char** argv) {
       dump_scenario = true;
     } else if (arg == "--chain") {
       experiment_flag();
+      chain_set = true;
       spec.chain = core::to_string(
           cli::parse_chain_or_exit(value(), argv[0], help_hint(argv[0])));
     } else if (arg == "--fault") {
       experiment_flag();
+      fault_set = true;
       spec.fault = core::to_string(
           cli::parse_fault_or_exit(value(), argv[0], help_hint(argv[0])));
     } else if (arg == "--duration") {
@@ -317,6 +361,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--commit-timeout") {
       experiment_flag();
       spec.commit_timeout_s = std::atof(value().c_str());
+    } else if (arg == "--hedge") {
+      experiment_flag();
+      spec.hedge = true;
+    } else if (arg == "--hedge-percentile") {
+      experiment_flag();
+      spec.hedge_percentile = std::atof(value().c_str());
+    } else if (arg == "--hedge-min") {
+      experiment_flag();
+      spec.hedge_min_delay_s = std::atof(value().c_str());
+    } else if (arg == "--hedge-max") {
+      experiment_flag();
+      spec.hedge_max_delay_s = std::atof(value().c_str());
+    } else if (arg == "--endpoint-scoring") {
+      experiment_flag();
+      spec.endpoint_scoring = true;
+    } else if (arg == "--mitigation-study") {
+      experiment_flag();
+      mitigation_study = true;
     } else if (arg == "--chain-param") {
       experiment_flag();
       const std::string assignment = value();
@@ -413,6 +475,46 @@ int main(int argc, char** argv) {
   const long duration_s = static_cast<long>(spec.duration_s);
   const std::string& trace_path = resolved.trace_path;
   const std::string& metrics_path = resolved.metrics_path;
+
+  if (mitigation_study) {
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      fail_usage(argv[0],
+                 "--trace/--metrics apply to single runs, not "
+                 "--mitigation-study campaigns");
+    }
+    // Paired mitigation campaign: every cell twice over the same seed and
+    // schedule — as-configured vs the full mitigation stack. --chaos N is
+    // reinterpreted as N adversarial chaos schedule pairs per chain.
+    core::MitigationConfig study;
+    if (chain_set) study.chains = {config.chain};
+    if (fault_set) study.faults = {config.fault};
+    study.base = config;
+    study.base.fault = core::FaultType::kNone;
+    study.num_seeds = resolved.num_seeds;
+    study.jobs = resolved.jobs;
+    study.chaos_pairs = resolved.chaos_trials;
+    core::MitigationResult result;
+    try {
+      result = core::run_mitigation_campaign(study);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s: invalid fault plan: %s\n", argv[0],
+                   error.what());
+      return 2;
+    }
+    if (format == "json") {
+      std::printf("%s\n", result.to_json().c_str());
+    } else if (format == "csv") {
+      std::printf("%s", result.delta_csv().c_str());
+    } else {
+      std::printf("mitigation study: nversion + hedging + endpoint scoring "
+                  "vs unmitigated\n");
+      std::printf("%s", result.delta_table().c_str());
+      std::printf("%zu/%zu pairs improved, %zu regressed\n",
+                  result.improvements(), result.pairs.size(),
+                  result.regressions());
+    }
+    return 0;
+  }
 
   if (resolved.chaos_trials > 0) {
     if (!metrics_path.empty()) {
@@ -586,6 +688,12 @@ int main(int argc, char** argv) {
         static_cast<std::uintmax_t>(run.altered.submitted -
                                     run.altered.committed),
         static_cast<std::uintmax_t>(rs.duplicate_commits));
+    if (config.resilience.hedge.enabled) {
+      std::printf("hedging: %ju armed, %ju won, %ju cancelled\n",
+                  static_cast<std::uintmax_t>(rs.hedges_armed),
+                  static_cast<std::uintmax_t>(rs.hedges_won),
+                  static_cast<std::uintmax_t>(rs.hedges_cancelled));
+    }
   }
   if (run.altered.recovery_seconds >= 0) {
     std::printf("recovery: %.1fs after the fault cleared\n",

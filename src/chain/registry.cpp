@@ -72,6 +72,27 @@ void Registry::add(ChainTraits traits) {
         "register before the first lookup, e.g. from a namespace-scope "
         "ChainRegistrar");
   }
+  register_traits(std::move(traits));
+}
+
+void Registry::derive(std::string base,
+                      std::function<ChainTraits(const ChainTraits&)> wrap) {
+  if (finalized_) {
+    throw std::logic_error(
+        "chain registry already finalized (ids assigned); meta-chains must "
+        "derive before the first lookup");
+  }
+  if (base.empty()) {
+    throw std::invalid_argument("derive() needs a base chain name");
+  }
+  if (!wrap) {
+    throw std::invalid_argument("derive('" + base +
+                                "') needs a wrap function");
+  }
+  derivations_.emplace_back(std::move(base), std::move(wrap));
+}
+
+void Registry::register_traits(ChainTraits traits) const {
   if (traits.name.empty()) {
     throw std::invalid_argument("chain traits need a name");
   }
@@ -96,6 +117,38 @@ void Registry::add(ChainTraits traits) {
 
 void Registry::ensure_finalized() const {
   std::call_once(finalize_once_, [this] {
+    // Apply queued meta-chain derivations first, before ids are assigned:
+    // each looks up its base among the directly-registered chains (the
+    // deferral makes this independent of registrar/link order), and the
+    // wrapped traits go through the same validation as add().
+    for (auto& [base, wrap] : derivations_) {
+      const std::string lower = to_lower(base);
+      const ChainTraits* found = nullptr;
+      for (const ChainTraits& existing : chains_) {
+        if (to_lower(existing.name) == lower) {
+          found = &existing;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        throw std::invalid_argument("meta-chain derives from '" + base +
+                                    "', which never registered (registered: " +
+                                    [this] {
+                                      std::string csv;
+                                      for (const ChainTraits& t : chains_) {
+                                        if (!csv.empty()) csv += ", ";
+                                        csv += t.name;
+                                      }
+                                      return csv;
+                                    }() + ")");
+      }
+      // Copy before register_traits() grows chains_ and invalidates it.
+      const ChainTraits base_traits = *found;
+      ChainTraits derived = wrap(base_traits);
+      if (derived.meta_of.empty()) derived.meta_of = base_traits.name;
+      register_traits(std::move(derived));
+    }
+    derivations_.clear();
     std::stable_sort(chains_.begin(), chains_.end(),
                      [](const ChainTraits& a, const ChainTraits& b) {
                        if (a.tier != b.tier) return a.tier < b.tier;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "chain/node.hpp"
+#include "chain/service.hpp"
 #include "core/fault.hpp"
 
 namespace stabl::sim {
@@ -84,6 +85,18 @@ struct ChainTraits {
   ChainParams default_params;
   /// Documented failure modes the oracles downgrade to expected-loss.
   std::vector<ChainLossExemption> loss_exemptions;
+  /// Base chain this meta-chain wraps (set by Registry::derive); empty for
+  /// a regular chain. --list-chains shows it so scenario authors can see
+  /// which backend a meta-chain runs underneath.
+  std::string meta_of;
+  /// Optional auxiliary services (health monitors, supervisors) started
+  /// alongside the cluster. `first_id` is the first free ProcessId after
+  /// the nodes and clients; `params` is the merged parameter map the
+  /// cluster factory saw. Null for chains without services.
+  std::function<std::vector<std::unique_ptr<ChainService>>(
+      sim::Simulation& simulation, const std::vector<BlockchainNode*>& nodes,
+      sim::ProcessId first_id, const ChainParams& params)>
+      make_services;
 };
 
 /// t_B formulas of the paper (§2): Algorand and Avalanche tolerate a 20%
@@ -124,6 +137,17 @@ class Registry {
   /// after the registry was first queried (ids are already assigned).
   void add(ChainTraits traits);
 
+  /// Queue a meta-chain derived from `base`, which may register later in
+  /// static-init order: at finalize time `wrap` receives the base chain's
+  /// traits and the result joins the registry as if add()ed (same
+  /// validation; meta_of defaults to the base name). Deferral is the
+  /// point — a meta-chain cannot read its base's traits at registration
+  /// time because cross-TU registrar order is unspecified. Throws
+  /// std::logic_error after finalize; an unknown base surfaces as
+  /// std::invalid_argument from the first registry lookup.
+  void derive(std::string base,
+              std::function<ChainTraits(const ChainTraits&)> wrap);
+
   /// Traits of a registered chain. Throws std::invalid_argument with the
   /// registered-name listing when `id` is out of range — the descriptive
   /// failure an out-of-range ChainKind cast now produces.
@@ -146,11 +170,15 @@ class Registry {
 
  private:
   void ensure_finalized() const;
+  void register_traits(ChainTraits traits) const;
 
   mutable std::once_flag finalize_once_;
   mutable bool finalized_ = false;
   mutable std::vector<ChainTraits> chains_;        // id-indexed once final
   mutable std::map<std::string, ChainId> by_name_;  // lower-case keys
+  mutable std::vector<
+      std::pair<std::string, std::function<ChainTraits(const ChainTraits&)>>>
+      derivations_;  // applied (and cleared) at finalize
 };
 
 /// Self-registration hook:

@@ -1,0 +1,27 @@
+// Chain-scoped auxiliary services: simulated processes a chain plugin runs
+// NEXT TO its cluster rather than inside a node — health monitors, failover
+// supervisors, sidecar daemons. The experiment runner creates them through
+// ChainTraits::make_services after the nodes and clients, starts them with
+// the rest of the world, and folds their metrics() into the report's
+// chain_metrics (zero values elided, like adversarial metrics), so a
+// service that observes nothing costs nothing in the serialized report.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/process.hpp"
+
+namespace stabl::chain {
+
+class ChainService : public sim::Process {
+ public:
+  using sim::Process::Process;
+
+  /// Counters folded into ExperimentResult::chain_metrics at harvest time.
+  [[nodiscard]] virtual std::map<std::string, double> metrics() const {
+    return {};
+  }
+};
+
+}  // namespace stabl::chain

@@ -1,0 +1,187 @@
+#include "chains/nversion/nversion.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "chain/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace stabl::nversion {
+namespace {
+
+/// The knobs every derived nversion chain registers on top of its base
+/// chain's parameters (all numeric, scenario-overridable).
+chain::ChainParams nversion_default_params() {
+  return {{"nversion_versions", 3.0},
+          {"nversion_check_ms", 500.0},
+          {"nversion_missed_heartbeats", 4.0},
+          {"nversion_stall_s", 30.0},
+          {"nversion_failover_boot_ms", 250.0}};
+}
+
+chain::ChainTraits wrap_base(const chain::ChainTraits& base) {
+  chain::ChainTraits traits;
+  traits.name = "nversion_" + base.name;
+  traits.description = "N-version " + base.name +
+                       ": primary + warm-standby versions behind a "
+                       "failover health monitor";
+  traits.tier = 1;
+  traits.meta_of = base.name;
+  traits.fault_tolerance = base.fault_tolerance;
+  traits.default_params = base.default_params;
+  traits.default_params.merge(nversion_default_params());
+
+  const auto base_factory = base.make_cluster;
+  traits.make_cluster = [base_factory](sim::Simulation& simulation,
+                                       net::Network& network,
+                                       const chain::NodeConfig& node_config,
+                                       const chain::ChainParams& params) {
+    // Failover re-activates a resident warm standby, not a 3 s cold boot.
+    // Base factories read only the keys they declared, so handing them the
+    // superset parameter map is safe.
+    chain::NodeConfig node_template = node_config;
+    node_template.restart_boot_delay =
+        sim::seconds(params.at("nversion_failover_boot_ms") / 1e3);
+    return base_factory(simulation, network, node_template, params);
+  };
+  traits.make_services = [](sim::Simulation& simulation,
+                            const std::vector<chain::BlockchainNode*>& nodes,
+                            sim::ProcessId first_id,
+                            const chain::ChainParams& params) {
+    std::vector<std::unique_ptr<chain::ChainService>> services;
+    services.push_back(std::make_unique<NVersionMonitor>(
+        simulation, first_id, nodes, monitor_config_from_params(params)));
+    return services;
+  };
+
+  // The failover window is documented expected loss: commits pause for
+  // detection + standby boot, evidenced by the failover counter. Safety is
+  // never exempted, and the base chain's own exemptions still apply.
+  traits.loss_exemptions = base.loss_exemptions;
+  for (const core::FaultType fault :
+       {core::FaultType::kCrash, core::FaultType::kTransient,
+        core::FaultType::kChurn}) {
+    traits.loss_exemptions.push_back(
+        {fault, "nversion_failovers",
+         "health monitor failed the dead version over to a warm standby; "
+         "commits pause only for the detection + boot window"});
+  }
+  return traits;
+}
+
+}  // namespace
+
+MonitorConfig monitor_config_from_params(const chain::ChainParams& params) {
+  MonitorConfig config;
+  config.versions = static_cast<std::size_t>(
+      std::max(1.0, params.at("nversion_versions")));
+  config.check_period = sim::seconds(params.at("nversion_check_ms") / 1e3);
+  config.missed_heartbeats = static_cast<std::size_t>(
+      std::max(1.0, params.at("nversion_missed_heartbeats")));
+  config.stall_after = sim::seconds(params.at("nversion_stall_s"));
+  config.failover_boot =
+      sim::seconds(params.at("nversion_failover_boot_ms") / 1e3);
+  return config;
+}
+
+NVersionMonitor::NVersionMonitor(sim::Simulation& simulation,
+                                 sim::ProcessId id,
+                                 std::vector<chain::BlockchainNode*> nodes,
+                                 MonitorConfig config)
+    : ChainService(simulation, id),
+      nodes_(std::move(nodes)),
+      config_(config) {}
+
+void NVersionMonitor::on_start() {
+  state_.assign(nodes_.size(), VersionState{});
+  for (VersionState& state : state_) {
+    state.standbys_left = config_.versions == 0 ? 0 : config_.versions - 1;
+    state.last_advance = now();
+  }
+  set_timer(config_.check_period, [this] { check(); });
+}
+
+void NVersionMonitor::check() {
+  // The tallest ledger among live versions is the cluster's committed
+  // frontier; a live version that trails it without progress is stalled,
+  // whereas a cluster-wide quiet period is not.
+  std::uint64_t frontier = 0;
+  for (const chain::BlockchainNode* node : nodes_) {
+    if (node->alive()) frontier = std::max(frontier, node->ledger().height());
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    chain::BlockchainNode* node = nodes_[i];
+    VersionState& state = state_[i];
+    if (!node->alive()) {
+      state.misses += 1;
+      heartbeat_misses_ += 1;
+      if (state.misses >= config_.missed_heartbeats) fail_over(i, false);
+      continue;
+    }
+    state.misses = 0;
+    const std::uint64_t height = node->ledger().height();
+    if (height > state.last_height) {
+      state.last_height = height;
+      state.last_advance = now();
+      continue;
+    }
+    if (now() < state.grace_until) continue;
+    if (height >= frontier) continue;
+    if (now() - state.last_advance >= config_.stall_after) fail_over(i, true);
+  }
+  set_timer(config_.check_period, [this] { check(); });
+}
+
+void NVersionMonitor::fail_over(std::size_t index, bool stalled) {
+  chain::BlockchainNode* node = nodes_[index];
+  VersionState& state = state_[index];
+  if (state.standbys_left == 0) {
+    if (!state.exhausted_noted) {
+      state.exhausted_noted = true;
+      exhausted_ += 1;
+    }
+    return;
+  }
+  state.standbys_left -= 1;
+  state.misses = 0;
+  failovers_ += 1;
+  if (stalled) stall_failovers_ += 1;
+  // Mute both detectors until the standby had time to boot and commit.
+  state.grace_until = now() + config_.failover_boot + config_.stall_after;
+  state.last_advance = now();
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node->node_id()), now(),
+                   stalled ? "failover_stall" : "failover", "nversion",
+                   "\"standbys_left\":" + std::to_string(state.standbys_left));
+  }
+  if (stalled && node->alive()) node->kill();
+  node->start();  // no-op if an observer restarted the version already
+}
+
+std::map<std::string, double> NVersionMonitor::metrics() const {
+  // Zero values are elided at harvest time, so benign runs report nothing.
+  return {{"nversion_failovers", static_cast<double>(failovers_)},
+          {"nversion_stall_failovers", static_cast<double>(stall_failovers_)},
+          {"nversion_heartbeat_misses",
+           static_cast<double>(heartbeat_misses_)},
+          {"nversion_exhausted", static_cast<double>(exhausted_)}};
+}
+
+void ensure_registered() {
+  // Deferred derivations, not a direct registrar: the base chains'
+  // registrars may run after this one in static-init order, so the base
+  // traits are resolved when the registry finalizes. Function-local static
+  // for the same cross-TU init-order reason as the five paper chains.
+  [[maybe_unused]] static const bool registered = [] {
+    for (const char* base :
+         {"algorand", "aptos", "avalanche", "redbelly", "solana"}) {
+      chain::Registry::global().derive(
+          base,
+          [](const chain::ChainTraits& traits) { return wrap_base(traits); });
+    }
+    return true;
+  }();
+}
+
+}  // namespace stabl::nversion

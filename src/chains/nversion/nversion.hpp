@@ -1,0 +1,114 @@
+// N-version meta-chain plugin: highly available nodes by construction.
+//
+// "Highly Available Blockchain Nodes With N-Version Design" (PAPERS.md)
+// shows that running N client implementations behind one node identity
+// masks implementation-level crashes: when the active version dies or
+// stalls, a supervisor fails over to a warm standby and the logical node
+// keeps its identity, ledger and peers. This plugin reproduces that design
+// on top of ANY registered base chain without editing it: for each of the
+// five paper chains it derives a meta-chain `nversion_<chain>` through
+// chain::Registry::derive(). The derived chain reuses the base cluster
+// factory verbatim — the per-node proxy is modeled by the node's stable
+// ProcessId/NodeId identity plus a persistent ledger, so "failover to a
+// warm standby" is a supervised restart with a standby-activation delay
+// (nversion_failover_boot_ms, default 250 ms) instead of the 3 s cold
+// boot — and adds one NVersionMonitor service per cluster.
+//
+// Fault semantics. Fault plans keep targeting node ids; under an nversion
+// chain a crash/hang plan hits the *active version* of that node, and the
+// monitor masks it (missed-heartbeat detector for dead processes, stalled-
+// commit detector for live-but-not-advancing ones) until the node's
+// standby budget (nversion_versions − 1) is exhausted. Consensus-level
+// faults — partitions, equivocation, withholding, eclipse — are not
+// process failures, so they propagate to the protocol exactly as on the
+// base chain. The derived traits append crash/transient/churn loss
+// exemptions backed by the "nversion_failovers" evidence metric: the
+// failover window is documented expected loss, not a liveness violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/node.hpp"
+#include "chain/registry.hpp"
+#include "chain/service.hpp"
+#include "sim/time.hpp"
+
+namespace stabl::nversion {
+
+/// Health-monitor thresholds, decoded from the registered nversion_*
+/// chain parameters (see `nversion_default_params()` in nversion.cpp).
+struct MonitorConfig {
+  /// Versions per logical node: one primary + (versions − 1) warm standbys.
+  std::size_t versions = 3;
+  /// Heartbeat / health-check period.
+  sim::Duration check_period = sim::ms(500);
+  /// Consecutive missed heartbeats before the proxy declares the active
+  /// version dead and fails over.
+  std::size_t missed_heartbeats = 4;
+  /// A live version whose ledger trails the tallest live peer and has not
+  /// advanced for this long is declared stalled and failed over.
+  sim::Duration stall_after = sim::sec(30);
+  /// Warm-standby activation time (the standby binary is already
+  /// resident; contrast the 3 s cold restart of a plain node).
+  sim::Duration failover_boot = sim::ms(250);
+};
+
+/// The per-cluster supervisor: polls every node on the check period, runs
+/// the missed-heartbeat and stalled-commit detectors, and performs
+/// failovers while a node still has standby versions left. Uses no RNG
+/// and sends no messages, so attaching it perturbs nothing but the event
+/// count — reports of the wrapped chain stay deterministic.
+class NVersionMonitor final : public chain::ChainService {
+ public:
+  NVersionMonitor(sim::Simulation& simulation, sim::ProcessId id,
+                  std::vector<chain::BlockchainNode*> nodes,
+                  MonitorConfig config);
+
+  /// Harvested into chain_metrics (zero values elided): nversion_failovers,
+  /// nversion_stall_failovers, nversion_heartbeat_misses,
+  /// nversion_exhausted.
+  [[nodiscard]] std::map<std::string, double> metrics() const override;
+
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t stall_failovers() const {
+    return stall_failovers_;
+  }
+  [[nodiscard]] std::uint64_t exhausted() const { return exhausted_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct VersionState {
+    std::size_t standbys_left = 0;  ///< failovers this node can still do
+    std::size_t misses = 0;         ///< consecutive missed heartbeats
+    std::uint64_t last_height = 0;
+    sim::Time last_advance{0};
+    sim::Time grace_until{0};  ///< stall detector muted until (post-failover)
+    bool exhausted_noted = false;
+  };
+
+  void check();
+  void fail_over(std::size_t index, bool stalled);
+
+  std::vector<chain::BlockchainNode*> nodes_;
+  MonitorConfig config_;
+  std::vector<VersionState> state_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t stall_failovers_ = 0;
+  std::uint64_t heartbeat_misses_ = 0;
+  std::uint64_t exhausted_ = 0;
+};
+
+/// Decode a merged parameter map into monitor thresholds.
+MonitorConfig monitor_config_from_params(const chain::ChainParams& params);
+
+/// Queue the five `nversion_<chain>` derivations with the global registry.
+/// Idempotent; core::chain_registry() anchors it like the base chains.
+void ensure_registered();
+
+}  // namespace stabl::nversion

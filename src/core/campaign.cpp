@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <sstream>
 
+#include "core/chaos.hpp"
 #include "core/metrics.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/serialize.hpp"
+#include "sim/rng.hpp"
 
 namespace stabl::core {
 namespace {
@@ -269,6 +272,293 @@ std::vector<std::string> check_gate(const CampaignResult& result,
     }
   }
   return violations;
+}
+
+// --------------------------------------------------------------------------
+// Mitigation-evaluation campaign.
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Score rendered for the delta table/CSV: number, "inf" or "invalid".
+std::string mitigation_score_text(const SensitivityScore& score) {
+  if (score.invalid_baseline) return "invalid";
+  if (score.infinite) return "inf";
+  return Table::num(score.value, 4);
+}
+
+/// Delta rendered for the CSV: finite number, "inf" (masked liveness
+/// loss) or "-inf" (mitigation introduced one).
+std::string mitigation_delta_text(double delta) {
+  if (std::isinf(delta)) return delta > 0.0 ? "inf" : "-inf";
+  return Table::num(delta, 4);
+}
+
+double chain_metric_or_zero(const ExperimentResult& result,
+                            const std::string& key) {
+  const auto it = result.chain_metrics.find(key);
+  return it == result.chain_metrics.end() ? 0.0 : it->second;
+}
+
+std::string pair_verdict(const MitigationPair& pair) {
+  const double delta = pair.delta();
+  if (std::isinf(delta)) return delta > 0.0 ? "masked" : "lost";
+  if (pair.unmitigated.score.invalid_baseline ||
+      pair.mitigated.score.invalid_baseline) {
+    return "invalid";
+  }
+  if (pair.unmitigated.score.infinite && pair.mitigated.score.infinite) {
+    return "both-lost";
+  }
+  if (delta > 0.0) return "improved";
+  if (delta < 0.0) return "regressed";
+  return "even";
+}
+
+std::string mitigation_fault_text(const MitigationPair& pair) {
+  return pair.chaos ? "chaos" : to_string(pair.fault);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> MitigationConfig::seed_list() const {
+  if (!seeds.empty()) return seeds;
+  std::vector<std::uint64_t> list;
+  const std::size_t count = std::max<std::size_t>(num_seeds, 1);
+  list.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    list.push_back(base.seed + static_cast<std::uint64_t>(i));
+  }
+  return list;
+}
+
+double MitigationPair::delta() const {
+  if (unmitigated.score.invalid_baseline || mitigated.score.invalid_baseline) {
+    return 0.0;
+  }
+  const bool u_inf = unmitigated.score.infinite;
+  const bool m_inf = mitigated.score.infinite;
+  if (u_inf && m_inf) return 0.0;
+  if (u_inf) return std::numeric_limits<double>::infinity();
+  if (m_inf) return -std::numeric_limits<double>::infinity();
+  return unmitigated.score.value - mitigated.score.value;
+}
+
+bool MitigationPair::improved() const { return delta() > 0.0; }
+
+std::size_t MitigationResult::improvements() const {
+  std::size_t count = 0;
+  for (const MitigationPair& pair : pairs) {
+    if (pair.improved()) ++count;
+  }
+  return count;
+}
+
+std::size_t MitigationResult::regressions() const {
+  std::size_t count = 0;
+  for (const MitigationPair& pair : pairs) {
+    if (pair.delta() < 0.0) ++count;
+  }
+  return count;
+}
+
+std::string MitigationResult::delta_table() const {
+  Table table({"chain", "fault", "seed", "mitigated_as", "unmitigated",
+               "mitigated", "delta", "verdict"});
+  for (const MitigationPair& pair : pairs) {
+    table.add_row({to_string(pair.chain), mitigation_fault_text(pair),
+                   std::to_string(pair.seed), pair.mitigated_chain,
+                   mitigation_score_text(pair.unmitigated.score),
+                   mitigation_score_text(pair.mitigated.score),
+                   mitigation_delta_text(pair.delta()), pair_verdict(pair)});
+  }
+  return table.to_string();
+}
+
+std::string MitigationResult::delta_csv() const {
+  std::ostringstream out;
+  out << "chain,fault,seed,chaos_trial,mitigated_chain,unmitigated_score,"
+         "mitigated_score,delta,verdict,unmitigated_live,mitigated_live,"
+         "failovers,version_failovers,hedges_armed,hedges_won\n";
+  for (const MitigationPair& pair : pairs) {
+    out << csv_join(
+               {to_string(pair.chain), mitigation_fault_text(pair),
+                std::to_string(pair.seed),
+                pair.chaos ? std::to_string(pair.chaos_trial) : "-",
+                pair.mitigated_chain,
+                mitigation_score_text(pair.unmitigated.score),
+                mitigation_score_text(pair.mitigated.score),
+                mitigation_delta_text(pair.delta()), pair_verdict(pair),
+                pair.unmitigated.altered.live_at_end ? "1" : "0",
+                pair.mitigated.altered.live_at_end ? "1" : "0",
+                std::to_string(pair.mitigated.altered.resilience.failovers),
+                Table::num(chain_metric_or_zero(pair.mitigated.altered,
+                                                "nversion_failovers"),
+                           0),
+                std::to_string(pair.mitigated.altered.resilience.hedges_armed),
+                std::to_string(pair.mitigated.altered.resilience.hedges_won)})
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string MitigationResult::to_json() const {
+  std::ostringstream out;
+  out << "{\"layers\":{\"nversion\":" << (layers.nversion ? "true" : "false")
+      << ",\"hedging\":" << (layers.hedging ? "true" : "false")
+      << ",\"scoring\":" << (layers.scoring ? "true" : "false")
+      << "},\"improvements\":" << improvements()
+      << ",\"regressions\":" << regressions() << ",\"pairs\":[";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const MitigationPair& pair = pairs[i];
+    if (i > 0) out << ',';
+    const auto score_json = [](const SensitivityScore& score) {
+      if (score.invalid_baseline) return std::string("\"invalid\"");
+      if (score.infinite) return std::string("\"inf\"");
+      return Table::num(score.value, 6);
+    };
+    const double delta = pair.delta();
+    out << "{\"chain\":\"" << json_escape(to_string(pair.chain))
+        << "\",\"fault\":\"" << json_escape(mitigation_fault_text(pair))
+        << "\",\"chaos\":" << (pair.chaos ? "true" : "false");
+    if (pair.chaos) {
+      out << ",\"chaos_trial\":" << pair.chaos_trial
+          << ",\"schedule\":" << schedule_to_json(pair.schedule);
+    }
+    out << ",\"seed\":" << pair.seed << ",\"mitigated_chain\":\""
+        << json_escape(pair.mitigated_chain)
+        << "\",\"unmitigated_score\":" << score_json(pair.unmitigated.score)
+        << ",\"mitigated_score\":" << score_json(pair.mitigated.score)
+        << ",\"delta\":"
+        << (std::isinf(delta)
+                ? std::string(delta > 0.0 ? "\"inf\"" : "\"-inf\"")
+                : Table::num(delta, 6))
+        << ",\"verdict\":\"" << pair_verdict(pair)
+        << "\",\"unmitigated_live\":"
+        << (pair.unmitigated.altered.live_at_end ? "true" : "false")
+        << ",\"mitigated_live\":"
+        << (pair.mitigated.altered.live_at_end ? "true" : "false")
+        << ",\"failovers\":" << pair.mitigated.altered.resilience.failovers
+        << ",\"version_failovers\":"
+        << Table::num(chain_metric_or_zero(pair.mitigated.altered,
+                                           "nversion_failovers"),
+                      0)
+        << ",\"hedges_armed\":"
+        << pair.mitigated.altered.resilience.hedges_armed
+        << ",\"hedges_won\":" << pair.mitigated.altered.resilience.hedges_won
+        << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+ExperimentConfig mitigated_config(const ExperimentConfig& cell,
+                                  const MitigationLayers& layers) {
+  ExperimentConfig mitigated = cell;
+  if (layers.nversion) {
+    // The derived chain's default_params are a strict superset of the
+    // base chain's, so any chain_params overrides carry over unchanged.
+    mitigated.chain = parse_chain_name("nversion_" + to_string(cell.chain));
+  }
+  if (layers.hedging || layers.scoring) {
+    mitigated.resilience.enabled = true;
+    if (layers.hedging) mitigated.resilience.hedge.enabled = true;
+    if (layers.scoring) mitigated.resilience.score.enabled = true;
+  }
+  return mitigated;
+}
+
+MitigationResult run_mitigation_campaign(const MitigationConfig& config) {
+  const std::vector<std::uint64_t> seeds = config.seed_list();
+
+  struct PairCell {
+    ChainKind chain;
+    FaultType fault;
+    bool chaos;
+    std::size_t chaos_trial;
+    std::uint64_t seed;
+    FaultSchedule schedule;
+  };
+  std::vector<PairCell> grid;
+  grid.reserve(config.chains.size() *
+                   (config.faults.size() * seeds.size() + config.chaos_pairs));
+  for (const ChainKind chain : config.chains) {
+    for (const FaultType fault : config.faults) {
+      for (const std::uint64_t seed : seeds) {
+        grid.push_back({chain, fault, false, 0, seed, {}});
+      }
+    }
+  }
+  if (config.chaos_pairs > 0) {
+    // Chaos pairs reuse the chaos campaign's stream discipline: trial k of
+    // chain c draws its experiment seed and schedule from
+    // root.derive(c * 1'000'003 + k), so the same (seed, chain) always
+    // yields the same paired schedule regardless of jobs or chain order.
+    const ChaosGenConfig gen = adversarial_gen_for(config.base.duration);
+    const sim::Rng root(config.base.seed);
+    for (const ChainKind chain : config.chains) {
+      for (std::size_t k = 0; k < config.chaos_pairs; ++k) {
+        const std::uint64_t stream =
+            static_cast<std::uint64_t>(chain) * 1'000'003ull +
+            static_cast<std::uint64_t>(k);
+        sim::Rng rng = root.derive(stream);
+        const std::uint64_t experiment_seed = rng.next_u64();
+        grid.push_back({chain, FaultType::kNone, true, k, experiment_seed,
+                        generate_schedule(rng, gen)});
+      }
+    }
+  }
+
+  // Both twins of a pair run in the same slot: the mitigated run follows
+  // the unmitigated run of the same cell, and slots are gathered in grid
+  // order — byte-identical output for any jobs value.
+  std::vector<MitigationPair> slots(grid.size());
+  std::mutex progress_mutex;
+  ThreadPool pool(config.jobs);
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    const PairCell& cell = grid[i];
+    ExperimentConfig unmitigated = config.base;
+    unmitigated.chain = cell.chain;
+    unmitigated.seed = cell.seed;
+    // Pairs run concurrently; a sink/registry shared through base would
+    // race. Observability goes through stabl_cli's single-run path.
+    unmitigated.trace = nullptr;
+    unmitigated.metrics = nullptr;
+    if (cell.chaos) {
+      unmitigated.fault = FaultType::kNone;
+      unmitigated.fault_targets.clear();
+      unmitigated.extra_faults = cell.schedule;
+    } else {
+      unmitigated.fault = cell.fault;
+      if (cell.fault == FaultType::kSecureClient) {
+        unmitigated.client_fanout = 4;
+        unmitigated.vcpus = 8.0;
+      }
+    }
+    const ExperimentConfig mitigated =
+        mitigated_config(unmitigated, config.layers);
+
+    MitigationPair pair;
+    pair.chain = cell.chain;
+    pair.fault = cell.fault;
+    pair.chaos = cell.chaos;
+    pair.chaos_trial = cell.chaos_trial;
+    pair.seed = cell.seed;
+    pair.mitigated_chain = to_string(mitigated.chain);
+    pair.schedule = cell.schedule;
+    pair.unmitigated = run_sensitivity(unmitigated);
+    pair.mitigated = run_sensitivity(mitigated);
+    if (config.on_pair_done) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      config.on_pair_done(pair);
+    }
+    slots[i] = std::move(pair);
+  });
+
+  MitigationResult result;
+  result.layers = config.layers;
+  result.pairs = std::move(slots);
+  return result;
 }
 
 }  // namespace stabl::core

@@ -134,4 +134,105 @@ struct CampaignGate {
 std::vector<std::string> check_gate(const CampaignResult& result,
                                     const CampaignGate& gate);
 
+// ---------------------------------------------------------------------------
+// Mitigation-evaluation campaign: from measuring sensitivity to reducing it.
+//
+// Every cell of the (chain x fault x seed) grid — plus, optionally, pairs
+// drawn from the adversarial chaos plan space — runs TWICE under the same
+// seed and the same fault schedule: once as-configured (unmitigated) and
+// once with the mitigation stack applied (the nversion_<chain> meta-chain,
+// hedged submissions, endpoint scoring — each layer independently
+// switchable). The paired delta `unmitigated − mitigated` quantifies how
+// much sensitivity each mitigation removes; a fault fully masked by the
+// stack (unmitigated infinite, mitigated finite) reports +inf.
+// ---------------------------------------------------------------------------
+
+/// Which mitigation layers the mitigated twin of each pair enables.
+struct MitigationLayers {
+  /// Swap the chain for its `nversion_<chain>` meta-chain (N-version
+  /// failover masking crash/hang faults at the node level).
+  bool nversion = true;
+  /// Resilient client with hedged submissions.
+  bool hedging = true;
+  /// Resilient client with EWMA endpoint scoring steering failover.
+  bool scoring = true;
+};
+
+struct MitigationConfig {
+  /// Chains to evaluate (defaults to all five paper chains; the mitigated
+  /// twin derives its nversion_* counterpart through the registry).
+  std::vector<ChainKind> chains{kAllChains,
+                                kAllChains + std::size(kAllChains)};
+  /// Fault dimensions to pair up. Defaults to the two the nversion design
+  /// targets (process failures); any FaultType is accepted.
+  std::vector<FaultType> faults{FaultType::kCrash, FaultType::kTransient};
+  /// Template applied to both twins of every pair.
+  ExperimentConfig base{};
+  std::vector<std::uint64_t> seeds{};
+  std::size_t num_seeds = 1;
+  /// Adversarial chaos pairs per chain: schedule k of chain c is drawn
+  /// from Rng(base.seed).derive(c * 1'000'003 + k) with
+  /// adversarial_gen_for(base.duration) — the chaos campaign's stream
+  /// discipline — and both twins replay the identical schedule.
+  std::size_t chaos_pairs = 0;
+  unsigned jobs = 1;
+  MitigationLayers layers{};
+  /// Invoked after each pair completes (progress reporting); serialized
+  /// behind a mutex, completion order nondeterministic for jobs > 1.
+  std::function<void(const struct MitigationPair&)> on_pair_done;
+
+  [[nodiscard]] std::vector<std::uint64_t> seed_list() const;
+};
+
+/// One matched baseline/mitigated cell pair: same chain family, same seed,
+/// same fault schedule; only the mitigation stack differs.
+struct MitigationPair {
+  ChainKind chain = ChainKind::kRedbelly;
+  FaultType fault = FaultType::kNone;  ///< kNone for chaos rows
+  bool chaos = false;
+  std::size_t chaos_trial = 0;
+  std::uint64_t seed = 0;
+  /// Name of the chain the mitigated twin actually ran
+  /// ("nversion_redbelly", or the base name when layers.nversion is off).
+  std::string mitigated_chain;
+  /// The chaos schedule both twins replayed (empty for matrix rows).
+  FaultSchedule schedule;
+  SensitivityRun unmitigated;
+  SensitivityRun mitigated;
+
+  /// unmitigated − mitigated sensitivity. +inf when the mitigation masked
+  /// a liveness loss, -inf when it *introduced* one, 0 when both twins
+  /// lost liveness or either baseline was invalid.
+  [[nodiscard]] double delta() const;
+  /// Strict improvement: the mitigation stack reduced sensitivity.
+  [[nodiscard]] bool improved() const;
+};
+
+struct MitigationResult {
+  MitigationLayers layers;
+  /// Matrix pairs first (chain-major, fault, seed order), then chaos pairs
+  /// (chain-major, trial order) — deterministic for any jobs value.
+  std::vector<MitigationPair> pairs;
+
+  [[nodiscard]] std::size_t improvements() const;
+  [[nodiscard]] std::size_t regressions() const;
+  /// Human-readable paired sensitivity-delta table.
+  [[nodiscard]] std::string delta_table() const;
+  /// Machine-readable delta table. Byte-identical for any jobs value.
+  [[nodiscard]] std::string delta_csv() const;
+  /// Full campaign as JSON. Byte-identical for any jobs value.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The mitigated twin of a cell config: chain swapped for its nversion
+/// meta-chain and/or the resilient-client hedging/scoring knobs enabled,
+/// per `layers`. Everything else (seed, faults, workload, duration, chain
+/// parameter overrides) is carried verbatim.
+ExperimentConfig mitigated_config(const ExperimentConfig& cell,
+                                  const MitigationLayers& layers);
+
+/// Run the paired campaign across config.jobs threads. Deterministic:
+/// delta_csv()/to_json() are byte-identical for any jobs value.
+MitigationResult run_mitigation_campaign(const MitigationConfig& config);
+
 }  // namespace stabl::core

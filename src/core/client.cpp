@@ -1,5 +1,6 @@
 #include "core/client.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -13,7 +14,8 @@ ClientMachine::ClientMachine(sim::Simulation& simulation,
       net_(network), rng_(simulation.rng().fork()) {
   assert(!config_.endpoints.empty());
   if (config_.resilience.enabled) {
-    failover_.emplace(config_.endpoints, config_.resilience.breaker);
+    failover_.emplace(config_.endpoints, config_.resilience.breaker,
+                      config_.resilience.score);
   } else {
     assert(config_.endpoints.size() <= 32);  // ack_mask is 32-bit
   }
@@ -94,6 +96,66 @@ void ClientMachine::submit_attempt(chain::TxId id) {
             std::make_shared<const chain::SubmitTxPayload>(pending.tx), 192);
   reset_timer(pending.timer, config_.resilience.retry.commit_timeout,
               [this, id] { on_commit_timeout(id); });
+  arm_hedge(pending, id);
+}
+
+void ClientMachine::arm_hedge(Pending& pending, chain::TxId id) {
+  if (!config_.resilience.hedge.enabled) return;
+  if (config_.endpoints.size() < 2) return;  // nowhere to hedge to
+  cancel_hedge(pending);  // a re-arm replaces the previous attempt's hedge
+  pending.hedge_timer =
+      set_timer(hedge_delay(), [this, id] { on_hedge_timeout(id); });
+  ++stats_.hedges_armed;
+}
+
+void ClientMachine::on_hedge_timeout(chain::TxId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.hedge_timer = sim::kInvalidTimer;
+  const std::optional<net::NodeId> target =
+      failover_->hedge_target(pending.endpoint, now());
+  if (!target.has_value()) return;
+  pending.hedged = true;
+  pending.hedge_endpoint = *target;
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(this->id()), now(), "hedge",
+                   "txn",
+                   "\"endpoint\":" + std::to_string(*target) +
+                       ",\"attempt\":" + std::to_string(pending.attempts));
+  }
+  // The hedged copy is not a retry: attempts and resubmissions stay put,
+  // and the commit timer keeps running on the original attempt. The chain
+  // mempool deduplicates the double execution.
+  net_.send(this->id(), *target,
+            std::make_shared<const chain::SubmitTxPayload>(pending.tx), 192);
+}
+
+void ClientMachine::cancel_hedge(Pending& pending) {
+  if (pending.hedge_timer == sim::kInvalidTimer) return;
+  cancel_timer(pending.hedge_timer);
+  pending.hedge_timer = sim::kInvalidTimer;
+}
+
+sim::Duration ClientMachine::hedge_delay() const {
+  const HedgePolicy& hedge = config_.resilience.hedge;
+  if (hedge_latencies_.empty()) return hedge.max_delay;
+  std::vector<double> sorted = hedge_latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      hedge.percentile * static_cast<double>(sorted.size() - 1));
+  return std::clamp(sim::seconds(sorted[rank]), hedge.min_delay,
+                    hedge.max_delay);
+}
+
+void ClientMachine::record_commit_latency(double seconds) {
+  constexpr std::size_t kWindow = 64;
+  if (hedge_latencies_.size() < kWindow) {
+    hedge_latencies_.push_back(seconds);
+    return;
+  }
+  hedge_latencies_[hedge_latency_next_] = seconds;
+  hedge_latency_next_ = (hedge_latency_next_ + 1) % kWindow;
 }
 
 void ClientMachine::on_commit_timeout(chain::TxId id) {
@@ -101,6 +163,7 @@ void ClientMachine::on_commit_timeout(chain::TxId id) {
   if (it == pending_.end()) return;
   Pending& pending = it->second;
   pending.timer = sim::kInvalidTimer;
+  cancel_hedge(pending);  // the next attempt re-arms its own hedge
   ++stats_.timeouts;
   if (auto* trace = simulation().trace()) {
     trace->instant(static_cast<std::int32_t>(this->id()), now(),
@@ -148,6 +211,7 @@ void ClientMachine::on_endpoint_reset(net::NodeId endpoint) {
     }
     cancel_timer(pending.timer);
     pending.timer = sim::kInvalidTimer;
+    cancel_hedge(pending);
     if (pending.attempts >= config_.resilience.retry.max_attempts) {
       abandoned.push_back(id);
       continue;
@@ -184,7 +248,17 @@ void ClientMachine::handle_resilient(const net::Envelope& envelope) {
   }
   Pending& pending = it->second;
   if (pending.timer != sim::kInvalidTimer) cancel_timer(pending.timer);
+  if (pending.hedge_timer != sim::kInvalidTimer) {
+    cancel_hedge(pending);
+    ++stats_.hedges_cancelled;  // the commit beat the hedge timer
+  }
+  if (pending.hedged && envelope.from == pending.hedge_endpoint) {
+    ++stats_.hedges_won;
+  }
   failover_->on_success(envelope.from);
+  const double latency_s = sim::to_seconds(now() - pending.submitted_at);
+  failover_->note_latency(envelope.from, latency_s);
+  if (config_.resilience.hedge.enabled) record_commit_latency(latency_s);
   if (pending.attempts > 1) ++stats_.recovered;
   accept(notify->id, pending, notify->result_hash);
   pending_.erase(it);

@@ -121,6 +121,13 @@ class ClientMachine final : public sim::Process,
   [[nodiscard]] std::size_t open_breakers() const {
     return failover_.has_value() ? failover_->open_breakers() : 0;
   }
+  /// EWMA score of endpoint `index` (0.0 when scoring is off or the index
+  /// is out of range) — the per-endpoint trajectory gauge samples this.
+  [[nodiscard]] double endpoint_score(std::size_t index) const {
+    if (!failover_.has_value() || failover_->scorer() == nullptr) return 0.0;
+    const EndpointScorer& scorer = *failover_->scorer();
+    return index < scorer.size() ? scorer.score(index) : 0.0;
+  }
 
  protected:
   void on_start() final;
@@ -155,8 +162,22 @@ class ClientMachine final : public sim::Process,
     net::NodeId endpoint = 0;    // target of the current attempt
     int attempts = 0;            // submissions sent so far
     sim::TimerId timer = 0;      // commit timeout or pending resubmit
+    // Hedging (HedgePolicy.enabled only):
+    sim::TimerId hedge_timer = 0;   // armed hedge, waiting to fire
+    net::NodeId hedge_endpoint = 0;  // target of the fired hedge
+    bool hedged = false;             // a hedged copy was sent
   };
   void accept(chain::TxId id, Pending& pending, std::uint64_t hash);
+  /// Arm (or re-arm) the hedge timer for the current attempt.
+  void arm_hedge(Pending& pending, chain::TxId id);
+  void on_hedge_timeout(chain::TxId id);
+  /// Silently disarm a pending hedge (attempt recycled or abandoned; only
+  /// a commit beating the timer counts as "cancelled" in the stats).
+  void cancel_hedge(Pending& pending);
+  /// Current hedge delay: the configured percentile of the recent commit
+  /// latency window, clamped to [min_delay, max_delay].
+  [[nodiscard]] sim::Duration hedge_delay() const;
+  void record_commit_latency(double seconds);
 
   std::unordered_map<chain::TxId, Pending> pending_;
   std::vector<double> latencies_;
@@ -167,6 +188,10 @@ class ClientMachine final : public sim::Process,
   std::optional<EndpointFailover> failover_;
   sim::Rng rng_;
   ResilienceStats stats_;
+  // Hedging only: bounded window of recent commit latencies (seconds)
+  // backing the percentile hedge delay.
+  std::vector<double> hedge_latencies_;
+  std::size_t hedge_latency_next_ = 0;
 };
 
 }  // namespace stabl::core

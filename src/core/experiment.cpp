@@ -8,6 +8,7 @@
 #include "chains/algorand/algorand.hpp"
 #include "chains/aptos/aptos.hpp"
 #include "chains/avalanche/avalanche.hpp"
+#include "chains/nversion/nversion.hpp"
 #include "chains/redbelly/redbelly.hpp"
 #include "chains/solana/solana.hpp"
 #include "core/arrivals.hpp"
@@ -45,6 +46,16 @@ void apply_legacy_tuning(const ChainTuning& tuning,
   }
 }
 
+/// The merged parameter map the cluster factory and any chain services
+/// see: declared defaults, scenario overrides, then legacy tuning.
+chain::ChainParams merged_chain_params(const ExperimentConfig& config) {
+  const chain::ChainTraits& traits = chain_traits(config.chain);
+  chain::ChainParams params =
+      chain::merge_params(traits, config.chain_params);
+  apply_legacy_tuning(config.tuning, params);
+  return params;
+}
+
 std::vector<std::unique_ptr<chain::BlockchainNode>> make_chain_nodes(
     const ExperimentConfig& config, sim::Simulation& simulation,
     net::Network& network) {
@@ -53,10 +64,8 @@ std::vector<std::unique_ptr<chain::BlockchainNode>> make_chain_nodes(
   node_config.vcpus = config.vcpus;
   node_config.network_seed = chain::mix64(config.seed);
   const chain::ChainTraits& traits = chain_traits(config.chain);
-  chain::ChainParams params =
-      chain::merge_params(traits, config.chain_params);
-  apply_legacy_tuning(config.tuning, params);
-  return traits.make_cluster(simulation, network, node_config, params);
+  return traits.make_cluster(simulation, network, node_config,
+                             merged_chain_params(config));
 }
 
 /// Paper default fault size: t for crash-style faults, t+1 for the
@@ -110,6 +119,7 @@ const chain::Registry& chain_registry() {
     avalanche::ensure_registered();
     redbelly::ensure_registered();
     solana::ensure_registered();
+    nversion::ensure_registered();
     return chain::Registry::global();
   }();
   return registry;
@@ -272,6 +282,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                       std::move(client_ids));
   observers.arm(resolved_schedule(config));
 
+  // Chain-scoped services (e.g. the nversion failover monitors) run next
+  // to the cluster, with ProcessIds continuing after the clients'. Most
+  // chains declare none, and this costs nothing.
+  std::vector<std::unique_ptr<chain::ChainService>> services;
+  {
+    const chain::ChainTraits& traits = chain_traits(config.chain);
+    if (traits.make_services) {
+      services = traits.make_services(
+          simulation, node_ptrs,
+          static_cast<sim::ProcessId>(config.n + config.clients),
+          merged_chain_params(config));
+    }
+  }
+  for (auto& service : services) service->start();
+
   // Metrics ride the clock-observer hook, never the event queue, so a
   // sampled run executes exactly the same events as an unsampled one.
   std::optional<MetricsTicker> ticker;
@@ -322,6 +347,42 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
       return open;
     });
+    // Mitigation-layer probes are only registered when the layer is on,
+    // so pre-existing --metrics outputs stay byte-identical.
+    if (config.resilience.enabled && config.resilience.hedge.enabled) {
+      registry.add_counter("hedges_armed", [&clients] {
+        double armed = 0.0;
+        for (const auto& client : clients) {
+          armed += static_cast<double>(client->resilience_stats().hedges_armed);
+        }
+        return armed;
+      });
+      registry.add_counter("hedges_won", [&clients] {
+        double won = 0.0;
+        for (const auto& client : clients) {
+          won += static_cast<double>(client->resilience_stats().hedges_won);
+        }
+        return won;
+      });
+      registry.add_counter("hedges_cancelled", [&clients] {
+        double cancelled = 0.0;
+        for (const auto& client : clients) {
+          cancelled +=
+              static_cast<double>(client->resilience_stats().hedges_cancelled);
+        }
+        return cancelled;
+      });
+    }
+    if (config.resilience.enabled && config.resilience.score.enabled) {
+      // Score trajectory of the first client's endpoints: one gauge per
+      // endpoint, sampled on the shared metrics grid.
+      for (std::size_t k = 0; k < entry_nodes; ++k) {
+        registry.add_gauge("endpoint_score_" + std::to_string(k),
+                           [&clients, k] {
+                             return clients.front()->endpoint_score(k);
+                           });
+      }
+    }
     ticker.emplace(registry, config.metrics_period, config.trace);
     simulation.set_time_observer(&*ticker);
   }
@@ -377,6 +438,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     // reports/bans, ...). Zero values are elided so benign-run reports
     // stay byte-identical to builds that predate the adversarial family.
     for (const auto& [key, value] : node->adversarial_metrics()) {
+      if (value != 0.0) result.chain_metrics[key] += value;
+    }
+  }
+  // Service counters (failovers, heartbeat misses) use the same
+  // elide-when-zero discipline as the adversarial metrics.
+  for (const auto& service : services) {
+    for (const auto& [key, value] : service->metrics()) {
       if (value != 0.0) result.chain_metrics[key] += value;
     }
   }

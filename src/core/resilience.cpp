@@ -52,14 +52,57 @@ bool CircuitBreaker::on_failure(sim::Time now) {
   return false;
 }
 
+EndpointScorer::EndpointScorer(std::size_t endpoints,
+                               EndpointScorePolicy policy)
+    : policy_(policy), scores_(endpoints, 0.0) {}
+
+void EndpointScorer::on_latency(std::size_t index, double seconds) {
+  scores_[index] =
+      (1.0 - policy_.alpha) * scores_[index] + policy_.alpha * seconds;
+}
+
+void EndpointScorer::on_failure(std::size_t index) {
+  scores_[index] = (1.0 - policy_.alpha) * scores_[index] +
+                   policy_.alpha * policy_.failure_penalty_s;
+}
+
+std::size_t EndpointScorer::best(
+    const std::vector<std::size_t>& allowed) const {
+  assert(!allowed.empty());
+  std::size_t best_index = allowed.front();
+  for (const std::size_t index : allowed) {
+    if (scores_[index] < scores_[best_index]) best_index = index;
+  }
+  return best_index;
+}
+
 EndpointFailover::EndpointFailover(std::vector<net::NodeId> candidates,
-                                   CircuitBreakerPolicy policy)
+                                   CircuitBreakerPolicy policy,
+                                   EndpointScorePolicy score)
     : candidates_(std::move(candidates)) {
   assert(!candidates_.empty());
   breakers_.resize(candidates_.size(), CircuitBreaker{policy});
+  if (score.enabled) scorer_.emplace(candidates_.size(), score);
 }
 
 net::NodeId EndpointFailover::select(sim::Time now) {
+  if (scorer_.has_value()) {
+    // Scored selection: stay on an admissible primary (stability beats a
+    // marginally better score), otherwise fail over to the best-scored
+    // admissible candidate rather than the next one in rotation.
+    if (breakers_[primary_].allow(now)) return candidates_[primary_];
+    std::vector<std::size_t> allowed;
+    allowed.reserve(candidates_.size());
+    for (std::size_t index = 0; index < candidates_.size(); ++index) {
+      if (index != primary_ && breakers_[index].allow(now)) {
+        allowed.push_back(index);
+      }
+    }
+    if (allowed.empty()) return candidates_[primary_];
+    primary_ = scorer_->best(allowed);
+    ++failovers_;
+    return candidates_[primary_];
+  }
   for (std::size_t k = 0; k < candidates_.size(); ++k) {
     const std::size_t index = (primary_ + k) % candidates_.size();
     if (!breakers_[index].allow(now)) continue;
@@ -73,11 +116,39 @@ net::NodeId EndpointFailover::select(sim::Time now) {
 }
 
 bool EndpointFailover::on_failure(net::NodeId id, sim::Time now) {
-  return breakers_[index_of(id)].on_failure(now);
+  const std::size_t index = index_of(id);
+  if (scorer_.has_value()) scorer_->on_failure(index);
+  return breakers_[index].on_failure(now);
 }
 
 void EndpointFailover::on_success(net::NodeId id) {
   breakers_[index_of(id)].on_success();
+}
+
+void EndpointFailover::note_latency(net::NodeId id, double seconds) {
+  if (scorer_.has_value()) scorer_->on_latency(index_of(id), seconds);
+}
+
+std::optional<net::NodeId> EndpointFailover::hedge_target(net::NodeId exclude,
+                                                          sim::Time now) {
+  if (scorer_.has_value()) {
+    std::vector<std::size_t> allowed;
+    allowed.reserve(candidates_.size());
+    for (std::size_t index = 0; index < candidates_.size(); ++index) {
+      if (candidates_[index] != exclude && breakers_[index].allow(now)) {
+        allowed.push_back(index);
+      }
+    }
+    if (allowed.empty()) return std::nullopt;
+    return candidates_[scorer_->best(allowed)];
+  }
+  for (std::size_t k = 1; k < candidates_.size() + 1; ++k) {
+    const std::size_t index = (primary_ + k) % candidates_.size();
+    if (candidates_[index] == exclude) continue;
+    if (!breakers_[index].allow(now)) continue;
+    return candidates_[index];
+  }
+  return std::nullopt;
 }
 
 const CircuitBreaker& EndpointFailover::breaker(net::NodeId id) const {
@@ -107,6 +178,9 @@ ResilienceStats& ResilienceStats::operator+=(const ResilienceStats& other) {
   recovered += other.recovered;
   exhausted += other.exhausted;
   duplicate_commits += other.duplicate_commits;
+  hedges_armed += other.hedges_armed;
+  hedges_won += other.hedges_won;
+  hedges_cancelled += other.hedges_cancelled;
   return *this;
 }
 

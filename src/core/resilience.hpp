@@ -13,9 +13,14 @@
 //    consecutive timeouts and probes it for recovery (half-open state);
 //  * resubmission bookkeeping so the observer can report lost vs.
 //    recovered vs. duplicate-committed transactions per run.
+//  * hedged submissions: instead of waiting out the full commit timeout,
+//    arm a second endpoint once the observed latency percentile elapses;
+//  * an EWMA endpoint scorer steering failover (and hedge) target choice
+//    toward the endpoints that have actually been answering fastest.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/message.hpp"
@@ -74,12 +79,66 @@ class CircuitBreaker {
   sim::Time open_until_{0};
 };
 
+/// Hedged submissions ("The Tail at Scale" defence): when a commit takes
+/// longer than the recent `percentile` latency, send the transaction to a
+/// second endpoint instead of waiting for the full commit timeout. The
+/// first commit wins; the loser is a cheap duplicate the mempool dedups.
+struct HedgePolicy {
+  bool enabled = false;
+  /// Latency percentile of recently observed commits at which the hedge
+  /// fires.
+  double percentile = 0.95;
+  /// Clamp on the hedge delay, so a streak of fast commits cannot turn
+  /// every submission into an instant double-send.
+  sim::Duration min_delay = sim::ms(250);
+  /// Clamp on the hedge delay; also the delay used before any commit has
+  /// been observed.
+  sim::Duration max_delay = sim::sec(8);
+};
+
+/// EWMA endpoint scoring: score = (1 - alpha) * score + alpha * observed
+/// cost, where cost is the commit latency in seconds, or failure_penalty_s
+/// for a timeout/reset. Lower is better; unprobed endpoints score 0 so the
+/// client still explores them.
+struct EndpointScorePolicy {
+  bool enabled = false;
+  /// Weight of the newest observation.
+  double alpha = 0.3;
+  /// Seconds-equivalent cost blended in per failure (a timeout should
+  /// outweigh many slow-but-successful commits).
+  double failure_penalty_s = 30.0;
+};
+
+class EndpointScorer {
+ public:
+  EndpointScorer(std::size_t endpoints, EndpointScorePolicy policy);
+
+  void on_latency(std::size_t index, double seconds);
+  void on_failure(std::size_t index);
+
+  [[nodiscard]] double score(std::size_t index) const {
+    return scores_[index];
+  }
+  [[nodiscard]] std::size_t size() const { return scores_.size(); }
+
+  /// Index with the lowest score among `allowed` (ties -> lowest index).
+  /// Requires a non-empty candidate list.
+  [[nodiscard]] std::size_t best(const std::vector<std::size_t>& allowed) const;
+
+ private:
+  EndpointScorePolicy policy_;
+  std::vector<double> scores_;
+};
+
 /// Rotates a client's primary endpoint through a candidate list, skipping
-/// quarantined endpoints via per-endpoint circuit breakers.
+/// quarantined endpoints via per-endpoint circuit breakers. With scoring
+/// enabled, failover picks the best-scored admissible endpoint instead of
+/// the next one in rotation.
 class EndpointFailover {
  public:
   EndpointFailover(std::vector<net::NodeId> candidates,
-                   CircuitBreakerPolicy policy);
+                   CircuitBreakerPolicy policy,
+                   EndpointScorePolicy score = {});
 
   /// Endpoint to submit to now: the current primary when its breaker
   /// admits traffic, else the next admissible candidate (the primary moves
@@ -91,17 +150,31 @@ class EndpointFailover {
   /// Returns true when the endpoint's breaker newly opened.
   bool on_failure(net::NodeId id, sim::Time now);
   void on_success(net::NodeId id);
+  /// Feed an observed commit latency to the scorer (no-op when scoring is
+  /// off).
+  void note_latency(net::NodeId id, double seconds);
+  /// A second endpoint for a hedged submission: admissible, different from
+  /// `exclude`; best-scored when scoring is on, else the next candidate in
+  /// rotation. Does not move the primary. nullopt when no other endpoint
+  /// is admissible.
+  [[nodiscard]] std::optional<net::NodeId> hedge_target(net::NodeId exclude,
+                                                        sim::Time now);
   [[nodiscard]] const CircuitBreaker& breaker(net::NodeId id) const;
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
   /// Breakers currently not closed (open or half-open) — the gauge the
   /// metrics registry samples.
   [[nodiscard]] std::size_t open_breakers() const;
+  /// The scorer, when scoring is enabled; nullptr otherwise.
+  [[nodiscard]] const EndpointScorer* scorer() const {
+    return scorer_.has_value() ? &*scorer_ : nullptr;
+  }
 
  private:
   [[nodiscard]] std::size_t index_of(net::NodeId id) const;
 
   std::vector<net::NodeId> candidates_;
   std::vector<CircuitBreaker> breakers_;
+  std::optional<EndpointScorer> scorer_;
   std::size_t primary_ = 0;
   std::uint64_t failovers_ = 0;
 };
@@ -110,6 +183,8 @@ struct ResilienceConfig {
   bool enabled = false;
   RetryPolicy retry{};
   CircuitBreakerPolicy breaker{};
+  HedgePolicy hedge{};
+  EndpointScorePolicy score{};
 };
 
 /// Resubmission bookkeeping, per client (summed per run by the harness).
@@ -122,6 +197,9 @@ struct ResilienceStats {
   std::uint64_t recovered = 0;       // committed after >= 1 resubmission
   std::uint64_t exhausted = 0;       // abandoned after max_attempts
   std::uint64_t duplicate_commits = 0;  // notifications after acceptance
+  std::uint64_t hedges_armed = 0;     // hedge timers armed
+  std::uint64_t hedges_won = 0;       // commits answered by the hedge
+  std::uint64_t hedges_cancelled = 0;  // commit beat the hedge timer
 
   ResilienceStats& operator+=(const ResilienceStats& other);
 };

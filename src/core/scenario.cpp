@@ -96,6 +96,20 @@ std::string validate_scenario(const ScenarioSpec& spec) {
   } else if (!(spec.commit_timeout_s > 0.0)) {
     error << "\"commit_timeout_s\" must be > 0 (got "
           << fmt_double(spec.commit_timeout_s) << ")";
+  } else if (spec.hedge && !spec.resilient) {
+    error << "\"hedge\" needs \"resilient\": true";
+  } else if (spec.endpoint_scoring && !spec.resilient) {
+    error << "\"endpoint_scoring\" needs \"resilient\": true";
+  } else if (!(spec.hedge_percentile > 0.0) || spec.hedge_percentile > 1.0) {
+    error << "\"hedge_percentile\" must be in (0, 1] (got "
+          << fmt_double(spec.hedge_percentile) << ")";
+  } else if (!(spec.hedge_min_delay_s > 0.0)) {
+    error << "\"hedge_min_delay_s\" must be > 0 (got "
+          << fmt_double(spec.hedge_min_delay_s) << ")";
+  } else if (spec.hedge_max_delay_s < spec.hedge_min_delay_s) {
+    error << "\"hedge_max_delay_s\" must be >= \"hedge_min_delay_s\" (got "
+          << fmt_double(spec.hedge_max_delay_s) << " < "
+          << fmt_double(spec.hedge_min_delay_s) << ")";
   } else if (spec.workload != "constant" && spec.workload != "bursty" &&
              spec.workload != "ramp") {
     error << "\"workload\" must be constant, bursty or ramp (got \""
@@ -205,6 +219,21 @@ std::string scenario_to_json(const ScenarioSpec& spec) {
   close();
   field("commit_timeout_s");
   out += fmt_double(spec.commit_timeout_s);
+  close();
+  field("hedge");
+  out += spec.hedge ? "true" : "false";
+  close();
+  field("hedge_percentile");
+  out += fmt_double(spec.hedge_percentile);
+  close();
+  field("hedge_min_delay_s");
+  out += fmt_double(spec.hedge_min_delay_s);
+  close();
+  field("hedge_max_delay_s");
+  out += fmt_double(spec.hedge_max_delay_s);
+  close();
+  field("endpoint_scoring");
+  out += spec.endpoint_scoring ? "true" : "false";
   close();
   field("chaos_trials");
   out += std::to_string(spec.chaos_trials);
@@ -316,6 +345,16 @@ ScenarioSpec scenario_from_json(const std::string& json) {
       spec.resilient = parse_bool(cursor);
     } else if (key == "commit_timeout_s") {
       spec.commit_timeout_s = cursor.parse_number();
+    } else if (key == "hedge") {
+      spec.hedge = parse_bool(cursor);
+    } else if (key == "hedge_percentile") {
+      spec.hedge_percentile = cursor.parse_number();
+    } else if (key == "hedge_min_delay_s") {
+      spec.hedge_min_delay_s = cursor.parse_number();
+    } else if (key == "hedge_max_delay_s") {
+      spec.hedge_max_delay_s = cursor.parse_number();
+    } else if (key == "endpoint_scoring") {
+      spec.endpoint_scoring = parse_bool(cursor);
     } else if (key == "chaos_trials") {
       spec.chaos_trials = parse_integer(cursor, key);
     } else if (key == "shrink") {
@@ -390,6 +429,11 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   config.resilience.enabled = spec.resilient;
   config.resilience.retry.commit_timeout =
       sim::seconds(spec.commit_timeout_s);
+  config.resilience.hedge.enabled = spec.hedge;
+  config.resilience.hedge.percentile = spec.hedge_percentile;
+  config.resilience.hedge.min_delay = sim::seconds(spec.hedge_min_delay_s);
+  config.resilience.hedge.max_delay = sim::seconds(spec.hedge_max_delay_s);
+  config.resilience.score.enabled = spec.endpoint_scoring;
   // The §7 secure-client geometry: t_B+1 = 4 endpoints, 8-vCPU VMs.
   if (config.fault == FaultType::kSecureClient &&
       config.client_fanout == 1) {

@@ -57,6 +57,15 @@ struct ScenarioSpec {
   double vcpus = 4.0;
   bool resilient = false;
   double commit_timeout_s = 10.0;
+  /// Hedged submissions (needs resilient): arm a second endpoint after the
+  /// observed hedge_percentile commit latency instead of waiting out the
+  /// full commit timeout.
+  bool hedge = false;
+  double hedge_percentile = 0.95;
+  double hedge_min_delay_s = 0.25;
+  double hedge_max_delay_s = 8.0;
+  /// EWMA endpoint scoring steering failover order (needs resilient).
+  bool endpoint_scoring = false;
   std::int64_t chaos_trials = 0;
   bool shrink = false;
   /// Chaos campaigns sample the adversarial plan space too (equivocate,

@@ -30,8 +30,17 @@ void append_result_json(std::ostringstream& out, const char* name,
       << ",\"recovered\":" << result.resilience.recovered
       << ",\"duplicate_commits\":" << result.resilience.duplicate_commits
       << ",\"resubmissions\":" << result.resilience.resubmissions
-      << ",\"failovers\":" << result.resilience.failovers
-      << ",\"throughput\":[";
+      << ",\"failovers\":" << result.resilience.failovers;
+  // Hedging fields are elided when all-zero so pre-hedging reports (and
+  // the checked-in baseline artifacts) stay byte-identical.
+  if (result.resilience.hedges_armed != 0 ||
+      result.resilience.hedges_won != 0 ||
+      result.resilience.hedges_cancelled != 0) {
+    out << ",\"hedges_armed\":" << result.resilience.hedges_armed
+        << ",\"hedges_won\":" << result.resilience.hedges_won
+        << ",\"hedges_cancelled\":" << result.resilience.hedges_cancelled;
+  }
+  out << ",\"throughput\":[";
   for (std::size_t i = 0; i < result.throughput.size(); ++i) {
     if (i > 0) out << ',';
     out << Table::num(result.throughput[i], 0);

@@ -1,8 +1,9 @@
 // The chain plugin registry (chain/registry.hpp): deterministic id
 // assignment, registry-backed name parsing and dispatch, strict parameter
 // merging — and the seam itself, proven by RefBFT, the tier-1 reference
-// chain that only this binary links. With it linked the registry holds six
-// chains and a full experiment runs on the sixth, without any core file
+// chain that only this binary links. With it linked the registry holds the
+// five paper chains, their five derived nversion meta-chains, and refbft —
+// and a full experiment runs on the extension chain without any core file
 // knowing it exists.
 #include <gtest/gtest.h>
 
@@ -25,17 +26,20 @@ const chain::Registry& registry() {
 
 // ------------------------------------------------------ id determinism
 
-TEST(Registry, PaperChainsKeepHistoricalIdsRefbftFollows) {
+TEST(Registry, PaperChainsKeepHistoricalIdsExtensionsFollow) {
   const chain::Registry& reg = registry();
-  ASSERT_EQ(reg.size(), 6u);
+  // 5 paper chains + the 5 derived nversion meta-chains + refbft.
+  ASSERT_EQ(reg.size(), 11u);
   // Tier 0 alphabetical = the historical ChainKind enum values.
   EXPECT_EQ(reg.id_of("algorand"), 0u);
   EXPECT_EQ(reg.id_of("aptos"), 1u);
   EXPECT_EQ(reg.id_of("avalanche"), 2u);
   EXPECT_EQ(reg.id_of("redbelly"), 3u);
   EXPECT_EQ(reg.id_of("solana"), 4u);
-  // Extensions (tier 1) sort after every paper chain.
-  EXPECT_EQ(reg.id_of("refbft"), 5u);
+  // Extensions (tier 1) sort after every paper chain, alphabetically.
+  EXPECT_EQ(reg.id_of("nversion_algorand"), 5u);
+  EXPECT_EQ(reg.id_of("nversion_solana"), 9u);
+  EXPECT_EQ(reg.id_of("refbft"), 10u);
 }
 
 TEST(Registry, IterationOrderIsIdOrder) {
@@ -46,10 +50,14 @@ TEST(Registry, IterationOrderIsIdOrder) {
     EXPECT_EQ(ids[i], static_cast<chain::ChainId>(i));
   }
   EXPECT_EQ(reg.names(),
-            (std::vector<std::string>{"algorand", "aptos", "avalanche",
-                                      "redbelly", "solana", "refbft"}));
+            (std::vector<std::string>{
+                "algorand", "aptos", "avalanche", "redbelly", "solana",
+                "nversion_algorand", "nversion_aptos", "nversion_avalanche",
+                "nversion_redbelly", "nversion_solana", "refbft"}));
   EXPECT_EQ(reg.names_csv(),
-            "algorand, aptos, avalanche, redbelly, solana, refbft");
+            "algorand, aptos, avalanche, redbelly, solana, "
+            "nversion_algorand, nversion_aptos, nversion_avalanche, "
+            "nversion_redbelly, nversion_solana, refbft");
 }
 
 TEST(Registry, RegistrationAfterFinalizeThrows) {
@@ -148,17 +156,32 @@ TEST(Registry, TolerancesMatchThePaperFormulas) {
 
 TEST(Registry, OracleExemptionsComeFromTraits) {
   // The chains own their documented loss modes now; the oracle's defaults
-  // are assembled from the registry.
+  // are assembled from the registry. Derived nversion chains inherit the
+  // base chain's exemptions and add 3 failover-window ones of their own.
+  const chain::Registry& reg = registry();
   const auto exemptions = core::default_exemptions();
   std::size_t avalanche = 0;
   std::size_t solana = 0;
+  std::size_t nversion_avalanche = 0;
+  std::size_t nversion_redbelly = 0;
   for (const auto& exemption : exemptions) {
     if (exemption.chain == core::ChainKind::kAvalanche) ++avalanche;
     if (exemption.chain == core::ChainKind::kSolana) ++solana;
+    if (exemption.chain ==
+        core::chain_kind(reg.id_of("nversion_avalanche"))) {
+      ++nversion_avalanche;
+    }
+    if (exemption.chain == core::chain_kind(reg.id_of("nversion_redbelly"))) {
+      ++nversion_redbelly;
+    }
   }
   EXPECT_EQ(avalanche, 7u);
   EXPECT_EQ(solana, 5u);
-  EXPECT_EQ(exemptions.size(), avalanche + solana);
+  EXPECT_EQ(nversion_avalanche, 7u + 3u);  // inherited + failover windows
+  EXPECT_EQ(nversion_redbelly, 3u);        // redbelly itself exempts nothing
+  // avalanche 7 + solana 5, their nversion twins +3 each, and +3 for each
+  // of the three chains with no exemptions of their own.
+  EXPECT_EQ(exemptions.size(), 7u + 5u + 10u + 8u + 3u * 3u);
 }
 
 // ------------------------------------------------- the seam, end to end

@@ -81,6 +81,65 @@ TEST(CircuitBreaker, SuccessResetsFailureCount) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
+TEST(EndpointScorer, EwmaBlendsLatencyAndFailures) {
+  EndpointScorePolicy policy;
+  policy.enabled = true;
+  policy.alpha = 0.5;
+  policy.failure_penalty_s = 10.0;
+  EndpointScorer scorer(3, policy);
+  EXPECT_DOUBLE_EQ(scorer.score(0), 0.0);  // unprobed = optimistic
+
+  scorer.on_latency(0, 2.0);  // 0.5*0 + 0.5*2
+  EXPECT_DOUBLE_EQ(scorer.score(0), 1.0);
+  scorer.on_latency(0, 2.0);  // 0.5*1 + 0.5*2
+  EXPECT_DOUBLE_EQ(scorer.score(0), 1.5);
+  scorer.on_failure(1);  // 0.5*0 + 0.5*10
+  EXPECT_DOUBLE_EQ(scorer.score(1), 5.0);
+
+  // Lowest score wins; ties resolve to the lowest index.
+  EXPECT_EQ(scorer.best({0, 1, 2}), 2u);  // 2 never probed, score 0
+  EXPECT_EQ(scorer.best({0, 1}), 0u);
+  scorer.on_latency(2, 8.0);
+  EXPECT_EQ(scorer.best({0, 1, 2}), 0u);
+}
+
+TEST(EndpointFailover, ScoringSteersFailoverToTheBestEndpoint) {
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 1;
+  breaker.open_duration = sim::sec(100);
+  EndpointScorePolicy score;
+  score.enabled = true;
+  score.alpha = 1.0;  // score = last observation, keeps the test exact
+  EndpointFailover failover({5, 6, 7}, breaker, score);
+
+  // Endpoint 7 has been answering fastest.
+  failover.note_latency(6, 4.0);
+  failover.note_latency(7, 0.5);
+  EXPECT_EQ(failover.select(sim::sec(0)), 5u);  // healthy primary stays
+
+  // Primary dies: scored failover jumps straight to 7, skipping the
+  // rotation order's next-in-line 6.
+  failover.on_failure(5, sim::sec(1));
+  EXPECT_EQ(failover.select(sim::sec(2)), 7u);
+  EXPECT_EQ(failover.failovers(), 1u);
+}
+
+TEST(EndpointFailover, HedgeTargetAvoidsTheExcludedEndpoint) {
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 1;
+  breaker.open_duration = sim::sec(100);
+  EndpointFailover failover({5, 6, 7}, breaker);
+
+  const auto target = failover.hedge_target(5, sim::sec(0));
+  ASSERT_TRUE(target.has_value());
+  EXPECT_NE(*target, 5u);
+
+  // Quarantine everything but the excluded endpoint: no hedge possible.
+  failover.on_failure(6, sim::sec(1));
+  failover.on_failure(7, sim::sec(2));
+  EXPECT_FALSE(failover.hedge_target(5, sim::sec(3)).has_value());
+}
+
 TEST(EndpointFailover, RotatesAwayFromQuarantinedEndpoints) {
   CircuitBreakerPolicy policy;
   policy.failure_threshold = 1;  // open on the first failure
@@ -166,6 +225,48 @@ TEST(ResilientClient, NoFaultMeansNoRetries) {
   EXPECT_EQ(result.resilience.exhausted, 0u);
   EXPECT_GE(static_cast<double>(result.committed),
             0.99 * static_cast<double>(result.submitted));
+}
+
+// ------------------------------------------------- hedging end to end
+
+TEST(ResilientClient, HedgedSubmissionsWinUnderEntryCrash) {
+  ExperimentConfig config = primary_endpoint_crash(true);
+  config.resilience.hedge.enabled = true;
+  config.resilience.score.enabled = true;
+  const ExperimentResult result = run_experiment(config);
+
+  // The mitigation bar still holds with hedging on, and the hedges did
+  // real work: some commits were answered by the hedge endpoint.
+  EXPECT_GE(static_cast<double>(result.committed),
+            0.95 * static_cast<double>(result.submitted));
+  EXPECT_GT(result.resilience.hedges_armed, 0u);
+  EXPECT_GT(result.resilience.hedges_won, 0u);
+  // Counter sanity: a hedge either wins, is cancelled, or its transaction
+  // never commits — never more wins/cancels than armed hedges.
+  EXPECT_LE(result.resilience.hedges_won, result.resilience.hedges_armed);
+  EXPECT_LE(result.resilience.hedges_cancelled,
+            result.resilience.hedges_armed);
+}
+
+TEST(ResilientClient, HedgingOffMeansZeroHedgeCounters) {
+  const ExperimentResult result =
+      run_experiment(primary_endpoint_crash(true));
+  EXPECT_EQ(result.resilience.hedges_armed, 0u);
+  EXPECT_EQ(result.resilience.hedges_won, 0u);
+  EXPECT_EQ(result.resilience.hedges_cancelled, 0u);
+}
+
+TEST(ResilientClient, HedgedRunsAreDeterministic) {
+  ExperimentConfig config = primary_endpoint_crash(true);
+  config.resilience.hedge.enabled = true;
+  config.resilience.score.enabled = true;
+  const ExperimentResult first = run_experiment(config);
+  const ExperimentResult second = run_experiment(config);
+  EXPECT_EQ(first.committed, second.committed);
+  EXPECT_EQ(first.latencies, second.latencies);
+  EXPECT_EQ(first.resilience.hedges_armed, second.resilience.hedges_armed);
+  EXPECT_EQ(first.resilience.hedges_won, second.resilience.hedges_won);
+  EXPECT_EQ(first.events, second.events);
 }
 
 TEST(ResilientClient, RecoversUnderPacketLossToo) {
