@@ -1,12 +1,15 @@
 // micro_trace_overhead — throughput of a TraceSink emission site in the
 // three states the harness can be in: disabled (null sink — what every
 // production run pays at every instrumented call site), enabled recording
-// to memory, and enabled with the recording serialized to a file.
+// to memory, and enabled with the recording serialized to a file. The
+// LifecycleRecorder's mark() site is measured the same way: disabled
+// (null recorder) and enabled to memory.
 //
-// After the benchmark pass the binary gates the overhead contract from
-// sim/trace.hpp: the disabled path (one pointer load + predicted branch)
-// must cost < 2% over the same loop with no instrumentation at all. Exit
-// status 1 when the gate fails, so CI can run this binary directly.
+// After the benchmark pass the binary gates the overhead contract shared
+// by sim/trace.hpp and sim/lifecycle.hpp: each disabled path (one pointer
+// load + predicted branch) must cost < 2% over the same loop with no
+// instrumentation at all. Exit status 1 when either gate fails, so CI can
+// run this binary directly.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -15,6 +18,7 @@
 #include <cstdlib>
 
 #include "core/trace.hpp"
+#include "sim/lifecycle.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -38,6 +42,16 @@ __attribute__((noinline)) void emission_site(sim::TraceSink* sink,
   if (sink != nullptr) {
     sink->instant(static_cast<std::int32_t>(i & 7),
                   sim::Time(static_cast<std::int64_t>(i)), "tick", "bench");
+  }
+}
+
+// The shape every lifecycle mark site compiles to (client, node,
+// consensus commit paths): null-guarded pointer, first-reach mark.
+__attribute__((noinline)) void lifecycle_site(sim::LifecycleRecorder* rec,
+                                              std::uint64_t i) {
+  if (rec != nullptr) {
+    rec->mark(i & 0xffff, sim::TxStage::kQueued,
+              sim::Time(static_cast<std::int64_t>(i)));
   }
 }
 
@@ -102,15 +116,43 @@ void enabled_file(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 
+void disabled_lifecycle(benchmark::State& state) {
+  sim::LifecycleRecorder* rec = nullptr;
+  benchmark::DoNotOptimize(rec);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    x = work_step(x);
+    lifecycle_site(rec, i++);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void enabled_lifecycle_memory(benchmark::State& state) {
+  sim::LifecycleRecorder recorder;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    x = work_step(x);
+    lifecycle_site(&recorder, i++);
+    benchmark::DoNotOptimize(x);
+    if (recorder.size() >= 1u << 20) recorder.clear();  // bound the arena
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 BENCHMARK(uninstrumented);
 BENCHMARK(disabled);
 BENCHMARK(enabled_memory);
 BENCHMARK(enabled_file);
+BENCHMARK(disabled_lifecycle);
+BENCHMARK(enabled_lifecycle_memory);
 
 /// Steady-clock measurement of the two hot loops, outside google-benchmark
 /// so the gate compares medians of repeated identical batches.
 double batch_seconds(sim::TraceSink* sink) {
-  constexpr std::uint64_t kIters = 20'000'000;
+  constexpr std::uint64_t kIters = 100'000'000;
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t x = 0x9e3779b97f4a7c15ULL;
   for (std::uint64_t i = 0; i < kIters; ++i) {
@@ -124,7 +166,7 @@ double batch_seconds(sim::TraceSink* sink) {
 }
 
 double uninstrumented_batch_seconds() {
-  constexpr std::uint64_t kIters = 20'000'000;
+  constexpr std::uint64_t kIters = 100'000'000;
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t x = 0x9e3779b97f4a7c15ULL;
   for (std::uint64_t i = 0; i < kIters; ++i) {
@@ -136,27 +178,52 @@ double uninstrumented_batch_seconds() {
       .count();
 }
 
+double lifecycle_batch_seconds(sim::LifecycleRecorder* rec) {
+  constexpr std::uint64_t kIters = 100'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x = work_step(x);
+    lifecycle_site(rec, i);
+    benchmark::DoNotOptimize(x);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 int gate_disabled_overhead() {
-  // Best-of-5 on both sides damps scheduler noise; the gate allows < 2%.
+  // Best-of-5 on every side damps scheduler noise; each gate allows < 2%.
   double base = 1e300;
-  double off = 1e300;
+  double trace_off = 1e300;
+  double lifecycle_off = 1e300;
   for (int rep = 0; rep < 5; ++rep) {
     const double b = uninstrumented_batch_seconds();
     if (b < base) base = b;
     const double d = batch_seconds(nullptr);
-    if (d < off) off = d;
+    if (d < trace_off) trace_off = d;
+    const double l = lifecycle_batch_seconds(nullptr);
+    if (l < lifecycle_off) lifecycle_off = l;
   }
-  const double overhead = (off - base) / base * 100.0;
-  std::printf("\ntrace overhead gate: uninstrumented %.3fs, disabled-path "
-              "%.3fs -> %+.2f%% (gate < 2%%)\n",
-              base, off, overhead);
-  if (overhead >= 2.0) {
-    std::printf("GATE FAILED: disabled-path tracing overhead %.2f%% >= 2%%\n",
-                overhead);
-    return 1;
+  int failed = 0;
+  const struct {
+    const char* name;
+    double seconds;
+  } gates[] = {{"trace", trace_off}, {"lifecycle", lifecycle_off}};
+  std::printf("\n");
+  for (const auto& gate : gates) {
+    const double overhead = (gate.seconds - base) / base * 100.0;
+    std::printf("%s overhead gate: uninstrumented %.3fs, disabled-path "
+                "%.3fs -> %+.2f%% (gate < 2%%)\n",
+                gate.name, base, gate.seconds, overhead);
+    if (overhead >= 2.0) {
+      std::printf("GATE FAILED: disabled-path %s overhead %.2f%% >= 2%%\n",
+                  gate.name, overhead);
+      failed = 1;
+    }
   }
-  std::printf("gate passed\n");
-  return 0;
+  if (failed == 0) std::printf("gates passed\n");
+  return failed;
 }
 
 }  // namespace

@@ -18,9 +18,12 @@
 //
 // Exit status: 0 when no gating oracle violated (expected losses are
 // fine), 1 otherwise. Violating (minimized, when --shrink) schedules are
-// written to DIR/chaos_<chain>_trial<k>.json for replay and for CI
-// artifact upload, each next to a Perfetto timeline of the minimized
-// repro run at DIR/chaos_<chain>_trial<k>.trace.json (ui.perfetto.dev).
+// written to DIR/chaos_<chain>_trial<k>_seed<s>_plan<h>.json for replay
+// and for CI artifact upload — the experiment seed and a hash of the
+// schedule keep repros from different campaigns (or reruns into the same
+// DIR) from overwriting each other — each next to a Perfetto timeline of
+// the minimized repro run at the same stem with .trace.json
+// (ui.perfetto.dev).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,16 +36,39 @@ namespace {
 
 using namespace stabl;
 
-std::string usage_text(const char* argv0) {
-  return "usage: " + std::string(argv0) +
-         " [--chains names] [--trials n] [--seed n]\n"
-         "          [--duration seconds] [--jobs n] [--shrink]\n"
-         "          [--out dir] [--adversarial] [--defend]";
-}
-
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr, "%s\n", usage_text(argv0).c_str());
-  std::exit(2);
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s [options]\n"
+      "\n"
+      "Nightly chaos job: randomized multi-plan fault schedules against\n"
+      "every chain, invariant-oracle audit of every run, and automatic\n"
+      "shrinking of violating schedules into replayable JSON repros.\n"
+      "Exit 0 when no gating oracle fired, 1 otherwise, 2 on usage errors.\n"
+      "\n"
+      "options:\n"
+      "  --chains NAMES      comma-separated chains to hunt (default: all\n"
+      "                      five paper chains)\n"
+      "  --trials N          schedules per chain, >= 1 (default 5)\n"
+      "  --seed N            root RNG seed; trial k of chain c draws from\n"
+      "                      a stream derived from (c, k) (default 42)\n"
+      "  --duration S        simulated seconds per run, >= 30 (default\n"
+      "                      120)\n"
+      "  --jobs N            worker threads, >= 1; results are identical\n"
+      "                      for any value (default 1)\n"
+      "  --shrink            delta-debug every violating schedule to a\n"
+      "                      minimal repro before writing it\n"
+      "  --out DIR           directory for repro JSON + trace sidecars\n"
+      "                      (default: current directory)\n"
+      "  --adversarial       widen the plan space with the Byzantine\n"
+      "                      family (equivocate, withhold, eclipse)\n"
+      "  --defend            turn every chain's misbehavior scorer on;\n"
+      "                      only safety findings gate (liveness findings\n"
+      "                      still write repros but exit 0)\n"
+      "  --heartbeat         wall-clock progress (done/total, trials/s,\n"
+      "                      ETA) on stderr\n"
+      "  --help              print this help and exit 0\n",
+      argv0);
 }
 
 }  // namespace
@@ -58,25 +84,37 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) {
+        cli::fail(argv[0], arg + " needs a value", cli::help_hint(argv[0]));
+      }
       return argv[++i];
     };
-    if (arg == "--chains") {
-      config.chains =
-          cli::parse_chain_list_or_exit(value(), argv[0], usage_text(argv[0]));
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--chains") {
+      config.chains = cli::parse_chain_list_or_exit(value(), argv[0],
+                                                    cli::help_hint(argv[0]));
     } else if (arg == "--trials") {
       const long trials = std::atol(value().c_str());
-      if (trials < 1) usage(argv[0]);
+      if (trials < 1) {
+        cli::fail(argv[0], "--trials must be >= 1", cli::help_hint(argv[0]));
+      }
       config.trials_per_chain = static_cast<std::size_t>(trials);
     } else if (arg == "--seed") {
       config.seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--duration") {
       const long duration_s = std::atol(value().c_str());
-      if (duration_s < 30) usage(argv[0]);
+      if (duration_s < 30) {
+        cli::fail(argv[0], "--duration must be >= 30",
+                  cli::help_hint(argv[0]));
+      }
       config.base.duration = sim::sec(duration_s);
     } else if (arg == "--jobs") {
       const long jobs = std::atol(value().c_str());
-      if (jobs < 1) usage(argv[0]);
+      if (jobs < 1) {
+        cli::fail(argv[0], "--jobs must be >= 1", cli::help_hint(argv[0]));
+      }
       config.jobs = static_cast<unsigned>(jobs);
     } else if (arg == "--shrink") {
       config.shrink = true;
@@ -84,10 +122,12 @@ int main(int argc, char** argv) {
       adversarial = true;
     } else if (arg == "--defend") {
       defend = true;
+    } else if (arg == "--heartbeat") {
+      config.heartbeat = true;
     } else if (arg == "--out") {
       out_dir = value();
     } else {
-      usage(argv[0]);
+      cli::fail_unknown_flag(argv[0], arg);
     }
   }
 
@@ -121,26 +161,27 @@ int main(int argc, char** argv) {
     const core::FaultSchedule& repro = trial.shrunk.has_value()
                                            ? trial.shrunk->schedule
                                            : trial.schedule;
-    const std::string path = out_dir + "/chaos_" +
-                             core::to_string(trial.chain) + "_trial" +
-                             std::to_string(trial.trial) + ".json";
+    const std::string repro_json = core::schedule_to_json(repro);
+    const std::string stem =
+        out_dir + "/" +
+        cli::chaos_repro_stem(core::to_string(trial.chain), trial.trial,
+                              trial.experiment_seed, repro_json);
+    const std::string path = stem + ".json";
     std::ofstream file(path);
     if (!file) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return 2;
     }
-    file << core::schedule_to_json(repro) << "\n";
+    file << repro_json << "\n";
     if (!trial.repro_trace.empty()) {
-      const std::string trace_path = out_dir + "/chaos_" +
-                                     core::to_string(trial.chain) + "_trial" +
-                                     std::to_string(trial.trial) +
-                                     ".trace.json";
+      const std::string trace_path = stem + ".trace.json";
       std::ofstream trace_file(trace_path);
       if (!trace_file) {
         std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
         return 2;
       }
       trace_file << trial.repro_trace << "\n";
+      std::printf("  trace written to %s\n", trace_path.c_str());
     }
     std::printf("  repro written to %s", path.c_str());
     if (trial.shrunk.has_value()) {

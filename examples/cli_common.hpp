@@ -7,6 +7,7 @@
 // and a newly linked chain plugin is accepted everywhere at once.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -25,6 +26,18 @@ namespace stabl::cli {
   std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
   if (!hint.empty()) std::fprintf(stderr, "%s\n", hint.c_str());
   std::exit(2);
+}
+
+/// The examples' shared "where to find the docs" hint line.
+inline std::string help_hint(const char* argv0) {
+  return "run '" + std::string(argv0) + " --help' for the full flag list";
+}
+
+/// The examples' shared unknown-flag exit: every driver reports an unknown
+/// flag the same way — the flag by name, the --help hint, exit code 2.
+[[noreturn]] inline void fail_unknown_flag(const char* argv0,
+                                           const std::string& flag) {
+  fail(argv0, "unknown flag '" + flag + "'", help_hint(argv0));
 }
 
 /// Registry-backed chain lookup, case-insensitive; exits 2 listing the
@@ -124,6 +137,33 @@ inline bool ends_with(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
              0;
+}
+
+/// Stable 64-bit FNV-1a — repro sidecar file naming only (not a crypto
+/// hash).
+inline std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Sidecar file stem for a chaos trial's repro artifacts:
+/// "chaos_<chain>_trial<K>_seed<S>_plan<H>" where H is the first 8 hex
+/// digits of fnv1a over the (minimized) schedule JSON. One campaign can
+/// produce several violations for the same chain, and reruns with
+/// different root seeds land different schedules on the same trial index —
+/// the seed and plan-hash suffixes keep every repro file distinct.
+inline std::string chaos_repro_stem(const std::string& chain,
+                                    std::size_t trial, std::uint64_t seed,
+                                    const std::string& schedule_json) {
+  char hash_hex[9];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%08x",
+                static_cast<unsigned>(fnv1a(schedule_json) >> 32));
+  return "chaos_" + chain + "_trial" + std::to_string(trial) + "_seed" +
+         std::to_string(seed) + "_plan" + hash_hex;
 }
 
 }  // namespace stabl::cli

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "cli_common.hpp"
 #include "core/experiment.hpp"
@@ -17,24 +18,50 @@
 
 namespace {
 
-// The study is exploratory, so an unknown chain warns (listing the valid
-// names) and falls back to the paper's Redbelly instead of aborting.
-stabl::core::ChainKind parse_chain(const char* name) {
-  try {
-    return stabl::core::parse_chain_name(name);
-  } catch (const std::invalid_argument& error) {
-    std::fprintf(stderr, "%s, using redbelly\n", error.what());
-    return stabl::core::ChainKind::kRedbelly;
-  }
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s [chain] [duration_seconds] [--help]\n"
+      "\n"
+      "Walk one chain through the paper's three-phase partition\n"
+      "experiment (Section 6) and compare passive partition recovery\n"
+      "(reconnection timeouts) against active crash-restart recovery.\n"
+      "\n"
+      "arguments:\n"
+      "  chain             registered chain, case-insensitive (%s;\n"
+      "                    default redbelly)\n"
+      "  duration_seconds  simulated seconds per run, >= 30 (default 400;\n"
+      "                    the paper's timeout arithmetic needs 400)\n",
+      argv0, stabl::core::chain_registry().names_csv().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace stabl;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (argv[i][0] == '-' && std::atol(argv[i]) == 0) {
+      cli::fail_unknown_flag(argv[0], argv[i]);
+    }
+  }
+  if (argc > 3) {
+    cli::fail(argv[0], "expected at most [chain] [duration_seconds]",
+              cli::help_hint(argv[0]));
+  }
   const core::ChainKind chain =
-      argc > 1 ? parse_chain(argv[1]) : core::ChainKind::kRedbelly;
+      argc > 1
+          ? cli::parse_chain_or_exit(argv[1], argv[0], cli::help_hint(argv[0]))
+          : core::ChainKind::kRedbelly;
   const long duration = argc > 2 ? std::atol(argv[2]) : 400;
+  if (duration < 30) {
+    cli::fail(argv[0], "duration_seconds must be >= 30",
+              cli::help_hint(argv[0]));
+  }
 
   core::ExperimentConfig config;
   config.chain = chain;

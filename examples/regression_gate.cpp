@@ -5,29 +5,75 @@
 // WORST seed, and the matrix fans out across worker threads.
 //
 // Usage: regression_gate [duration_seconds] [seed] [num_seeds] [jobs]
-// Exit code 0 = gate passed, 1 = violations found.
+// Exit code 0 = gate passed, 1 = violations found, 2 = usage error.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "cli_common.hpp"
 #include "core/campaign.hpp"
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s [duration_seconds] [seed] [num_seeds] [jobs] [--help]\n"
+      "\n"
+      "CI regression gate: run the STABL fault-tolerance matrix (every\n"
+      "paper chain x crash/transient/partition/secure-client) and fail\n"
+      "the pipeline when a chain's sensitivity regresses past the\n"
+      "paper-shaped bounds, or when a chain that used to survive a\n"
+      "condition stops doing so. Multi-seed sweeps gate on the WORST\n"
+      "seed. Exit 0 = gate passed, 1 = violations, 2 = usage error.\n"
+      "\n"
+      "arguments:\n"
+      "  duration_seconds  simulated seconds per run, >= 30 (default 400;\n"
+      "                    shorter runs apply coarse sanity bounds only)\n"
+      "  seed              first RNG seed of the sweep (default 42)\n"
+      "  num_seeds         consecutive seeds per cell, >= 1 (default 1)\n"
+      "  jobs              worker threads, >= 1 (default: hardware\n"
+      "                    concurrency); results are identical for any\n"
+      "                    value\n",
+      argv0);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace stabl;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (argv[i][0] == '-' && std::atol(argv[i]) == 0) {
+      cli::fail_unknown_flag(argv[0], argv[i]);
+    }
+  }
+  if (argc > 5) {
+    cli::fail(argv[0],
+              "expected at most [duration_seconds] [seed] [num_seeds] [jobs]",
+              cli::help_hint(argv[0]));
+  }
   const long duration_s = argc > 1 ? std::atol(argv[1]) : 400;
   const unsigned long seed =
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 42;
   const long num_seeds = argc > 3 ? std::atol(argv[3]) : 1;
   const long jobs =
       argc > 4 ? std::atol(argv[4]) : static_cast<long>(core::default_jobs());
-  if (duration_s < 30 || num_seeds < 1 || jobs < 1) {
-    std::fprintf(stderr,
-                 "usage: %s [duration_seconds>=30] [seed] [num_seeds>=1] "
-                 "[jobs>=1]\n",
-                 argv[0]);
-    return 2;
+  if (duration_s < 30) {
+    cli::fail(argv[0], "duration_seconds must be >= 30",
+              cli::help_hint(argv[0]));
+  }
+  if (num_seeds < 1) {
+    cli::fail(argv[0], "num_seeds must be >= 1", cli::help_hint(argv[0]));
+  }
+  if (jobs < 1) {
+    cli::fail(argv[0], "jobs must be >= 1", cli::help_hint(argv[0]));
   }
 
   core::CampaignConfig config;

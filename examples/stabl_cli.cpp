@@ -20,6 +20,8 @@
 //   stabl_cli [flags...] --dump-scenario
 //   stabl_cli --mitigation-study [--chain NAME] [--fault NAME] [--chaos N]
 //             [--seeds N] [--jobs N] [--format FMT]
+//   stabl_cli --attribution [--chain NAME] [--fault NAME] [--jobs N]
+//             [--heartbeat] [--trace FILE] [--format FMT]
 //   stabl_cli --list-faults | --list-chains
 //
 // Every flag combination is internally a core::ScenarioSpec — a
@@ -46,10 +48,22 @@
 // --chain/--fault narrow the grid; --chaos N adds N adversarial chaos
 // schedule pairs per chain. Byte-identical output for any --jobs value.
 //
+// --attribution runs every (chain, fault) cell as a paired twin with a
+// transaction-lifecycle recorder attached to both runs and reports WHERE
+// the latency degradation comes from: per-stage (submit, admission,
+// queueing, consensus, notify) latency deltas that sum to the cell's
+// measured commit-latency delta, the loss breakdown by deepest stage
+// reached, and the dominant stage. --chain/--fault narrow the grid;
+// --trace FILE additionally re-runs the first cell's faulted twin with a
+// TraceSink and writes its timeline (the report itself is byte-identical
+// with or without it). --heartbeat prints wall-clock progress to stderr.
+//
 // --trace FILE records the faulted run's sim-time timeline as Chrome /
 // Perfetto trace_event JSON (open at ui.perfetto.dev). In chaos mode the
 // file name is a base: each violating trial's minimized repro timeline is
-// written to FILE.<chain>.trialK.json. --metrics FILE samples the runtime
+// written to FILE.chaos_<chain>_trialK_seedS_planH.trace.json — the
+// experiment seed and a hash of the minimized schedule keep sidecars from
+// different campaigns distinct. --metrics FILE samples the runtime
 // metrics registry each sim-second into CSV (when FILE ends in .csv) or
 // JSON. Tracing is observe-only: reports are byte-identical with it on or
 // off.
@@ -75,6 +89,7 @@
 #include <string>
 
 #include "cli_common.hpp"
+#include "core/attribution.hpp"
 #include "core/campaign.hpp"
 #include "core/chaos.hpp"
 #include "core/experiment.hpp"
@@ -96,6 +111,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       "       %s --scenario FILE [--format FMT] [--dump-scenario]\n"
       "       %s --mitigation-study [--chain NAME] [--fault NAME]\n"
       "                             [--chaos N] [--seeds N] [--jobs N]\n"
+      "       %s --attribution [--chain NAME] [--fault NAME] [--jobs N]\n"
+      "                        [--heartbeat] [--trace FILE]\n"
       "       %s --list-faults | --list-chains\n"
       "\n"
       "Run one STABL experiment pair (baseline vs faulted) and report the\n"
@@ -147,12 +164,24 @@ void print_usage(std::FILE* out, const char* argv0) {
       "                      grid, --chaos N adds N adversarial schedule\n"
       "                      pairs per chain\n"
       "\n"
+      "sensitivity attribution:\n"
+      "  --attribution       run every (chain, fault) cell paired with a\n"
+      "                      transaction-lifecycle recorder on both twins\n"
+      "                      and report per-stage latency deltas (submit,\n"
+      "                      admission, queueing, consensus, notify), loss\n"
+      "                      by deepest stage reached, and the dominant\n"
+      "                      stage; --chain/--fault narrow the grid\n"
+      "  --heartbeat         wall-clock campaign progress (done/total,\n"
+      "                      cells/s, ETA) on stderr; never part of the\n"
+      "                      deterministic report output\n"
+      "\n"
       "observability:\n"
       "  --trace FILE        write the faulted run's sim-time timeline as\n"
       "                      Perfetto trace_event JSON (ui.perfetto.dev);\n"
       "                      in chaos mode, write each violating trial's\n"
       "                      minimized repro timeline to\n"
-      "                      FILE.<chain>.trialK.json\n"
+      "                      FILE.chaos_<chain>_trialK_seedS_planH.trace\n"
+      "                      .json (seed + plan hash keep repros distinct)\n"
       "  --metrics FILE      sample runtime metrics (mempool depth,\n"
       "                      in-flight msgs, breaker state, ...) each sim\n"
       "                      second; CSV when FILE ends in .csv, else JSON\n"
@@ -198,7 +227,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "                      description and (for meta-chains) the base\n"
       "                      chain it wraps, and exit 0\n"
       "  --help              print this help and exit 0\n",
-      argv0, argv0, argv0, argv0,
+      argv0, argv0, argv0, argv0, argv0,
       core::chain_registry().names_csv().c_str());
 }
 
@@ -226,12 +255,8 @@ void print_chain_list() {
   }
 }
 
-std::string help_hint(const char* argv0) {
-  return "run '" + std::string(argv0) + " --help' for the full flag list";
-}
-
 [[noreturn]] void fail_usage(const char* argv0, const std::string& message) {
-  cli::fail(argv0, message, help_hint(argv0));
+  cli::fail(argv0, message, cli::help_hint(argv0));
 }
 
 }  // namespace
@@ -242,6 +267,8 @@ int main(int argc, char** argv) {
   std::string scenario_path;
   bool dump_scenario = false;
   bool mitigation_study = false;
+  bool attribution = false;
+  bool heartbeat = false;
   // --mitigation-study defaults to the full (5 chains x 2 faults) grid;
   // explicit --chain/--fault narrow it to the named cell row/column.
   bool chain_set = false;
@@ -285,12 +312,12 @@ int main(int argc, char** argv) {
       experiment_flag();
       chain_set = true;
       spec.chain = core::to_string(
-          cli::parse_chain_or_exit(value(), argv[0], help_hint(argv[0])));
+          cli::parse_chain_or_exit(value(), argv[0], cli::help_hint(argv[0])));
     } else if (arg == "--fault") {
       experiment_flag();
       fault_set = true;
       spec.fault = core::to_string(
-          cli::parse_fault_or_exit(value(), argv[0], help_hint(argv[0])));
+          cli::parse_fault_or_exit(value(), argv[0], cli::help_hint(argv[0])));
     } else if (arg == "--duration") {
       experiment_flag();
       spec.duration_s = std::atol(value().c_str());
@@ -332,11 +359,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--fault-targets") {
       experiment_flag();
       spec.fault_targets = cli::parse_node_ids_or_exit(
-          value(), argv[0], "--fault-targets", help_hint(argv[0]));
+          value(), argv[0], "--fault-targets", cli::help_hint(argv[0]));
     } else if (arg == "--extra-fault") {
       experiment_flag();
       spec.extra_faults.push_back(core::to_string(
-          cli::parse_fault_or_exit(value(), argv[0], help_hint(argv[0]))));
+          cli::parse_fault_or_exit(value(), argv[0], cli::help_hint(argv[0]))));
     } else if (arg == "--loss-prob") {
       experiment_flag();
       spec.loss_probability = std::atof(value().c_str());
@@ -379,6 +406,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--mitigation-study") {
       experiment_flag();
       mitigation_study = true;
+    } else if (arg == "--attribution") {
+      experiment_flag();
+      attribution = true;
+    } else if (arg == "--heartbeat") {
+      heartbeat = true;
     } else if (arg == "--chain-param") {
       experiment_flag();
       const std::string assignment = value();
@@ -476,6 +508,84 @@ int main(int argc, char** argv) {
   const std::string& trace_path = resolved.trace_path;
   const std::string& metrics_path = resolved.metrics_path;
 
+  if (attribution) {
+    if (mitigation_study) {
+      fail_usage(argv[0],
+                 "--attribution and --mitigation-study are separate "
+                 "campaigns; pick one");
+    }
+    if (resolved.num_seeds > 1 || resolved.chaos_trials > 0) {
+      fail_usage(argv[0],
+                 "--attribution runs one seed per cell; it does not "
+                 "combine with --seeds or --chaos");
+    }
+    if (!metrics_path.empty()) {
+      fail_usage(argv[0],
+                 "--metrics applies to single runs, not --attribution "
+                 "campaigns");
+    }
+    // Paired attribution campaign: every (chain, fault) cell twice over
+    // the same seed with a lifecycle recorder on both twins. --trace is
+    // honored below by re-running the first cell's faulted twin with a
+    // sink attached — the report itself never depends on it.
+    core::AttributionConfig study;
+    if (chain_set) study.chains = {config.chain};
+    if (fault_set) study.faults = {config.fault};
+    study.base = config;
+    study.base.fault = core::FaultType::kNone;
+    study.jobs = resolved.jobs;
+    study.heartbeat = heartbeat;
+    core::AttributionReport report;
+    try {
+      report = core::run_attribution(study);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s: invalid fault plan: %s\n", argv[0],
+                   error.what());
+      return 2;
+    }
+    if (!trace_path.empty() && !report.cells.empty()) {
+      core::ExperimentConfig traced = study.base;
+      traced.chain = report.cells.front().chain;
+      traced.fault = report.cells.front().fault;
+      if (traced.fault == core::FaultType::kSecureClient) {
+        traced.client_fanout = 4;
+        traced.vcpus = 8.0;
+      }
+      sim::TraceSink sink;
+      traced.trace = &sink;
+      core::run_experiment(traced);
+      cli::write_file_or_die(argv[0], trace_path,
+                             core::trace_to_json(sink));
+    }
+    if (format == "json") {
+      std::printf("%s\n", report.to_json().c_str());
+    } else if (format == "csv") {
+      std::printf("%s", report.to_csv().c_str());
+    } else {
+      std::printf("sensitivity attribution: per-stage latency deltas, "
+                  "faulted vs fault-free twin\n");
+      std::printf("%s", report.to_table().c_str());
+      // The radar view: each cell's headline delta and dominant stage.
+      core::RadarSummary radar;
+      const auto& names = sim::stage_segment_names();
+      for (const core::AttributionCell& cell : report.cells) {
+        core::RadarAttributionCell summary;
+        summary.latency_delta_s = cell.measured_latency_delta_s;
+        summary.dominant_stage = names[cell.dominant_segment()];
+        summary.dominant_share = cell.dominant_share();
+        radar.record_attribution(cell.chain, cell.fault, summary);
+      }
+      std::printf("\ndominant-stage radar:\n%s",
+                  radar.attribution_table().c_str());
+      if (!trace_path.empty() && !report.cells.empty()) {
+        std::printf("trace: %s (first cell's faulted twin; open at "
+                    "ui.perfetto.dev)\n",
+                    trace_path.c_str());
+      }
+    }
+    return 0;
+  }
+
   if (mitigation_study) {
     if (!trace_path.empty() || !metrics_path.empty()) {
       fail_usage(argv[0],
@@ -493,6 +603,7 @@ int main(int argc, char** argv) {
     study.num_seeds = resolved.num_seeds;
     study.jobs = resolved.jobs;
     study.chaos_pairs = resolved.chaos_trials;
+    study.heartbeat = heartbeat;
     core::MitigationResult result;
     try {
       result = core::run_mitigation_campaign(study);
@@ -536,14 +647,23 @@ int main(int argc, char** argv) {
     chaos.shrink = resolved.shrink;
     chaos.trace_repros = !trace_path.empty();
     chaos.jobs = resolved.jobs;
+    chaos.heartbeat = heartbeat;
     const core::ChaosCampaignResult result = core::run_chaos_campaign(chaos);
     for (const core::ChaosTrial& trial : result.trials) {
       if (trial.repro_trace.empty()) continue;
-      cli::write_file_or_die(argv[0],
-                             trace_path + "." + core::to_string(trial.chain) +
-                                 ".trial" + std::to_string(trial.trial) +
-                                 ".json",
-                             trial.repro_trace);
+      // Seed + plan-hash suffix: several violations of the same chain (or
+      // reruns with other seeds) never overwrite each other's sidecars.
+      const core::FaultSchedule& repro = trial.shrunk.has_value()
+                                             ? trial.shrunk->schedule
+                                             : trial.schedule;
+      const std::string sidecar =
+          trace_path + "." +
+          cli::chaos_repro_stem(core::to_string(trial.chain), trial.trial,
+                                trial.experiment_seed,
+                                core::schedule_to_json(repro)) +
+          ".trace.json";
+      cli::write_file_or_die(argv[0], sidecar, trial.repro_trace);
+      std::fprintf(stderr, "trace: %s\n", sidecar.c_str());
     }
     if (format == "json") {
       std::printf("%s\n", result.to_json().c_str());
@@ -583,6 +703,7 @@ int main(int argc, char** argv) {
     campaign.base = config;
     campaign.num_seeds = resolved.num_seeds;
     campaign.jobs = resolved.jobs;
+    campaign.heartbeat = heartbeat;
     core::CampaignResult result;
     try {
       result = core::run_campaign(campaign);

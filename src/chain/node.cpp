@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "chain/hash.hpp"
+#include "sim/lifecycle.hpp"
 
 namespace stabl::chain {
 namespace {
@@ -134,6 +135,9 @@ void BlockchainNode::handle_submit(const net::Envelope& envelope) {
   const auto& payload =
       static_cast<const SubmitTxPayload&>(*envelope.payload);
   const Transaction& tx = payload.tx;
+  if (auto* lifecycle = simulation().lifecycle()) {
+    lifecycle->mark(tx.id, sim::TxStage::kEntryReceived, now());
+  }
   if (rpc_byzantine_) {
     // Lie: confirm instantly with a fabricated result and drop the
     // transaction. A client trusting only this node is deceived.
@@ -165,7 +169,27 @@ void BlockchainNode::accept_transaction(const Transaction& tx) {
 bool BlockchainNode::pool_transaction(const Transaction& tx) {
   if (ledger_.is_committed(tx.id)) return false;
   if (accounts_.next_nonce(tx.from) > tx.nonce) return false;  // stale
-  return mempool_.add(tx);
+  if (!mempool_.add(tx)) return false;
+  if (auto* lifecycle = simulation().lifecycle()) {
+    lifecycle->mark(tx.id, sim::TxStage::kQueued, now());
+  }
+  return true;
+}
+
+void BlockchainNode::mark_proposed(const std::vector<Transaction>& txs,
+                                   std::uint64_t round) {
+  if (txs.empty()) return;
+  if (auto* lifecycle = simulation().lifecycle()) {
+    for (const Transaction& tx : txs) {
+      lifecycle->mark(tx.id, sim::TxStage::kProposed, now());
+    }
+  }
+  if (auto* trace = simulation().trace()) {
+    trace->instant(static_cast<std::int32_t>(node_id()), now(), "propose",
+                   "lifecycle",
+                   "\"round\":" + std::to_string(round) +
+                       ",\"txs\":" + std::to_string(txs.size()));
+  }
 }
 
 const Block* BlockchainNode::commit_block(std::vector<Transaction> txs,
@@ -188,6 +212,11 @@ const Block* BlockchainNode::commit_block(std::vector<Transaction> txs,
   block.txs = std::move(applied);
   const Block& stored = ledger_.append(std::move(block));
   mempool_.remove(stored.txs);
+  if (auto* lifecycle = simulation().lifecycle()) {
+    for (const Transaction& tx : stored.txs) {
+      lifecycle->mark(tx.id, sim::TxStage::kCommitted, now());
+    }
+  }
   if (auto* trace = simulation().trace()) {
     trace->instant(static_cast<std::int32_t>(node_id()), now(), "commit",
                    "consensus",
@@ -268,6 +297,15 @@ void BlockchainNode::handle_sync_response(const net::Envelope& envelope) {
     copy.txs = std::move(applied);
     const Block& stored = ledger_.append(std::move(copy));
     mempool_.remove(stored.txs);
+    if (auto* lifecycle = simulation().lifecycle()) {
+      // A replayed commit keeps its original first-reach kCommitted time
+      // (mark is first-reach); the hop records that this replica only
+      // learned it through recovery catch-up.
+      for (const Transaction& tx : stored.txs) {
+        lifecycle->mark(tx.id, sim::TxStage::kCommitted, now());
+        lifecycle->hop(tx.id, sim::TxHop::kRecoveryReplay);
+      }
+    }
     // A node serving clients must report commits no matter how it learned
     // them — also when it caught up through state sync.
     notify_watchers(stored);

@@ -163,6 +163,14 @@ class BlockchainNode : public sim::Process, public net::Endpoint {
                             net::NodeId proposer, std::uint64_t round = 0,
                             bool allow_empty = false);
 
+  /// Record that this node put `txs` into a consensus proposal (batch,
+  /// candidate, bank, ...) for `round`. Chains call this where they build
+  /// the proposal payload; it stamps the lifecycle kProposed stage for
+  /// each transaction and emits one batch-level trace instant. First-reach
+  /// semantics: re-proposals of the same transaction keep the first time.
+  void mark_proposed(const std::vector<Transaction>& txs,
+                     std::uint64_t round);
+
   /// Hook invoked after a state-sync chunk was applied to the ledger.
   virtual void on_synced() {}
 

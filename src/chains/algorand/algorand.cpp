@@ -153,6 +153,7 @@ void AlgorandNode::propose_if_selected() {
       });
   auto payload = std::make_shared<const ProposalPayload>(round_, node_id(),
                                                          std::move(batch));
+  mark_proposed(payload->txs, round_);
   proposal_value_ = node_id();
   proposal_txs_ = payload->txs;
   own_proposal_ = payload;

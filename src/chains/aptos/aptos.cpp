@@ -159,6 +159,7 @@ void AptosNode::propose() {
       });
   auto payload = std::make_shared<const ProposalPayload>(
       round_, node_id(), parent, std::move(batch));
+  mark_proposed(payload->txs, round_);
   broadcast(payload, batch_bytes(payload->txs.size()));
   // The leader processes its own proposal too.
   proposal_leader_ = node_id();

@@ -178,6 +178,7 @@ void AvalancheNode::propose() {
                           chain::hash_combine(node_id(), 0x9E3779B9u));
   auto payload = std::make_shared<const CandidatePayload>(
       height_, id, node_id(), std::move(txs));
+  mark_proposed(payload->txs, height_);
   Candidate candidate{id, node_id(), payload->txs};
   candidates_.emplace(id, std::move(candidate));
   if (preference_ == 0) {

@@ -125,6 +125,7 @@ void RedbellyNode::start_round() {
       });
   auto proposal = std::make_shared<const ProposalPayload>(round_, node_id(),
                                                           std::move(batch));
+  mark_proposed(proposal->txs, round_);
   proposals_[node_id()] = proposal->txs;
   own_proposal_ = proposal;
   broadcast(own_proposal_, batch_bytes(proposal->txs.size()));

@@ -104,6 +104,7 @@ void RefBftNode::propose() {
       });
   auto payload = std::make_shared<const ProposalPayload>(
       round_, node_id(), parent, std::move(batch));
+  mark_proposed(payload->txs, round_);
   broadcast(payload, batch_bytes(payload->txs.size()));
   have_proposal_ = true;
   proposal_leader_ = node_id();

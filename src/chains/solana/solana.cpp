@@ -7,6 +7,7 @@
 
 #include "chain/hash.hpp"
 #include "chain/registry.hpp"
+#include "sim/lifecycle.hpp"
 
 namespace stabl::solana {
 namespace {
@@ -189,6 +190,7 @@ void SolanaNode::produce_block(std::uint64_t slot) {
     ++it;
   }
   const std::int64_t parent = tip_slot();
+  mark_proposed(batch, slot);
   auto payload = std::make_shared<const BankBlockPayload>(slot, node_id(),
                                                           parent, batch);
   broadcast(payload, batch_bytes(batch.size()));
@@ -434,8 +436,15 @@ bool SolanaNode::withholdable(const net::Payload& payload) const {
 
 void SolanaNode::accept_transaction(const chain::Transaction& tx) {
   // No mempool: remember the transaction and push it to the scheduled
-  // leaders until it lands.
-  pending_forward_.emplace(tx.id, PendingForward{tx, now()});
+  // leaders until it lands. The forward buffer is Solana's admission
+  // queue, so entering it is the lifecycle kQueued stage.
+  const bool inserted =
+      pending_forward_.emplace(tx.id, PendingForward{tx, now()}).second;
+  if (inserted) {
+    if (auto* lifecycle = simulation().lifecycle()) {
+      lifecycle->mark(tx.id, sim::TxStage::kQueued, now());
+    }
+  }
   forward_pending(current_slot_);
 }
 

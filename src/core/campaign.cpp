@@ -180,6 +180,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::vector<SensitivityRun> slots(grid.size());
   std::vector<double> wall_slots(grid.size(), 0.0);
   std::mutex progress_mutex;
+  Heartbeat heartbeat("campaign", grid.size(), config.heartbeat);
   ThreadPool pool(config.jobs);
   pool.parallel_for(grid.size(), [&](std::size_t i) {
     const WallTimer cell_timer;
@@ -187,10 +188,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     cell.chain = grid[i].chain;
     cell.fault = grid[i].fault;
     cell.seed = grid[i].seed;
-    // Cells run concurrently; a sink/registry shared through base would
-    // race. Per-cell tracing goes through stabl_cli's single-run path.
+    // Cells run concurrently; a sink/registry/recorder shared through base
+    // would race. Per-cell tracing goes through stabl_cli's single-run
+    // path.
     cell.trace = nullptr;
     cell.metrics = nullptr;
+    cell.lifecycle = nullptr;
     if (cell.fault == FaultType::kSecureClient) {
       cell.client_fanout = 4;
       cell.vcpus = 8.0;
@@ -202,6 +205,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       config.on_cell_done(grid[i].chain, grid[i].fault, grid[i].seed, run);
     }
     slots[i] = std::move(run);
+    heartbeat.tick();
   });
 
   CampaignResult result;
@@ -514,16 +518,18 @@ MitigationResult run_mitigation_campaign(const MitigationConfig& config) {
   // order — byte-identical output for any jobs value.
   std::vector<MitigationPair> slots(grid.size());
   std::mutex progress_mutex;
+  Heartbeat heartbeat("mitigation", grid.size(), config.heartbeat);
   ThreadPool pool(config.jobs);
   pool.parallel_for(grid.size(), [&](std::size_t i) {
     const PairCell& cell = grid[i];
     ExperimentConfig unmitigated = config.base;
     unmitigated.chain = cell.chain;
     unmitigated.seed = cell.seed;
-    // Pairs run concurrently; a sink/registry shared through base would
-    // race. Observability goes through stabl_cli's single-run path.
+    // Pairs run concurrently; a sink/registry/recorder shared through base
+    // would race. Observability goes through stabl_cli's single-run path.
     unmitigated.trace = nullptr;
     unmitigated.metrics = nullptr;
+    unmitigated.lifecycle = nullptr;
     if (cell.chaos) {
       unmitigated.fault = FaultType::kNone;
       unmitigated.fault_targets.clear();
@@ -553,6 +559,7 @@ MitigationResult run_mitigation_campaign(const MitigationConfig& config) {
       config.on_pair_done(pair);
     }
     slots[i] = std::move(pair);
+    heartbeat.tick();
   });
 
   MitigationResult result;

@@ -49,6 +49,10 @@ struct CampaignConfig {
   std::function<void(ChainKind, FaultType, std::uint64_t /*seed*/,
                      const SensitivityRun&)>
       on_cell_done;
+  /// Wall-clock progress heartbeat on stderr (core::Heartbeat): completed
+  /// cells, cells/s and an ETA. Excluded from every deterministic
+  /// serializer, like cell_wall_ms.
+  bool heartbeat = false;
 
   /// The effective seed list (explicit `seeds`, or `num_seeds` consecutive
   /// seeds from base.seed).
@@ -180,6 +184,8 @@ struct MitigationConfig {
   /// Invoked after each pair completes (progress reporting); serialized
   /// behind a mutex, completion order nondeterministic for jobs > 1.
   std::function<void(const struct MitigationPair&)> on_pair_done;
+  /// Wall-clock progress heartbeat on stderr (see CampaignConfig).
+  bool heartbeat = false;
 
   [[nodiscard]] std::vector<std::uint64_t> seed_list() const;
 };

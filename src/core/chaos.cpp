@@ -449,10 +449,12 @@ ExperimentConfig chaos_trial_config(const ChaosCampaignConfig& config,
   cell.extra_faults = schedule;
   cell.seed = experiment_seed;
   cell.capture_replicas = true;
-  // Trials run concurrently; a sink/registry inherited from the template
-  // would race. The traced repro re-run attaches its own local sink.
+  // Trials run concurrently; a sink/registry/recorder inherited from the
+  // template would race. The traced repro re-run attaches its own local
+  // sink.
   cell.trace = nullptr;
   cell.metrics = nullptr;
+  cell.lifecycle = nullptr;
   return cell;
 }
 
@@ -469,6 +471,7 @@ ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
   const sim::Rng root(config.seed);
   const std::size_t total = config.chains.size() * config.trials_per_chain;
   std::vector<ChaosTrial> slots(total);
+  Heartbeat heartbeat("chaos", total, config.heartbeat);
   ThreadPool pool(config.jobs);
   pool.parallel_for(total, [&](std::size_t index) {
     const WallTimer trial_timer;
@@ -523,6 +526,7 @@ ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
     }
     trial.wall_ms = trial_timer.elapsed_ms();
     slots[index] = std::move(trial);
+    heartbeat.tick();
   });
 
   ChaosCampaignResult result;

@@ -150,6 +150,9 @@ struct ChaosCampaignConfig {
   bool trace_repros = true;
   /// Worker lanes (1 = serial). Output is byte-identical for any value.
   unsigned jobs = 1;
+  /// Wall-clock progress heartbeat on stderr (core::Heartbeat). Excluded
+  /// from every deterministic serializer, like wall_ms.
+  bool heartbeat = false;
 };
 
 struct ChaosTrial {

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "chain/hash.hpp"
+#include "sim/lifecycle.hpp"
 
 namespace stabl::core {
 
@@ -57,6 +58,9 @@ void ClientMachine::generate_arrival() {
       chain::hash_combine(config_.tx_seed, config_.account), tx.nonce);
   ++submitted_;
   submitted_ids_.push_back(tx.id);
+  if (auto* lifecycle = simulation().lifecycle()) {
+    lifecycle->mark(tx.id, sim::TxStage::kSubmitted, now());
+  }
   if (auto* trace = simulation().trace()) {
     trace->async_begin(static_cast<std::int32_t>(id()), now(), tx.id,
                        "txn", "txn",
@@ -81,10 +85,17 @@ void ClientMachine::submit_attempt(chain::TxId id) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
   Pending& pending = it->second;
+  const net::NodeId previous = pending.endpoint;
   pending.endpoint = failover_->select(now());
   ++pending.attempts;
   if (pending.attempts > 1) {
     ++stats_.resubmissions;
+    if (auto* lifecycle = simulation().lifecycle()) {
+      lifecycle->hop(id, sim::TxHop::kResubmit);
+      if (pending.endpoint != previous) {
+        lifecycle->hop(id, sim::TxHop::kFailover);
+      }
+    }
     if (auto* trace = simulation().trace()) {
       trace->instant(static_cast<std::int32_t>(this->id()), now(),
                      "resubmit", "txn",
@@ -118,6 +129,9 @@ void ClientMachine::on_hedge_timeout(chain::TxId id) {
   if (!target.has_value()) return;
   pending.hedged = true;
   pending.hedge_endpoint = *target;
+  if (auto* lifecycle = simulation().lifecycle()) {
+    lifecycle->hop(id, sim::TxHop::kHedge);
+  }
   if (auto* trace = simulation().trace()) {
     trace->instant(static_cast<std::int32_t>(this->id()), now(), "hedge",
                    "txn",
@@ -329,6 +343,9 @@ void ClientMachine::accept(chain::TxId id, Pending& pending,
   latencies_.push_back(sim::to_seconds(now() - pending.submitted_at));
   last_commit_at_ = now();
   ++committed_;
+  if (auto* lifecycle = simulation().lifecycle()) {
+    lifecycle->mark(id, sim::TxStage::kConfirmed, now());
+  }
   if (auto* trace = simulation().trace()) {
     trace->async_end(static_cast<std::int32_t>(this->id()), now(), id,
                      "txn", "txn");

@@ -18,6 +18,7 @@
 #include "core/throughput.hpp"
 #include "core/trace.hpp"
 #include "chain/hash.hpp"
+#include "sim/lifecycle.hpp"
 
 namespace stabl::core {
 namespace {
@@ -217,6 +218,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.trace != nullptr) {
     name_cluster_tracks(*config.trace, config.n, config.clients);
     simulation.set_trace(config.trace);
+  }
+  if (config.lifecycle != nullptr) {
+    // Pre-size for the expected submission volume so recording never
+    // reallocates on the hot path.
+    config.lifecycle->reserve(static_cast<std::size_t>(
+        static_cast<double>(config.clients) * config.tps_per_client *
+        sim::to_seconds(config.duration)));
+    simulation.set_lifecycle(config.lifecycle);
   }
   net::Network network(simulation, net::LatencyConfig{});
 
@@ -467,8 +476,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   return result;
 }
 
-SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
-                               const SensitivityOptions& options) {
+ExperimentConfig baseline_of(const ExperimentConfig& altered_config) {
   ExperimentConfig baseline_config = altered_config;
   baseline_config.fault = FaultType::kNone;
   baseline_config.fault_targets.clear();
@@ -476,9 +484,18 @@ SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
   baseline_config.client_fanout = 1;
   baseline_config.workload.shape = WorkloadShape::kConstant;
   // The timeline of interest is the faulted run; tracing the pristine
-  // baseline too would interleave two runs in one sink.
+  // baseline too would interleave two runs in one sink. The same holds
+  // for the lifecycle recorder — the attribution layer, which needs both
+  // twins recorded, attaches one recorder per run itself.
   baseline_config.trace = nullptr;
   baseline_config.metrics = nullptr;
+  baseline_config.lifecycle = nullptr;
+  return baseline_config;
+}
+
+SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
+                               const SensitivityOptions& options) {
+  const ExperimentConfig baseline_config = baseline_of(altered_config);
 
   SensitivityRun run;
   run.baseline = run_experiment(baseline_config);

@@ -30,6 +30,7 @@ class BlockchainNode;
 }  // namespace stabl::chain
 
 namespace stabl::sim {
+class LifecycleRecorder;
 class TraceSink;
 }  // namespace stabl::sim
 
@@ -167,6 +168,10 @@ struct ExperimentConfig {
   MetricsRegistry* metrics = nullptr;
   /// Sim-time sampling period of the metrics ticker.
   sim::Duration metrics_period = sim::sec(1);
+  /// Per-transaction lifecycle recorder (sim/lifecycle.hpp). Same
+  /// observe-only contract and ownership rules as trace/metrics; the
+  /// attribution layer (core/attribution.hpp) attaches one per run.
+  sim::LifecycleRecorder* lifecycle = nullptr;
 };
 
 /// One committed block as the oracles see it: structure only, no payloads.
@@ -242,6 +247,11 @@ struct SensitivityRun {
   ExperimentResult altered;
   SensitivityScore score;
 };
+
+/// The fault-free twin of a config: no fault, no extra plans, fanout 1,
+/// constant workload, observability detached — the paper's pairing rule,
+/// shared by run_sensitivity and the attribution campaign.
+ExperimentConfig baseline_of(const ExperimentConfig& altered_config);
 
 SensitivityRun run_sensitivity(const ExperimentConfig& altered_config,
                                const SensitivityOptions& options = {});

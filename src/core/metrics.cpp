@@ -1,5 +1,6 @@
 #include "core/metrics.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -23,6 +24,46 @@ Histogram::Histogram(std::string metric_name,
                      std::vector<double> bucket_bounds)
     : name(std::move(metric_name)), bounds(std::move(bucket_bounds)) {
   counts.assign(bounds.size() + 1, 0);
+}
+
+std::vector<double> Histogram::log_bounds(double lo, double hi,
+                                          int per_decade) {
+  std::vector<double> bounds;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  double bound = lo;
+  double previous = -1.0;
+  while (bound < hi * (1.0 + 1e-9)) {
+    // Quantize to the serializers' fixed precision so in-memory bounds are
+    // exactly what a round-tripped document reparses.
+    const double quantized = std::round(bound * 1e6) / 1e6;
+    if (quantized > previous) {
+      bounds.push_back(quantized);
+      previous = quantized;
+    }
+    bound *= step;
+  }
+  return bounds;
+}
+
+double Histogram::quantile(double q) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (counts[i] > 0 && static_cast<double>(next) >= target) {
+      if (i >= bounds.size()) {
+        return bounds.empty() ? 0.0 : bounds.back();  // overflow bucket
+      }
+      const double low = i == 0 ? 0.0 : bounds[i - 1];
+      const double high = bounds[i];
+      const double into = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(counts[i]);
+      return low + (high - low) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 void Histogram::observe(double value) {
@@ -88,6 +129,20 @@ std::string MetricsRegistry::to_csv() const {
       cells.push_back(Table::num(s.samples[row], kValuePrecision));
     }
     out << csv_join(cells) << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::histograms_csv() const {
+  std::ostringstream out;
+  out << "name,total,mean,p50,p90,p99\n";
+  for (const Histogram& hist : histograms_) {
+    out << csv_join({hist.name, std::to_string(hist.total),
+                     Table::num(hist.mean(), kValuePrecision),
+                     Table::num(hist.quantile(0.50), kValuePrecision),
+                     Table::num(hist.quantile(0.90), kValuePrecision),
+                     Table::num(hist.quantile(0.99), kValuePrecision)})
+        << '\n';
   }
   return out.str();
 }

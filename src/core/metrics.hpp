@@ -35,10 +35,23 @@ struct Histogram {
   Histogram() = default;
   Histogram(std::string metric_name, std::vector<double> bucket_bounds);
 
+  /// Fixed log-scale bucket bounds covering [lo, hi] with `per_decade`
+  /// bounds per factor of ten, each quantized to 1e-6 so the bounds
+  /// round-trip byte-identically through the serializers. The stage
+  /// latency histograms use log_bounds(0.001, 256.0, 4): sub-millisecond
+  /// network hops and multi-minute consensus stalls on one axis.
+  [[nodiscard]] static std::vector<double> log_bounds(double lo, double hi,
+                                                      int per_decade);
+
   void observe(double value);
   [[nodiscard]] double mean() const {
     return total == 0 ? 0.0 : sum / static_cast<double>(total);
   }
+  /// Quantile estimate by linear interpolation inside the bucket holding
+  /// the target rank (bucket i spans (bounds[i-1], bounds[i]], bucket 0
+  /// starts at 0). Deterministic — a pure function of the counts — and
+  /// clamped to bounds.back() for ranks landing in the overflow bucket.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// One sampled time series: the value of a single probe on the tick grid.
@@ -92,6 +105,10 @@ class MetricsRegistry {
 
   /// CSV: header "t_s,<name>,..." then one row per sample instant.
   [[nodiscard]] std::string to_csv() const;
+  /// CSV summary of the recorded histograms: one row per histogram with
+  /// name, total, mean and interpolated p50/p90/p99 columns. Byte-stable
+  /// (fixed precisions, registration order).
+  [[nodiscard]] std::string histograms_csv() const;
   /// JSON document; byte-stable round trip through metrics_from_json.
   [[nodiscard]] std::string to_json() const;
 

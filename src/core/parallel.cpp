@@ -1,11 +1,62 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace stabl::core {
 
 unsigned default_jobs() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+Heartbeat::Heartbeat(std::string label, std::size_t total, bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+Heartbeat::~Heartbeat() {
+  if (!enabled_ || !printed_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  print(done_, /*final_line=*/true);
+}
+
+void Heartbeat::tick() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  const auto now = std::chrono::steady_clock::now();
+  const bool last = done_ >= total_;
+  if (!last && now - last_print_ < std::chrono::milliseconds(250)) return;
+  last_print_ = now;
+  print(done_, last);
+}
+
+void Heartbeat::print(std::size_t done, bool final_line) {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed_s > 0.0
+                          ? static_cast<double>(done) / elapsed_s
+                          : 0.0;
+  const double pct = total_ == 0
+                         ? 100.0
+                         : 100.0 * static_cast<double>(done) /
+                               static_cast<double>(total_);
+  char eta[32];
+  if (done >= total_ || rate <= 0.0) {
+    std::snprintf(eta, sizeof(eta), "--");
+  } else {
+    const double remaining_s =
+        static_cast<double>(total_ - done) / rate;
+    std::snprintf(eta, sizeof(eta), "%.0fs", remaining_s);
+  }
+  std::fprintf(stderr, "\r%s: %zu/%zu cells (%.0f%%) | %.2f cells/s | ETA %s",
+               label_.c_str(), done, total_, pct, rate, eta);
+  if (final_line) std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  printed_ = true;
 }
 
 ThreadPool::ThreadPool(unsigned jobs) {

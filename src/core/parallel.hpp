@@ -7,11 +7,13 @@
 // parallel output byte-identical to serial output.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,41 @@ namespace stabl::core {
 
 /// Lanes to use by default: the hardware concurrency, at least 1.
 unsigned default_jobs();
+
+/// Wall-clock campaign progress reporter: "label: done/total cells
+/// (pct) | rate cells/s | ETA", written to stderr as a carriage-return
+/// line so multi-thousand-cell campaigns are not silent. Strictly a
+/// human-facing side channel: output is wall-clock dependent and NEVER
+/// part of any deterministic serializer (the same exclusion discipline as
+/// ChaosTrial::wall_ms). Thread-safe — campaign workers tick it from pool
+/// lanes; updates are rate-limited to one line per 250 ms of wall time,
+/// plus a final newline-terminated line at completion.
+class Heartbeat {
+ public:
+  /// A disabled heartbeat (enabled = false) makes tick() a no-op, so
+  /// campaign code can tick unconditionally and drivers decide once
+  /// (typically `isatty(stderr)` or an explicit flag).
+  Heartbeat(std::string label, std::size_t total, bool enabled);
+  ~Heartbeat();  ///< finishes the line if anything was printed
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// One unit of work finished.
+  void tick();
+
+ private:
+  void print(std::size_t done, bool final_line);
+
+  const std::string label_;
+  const std::size_t total_;
+  const bool enabled_;
+  const std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point last_print_;
+  bool printed_ = false;
+};
 
 class ThreadPool {
  public:

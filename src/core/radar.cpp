@@ -59,6 +59,11 @@ void RadarSummary::record_attack(ChainKind chain, FaultType dimension,
   attacks_[{chain, dimension}] = std::move(cell);
 }
 
+void RadarSummary::record_attribution(ChainKind chain, FaultType dimension,
+                                      RadarAttributionCell cell) {
+  attributions_[{chain, dimension}] = std::move(cell);
+}
+
 const SensitivityScore* RadarSummary::get(ChainKind chain,
                                           FaultType dimension) const {
   const auto it = scores_.find({chain, dimension});
@@ -75,6 +80,12 @@ const RadarAttackCell* RadarSummary::get_attack(ChainKind chain,
                                                 FaultType dimension) const {
   const auto it = attacks_.find({chain, dimension});
   return it == attacks_.end() ? nullptr : &it->second;
+}
+
+const RadarAttributionCell* RadarSummary::get_attribution(
+    ChainKind chain, FaultType dimension) const {
+  const auto it = attributions_.find({chain, dimension});
+  return it == attributions_.end() ? nullptr : &it->second;
 }
 
 std::string RadarSummary::to_table() const {
@@ -104,6 +115,26 @@ std::string RadarSummary::attack_table() const {
                               " | " +
                               attack_half(cell->defended,
                                           cell->defended_verdict));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string RadarSummary::attribution_table() const {
+  Table table({"chain", "crash", "transient", "partition", "byzantine"});
+  for (const ChainKind chain : kAllChains) {
+    std::vector<std::string> row{to_string(chain)};
+    for (const FaultType dim : kDims) {
+      const RadarAttributionCell* cell = get_attribution(chain, dim);
+      if (cell == nullptr) {
+        row.push_back("-");
+        continue;
+      }
+      const std::string sign = cell->latency_delta_s >= 0 ? "+" : "";
+      row.push_back(sign + Table::num(cell->latency_delta_s, 2) + "s " +
+                    cell->dominant_stage + " " +
+                    Table::num(100.0 * cell->dominant_share, 0) + "%");
     }
     table.add_row(std::move(row));
   }

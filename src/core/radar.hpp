@@ -39,6 +39,16 @@ struct RadarAttackCell {
   std::string defended_verdict = "ok";
 };
 
+/// One attributed cell as the radar stores it (a trimmed copy of an
+/// AttributionCell's headline, kept here so radar.hpp need not include
+/// attribution.hpp): the mean commit-latency delta of the pair and the
+/// lifecycle stage segment it predominantly comes from.
+struct RadarAttributionCell {
+  double latency_delta_s = 0.0;
+  std::string dominant_stage;  ///< sim::stage_segment_names() entry
+  double dominant_share = 0.0;  ///< its fraction of the total |delta|
+};
+
 class RadarSummary {
  public:
   void record(ChainKind chain, FaultType dimension,
@@ -50,6 +60,10 @@ class RadarSummary {
   /// attack_table()).
   void record_attack(ChainKind chain, FaultType dimension,
                      RadarAttackCell cell);
+  /// Record a cell's sensitivity attribution (shown by
+  /// attribution_table()).
+  void record_attribution(ChainKind chain, FaultType dimension,
+                          RadarAttributionCell cell);
 
   [[nodiscard]] const SensitivityScore* get(ChainKind chain,
                                             FaultType dimension) const;
@@ -57,6 +71,8 @@ class RadarSummary {
                                                 FaultType dimension) const;
   [[nodiscard]] const RadarAttackCell* get_attack(ChainKind chain,
                                                   FaultType dimension) const;
+  [[nodiscard]] const RadarAttributionCell* get_attribution(
+      ChainKind chain, FaultType dimension) const;
 
   /// Table with one row per chain and one column per dimension; scores
   /// rendered like the paper's figures ("inf", trailing '*' = benefits).
@@ -72,11 +88,18 @@ class RadarSummary {
   /// sensitive it is to a Byzantine coalition, and whether the
   /// misbehavior defense changes the answer.
   [[nodiscard]] std::string attack_table() const;
+  /// Attribution companion table: "+<delta>s <stage> <share>%" per cell —
+  /// where the cell's latency degradation predominantly comes from
+  /// (core/attribution.hpp). Cells without a recorded attribution render
+  /// as "-".
+  [[nodiscard]] std::string attribution_table() const;
 
  private:
   std::map<std::pair<ChainKind, FaultType>, SensitivityScore> scores_;
   std::map<std::pair<ChainKind, FaultType>, RadarSweepCell> sweeps_;
   std::map<std::pair<ChainKind, FaultType>, RadarAttackCell> attacks_;
+  std::map<std::pair<ChainKind, FaultType>, RadarAttributionCell>
+      attributions_;
 };
 
 }  // namespace stabl::core

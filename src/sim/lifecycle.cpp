@@ -1,0 +1,88 @@
+#include "sim/lifecycle.hpp"
+
+#include <algorithm>
+
+namespace stabl::sim {
+
+TxStage TxLifecycle::deepest() const {
+  for (std::size_t i = kNumTxStages; i-- > 0;) {
+    if (stage_at[i] != kStageUnset) return static_cast<TxStage>(i);
+  }
+  return TxStage::kSubmitted;
+}
+
+std::array<Time, kNumTxStages> stage_times(const TxLifecycle& record) {
+  std::array<Time, kNumTxStages> times{};
+  Time carry = record.stage_at[0];
+  times[0] = carry;
+  for (std::size_t i = 1; i < kNumTxStages; ++i) {
+    const Time at = record.stage_at[i];
+    if (at != kStageUnset) carry = std::max(carry, at);
+    times[i] = carry;
+  }
+  return times;
+}
+
+const char* to_string(TxStage stage) {
+  switch (stage) {
+    case TxStage::kSubmitted: return "submitted";
+    case TxStage::kEntryReceived: return "entry_received";
+    case TxStage::kQueued: return "queued";
+    case TxStage::kProposed: return "proposed";
+    case TxStage::kCommitted: return "committed";
+    case TxStage::kConfirmed: return "confirmed";
+  }
+  return "unknown";
+}
+
+const char* to_string(TxHop hop) {
+  switch (hop) {
+    case TxHop::kResubmit: return "resubmit";
+    case TxHop::kHedge: return "hedge";
+    case TxHop::kFailover: return "failover";
+    case TxHop::kRecoveryReplay: return "recovery_replay";
+  }
+  return "unknown";
+}
+
+const std::array<const char*, kNumTxStages - 1>& stage_segment_names() {
+  static const std::array<const char*, kNumTxStages - 1> kNames{
+      "submit", "admission", "queueing", "consensus", "notify"};
+  return kNames;
+}
+
+TxLifecycle& LifecycleRecorder::slot(std::uint64_t tx) {
+  const auto [it, inserted] = index_.emplace(tx, records_.size());
+  if (inserted) {
+    records_.emplace_back();
+    records_.back().tx = tx;
+  }
+  return records_[it->second];
+}
+
+void LifecycleRecorder::mark(std::uint64_t tx, TxStage stage, Time t) {
+  TxLifecycle& record = slot(tx);
+  Time& at = record.stage_at[static_cast<std::size_t>(stage)];
+  if (at == kStageUnset) at = t;
+}
+
+void LifecycleRecorder::hop(std::uint64_t tx, TxHop kind) {
+  ++slot(tx).hops[static_cast<std::size_t>(kind)];
+}
+
+const TxLifecycle* LifecycleRecorder::find(std::uint64_t tx) const {
+  const auto it = index_.find(tx);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+void LifecycleRecorder::reserve(std::size_t txs) {
+  records_.reserve(txs);
+  index_.reserve(txs);
+}
+
+void LifecycleRecorder::clear() {
+  records_.clear();
+  index_.clear();
+}
+
+}  // namespace stabl::sim

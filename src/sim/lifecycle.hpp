@@ -1,0 +1,146 @@
+// Per-transaction lifecycle recording.
+//
+// A LifecycleRecorder collects, for every submitted transaction, the
+// sim-time at which it first reached each stage of its life — client
+// submission, entry-node receipt, mempool admission, proposal, commit and
+// client-side confirmation — plus counters for the resilience hops a
+// transaction can take along the way (resubmission, hedged copy, endpoint
+// failover, recovery replay through state sync). The paper measures *how
+// much* a chain degrades under failures; this record is what lets the
+// attribution layer (core/attribution.hpp) say *where* the lost time went.
+//
+// The recorder lives at the sim layer, next to TraceSink, and obeys the
+// same two contracts:
+//
+// Determinism contract: a recorder only OBSERVES. Recording never draws
+// from any Rng, never schedules or cancels events and never mutates
+// component state, so a run is byte-identical in every report with
+// lifecycle recording on or off (tests/test_trace.cpp asserts this).
+//
+// Overhead contract: recording is disabled by leaving Simulation's
+// lifecycle pointer null. Emit sites guard with
+// `if (auto* l = sim.lifecycle())`, so the disabled path costs one pointer
+// load and a predicted branch — gated at < 2% by bench/micro_trace_overhead.
+//
+// Stage semantics: marks are FIRST-REACH — a resubmitted transaction that
+// re-enters a node keeps its original kEntryReceived time, and a block
+// replayed through state sync keeps the original kCommitted time of the
+// first replica that reported it to the recorder. Stage times are whatever
+// each site observed; they are not forced monotone at record time (a
+// transaction can commit on a replica before the entry node that first
+// received it does). stage_times() applies the carry-forward clamp that
+// makes per-stage latencies telescope exactly to the client-observed
+// commit latency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace stabl::sim {
+
+/// Stages of a transaction's life, in causal order. Every stage time is
+/// measured on the component that owns the transition: the client stamps
+/// kSubmitted/kConfirmed, the entry node kEntryReceived/kQueued, the
+/// proposer kProposed, the first committing replica kCommitted.
+enum class TxStage : std::uint8_t {
+  kSubmitted = 0,      ///< client built and sent the transaction
+  kEntryReceived = 1,  ///< an entry node's RPC handler saw it
+  kQueued = 2,         ///< admitted to a mempool / leader forward buffer
+  kProposed = 3,       ///< included in a consensus proposal / candidate
+  kCommitted = 4,      ///< first replica appended it to its ledger
+  kConfirmed = 5,      ///< the client accepted the commit notification
+};
+inline constexpr std::size_t kNumTxStages = 6;
+
+/// Resilience hops a transaction can take between stages. Counted, not
+/// timestamped: a hop can repeat (several resubmissions) and what the
+/// attribution layer needs is "how often did the fault force this detour".
+enum class TxHop : std::uint8_t {
+  kResubmit = 0,        ///< client re-sent after a commit timeout / RST
+  kHedge = 1,           ///< client sent a hedged copy to a second endpoint
+  kFailover = 2,        ///< an attempt targeted a different endpoint
+  kRecoveryReplay = 3,  ///< committed via state-sync replay on a replica
+};
+inline constexpr std::size_t kNumTxHops = 4;
+
+/// Sentinel for "stage never reached".
+inline constexpr Time kStageUnset{-1};
+
+/// One transaction's compact lifecycle record: 6 stage times + 4 hop
+/// counters. 64 bytes of payload per transaction — cheap enough to keep
+/// for every transaction of a 400 s cell.
+struct TxLifecycle {
+  std::uint64_t tx = 0;
+  std::array<Time, kNumTxStages> stage_at{kStageUnset, kStageUnset,
+                                          kStageUnset, kStageUnset,
+                                          kStageUnset, kStageUnset};
+  std::array<std::uint32_t, kNumTxHops> hops{};
+
+  [[nodiscard]] bool reached(TxStage stage) const {
+    return stage_at[static_cast<std::size_t>(stage)] != kStageUnset;
+  }
+  [[nodiscard]] Time at(TxStage stage) const {
+    return stage_at[static_cast<std::size_t>(stage)];
+  }
+  /// Deepest stage this transaction reached (kSubmitted when only
+  /// submitted). Loss attribution buckets unconfirmed transactions by this.
+  [[nodiscard]] TxStage deepest() const;
+};
+
+/// Stage times clamped monotone by carry-forward: stage i's effective time
+/// is max(recorded time of i if set, effective time of i-1). The resulting
+/// per-stage latencies (times[i+1] - times[i]) are all >= 0 and telescope
+/// EXACTLY to times[kConfirmed] - times[kSubmitted] — the client-observed
+/// commit latency — which is what makes attribution deltas sum to the
+/// measured latency delta. Only meaningful for records with kSubmitted set.
+[[nodiscard]] std::array<Time, kNumTxStages> stage_times(
+    const TxLifecycle& record);
+
+/// Short snake_case stage name ("submitted", "entry_received", ...).
+[[nodiscard]] const char* to_string(TxStage stage);
+/// Short snake_case hop name ("resubmit", "hedge", ...).
+[[nodiscard]] const char* to_string(TxHop hop);
+
+/// The per-stage latency segment names, in order: segment i is the time
+/// from stage i to stage i+1 ("submit" = submitted->entry_received, ...,
+/// "notify" = committed->confirmed). kNumTxStages - 1 entries.
+[[nodiscard]] const std::array<const char*, kNumTxStages - 1>&
+stage_segment_names();
+
+class LifecycleRecorder {
+ public:
+  /// Record that `tx` reached `stage` at time `t`. First reach wins;
+  /// later marks for the same (tx, stage) are ignored.
+  void mark(std::uint64_t tx, TxStage stage, Time t);
+
+  /// Count one resilience hop for `tx`.
+  void hop(std::uint64_t tx, TxHop kind);
+
+  /// All records in first-touch order — deterministic, since the simulation
+  /// is single-threaded and event order is deterministic.
+  [[nodiscard]] const std::vector<TxLifecycle>& records() const {
+    return records_;
+  }
+  /// Record for `tx`, or nullptr when the tx was never seen.
+  [[nodiscard]] const TxLifecycle* find(std::uint64_t tx) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  /// Pre-size for an expected transaction count (experiment runner plumbs
+  /// the workload's submission estimate through this).
+  void reserve(std::size_t txs);
+  void clear();
+
+ private:
+  TxLifecycle& slot(std::uint64_t tx);
+
+  std::vector<TxLifecycle> records_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace stabl::sim

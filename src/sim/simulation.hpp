@@ -16,6 +16,8 @@
 
 namespace stabl::sim {
 
+class LifecycleRecorder;  // sim/lifecycle.hpp
+
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed) : rng_(seed) {}
@@ -91,6 +93,13 @@ class Simulation {
   /// metrics sampler; must not mutate simulation state.
   void set_time_observer(TimeObserver* observer) { observer_ = observer; }
 
+  /// Per-transaction lifecycle recorder, or null when recording is off
+  /// (the default). Same null-gated discipline as trace(): emit sites
+  /// guard on the pointer, the recorder only observes, and attaching one
+  /// never perturbs event ordering or RNG draws (sim/lifecycle.hpp).
+  [[nodiscard]] LifecycleRecorder* lifecycle() const { return lifecycle_; }
+  void set_lifecycle(LifecycleRecorder* recorder) { lifecycle_ = recorder; }
+
  private:
   Time now_{0};
   EventQueue queue_;
@@ -99,6 +108,7 @@ class Simulation {
   std::uint64_t events_processed_ = 0;
   TraceSink* trace_ = nullptr;
   TimeObserver* observer_ = nullptr;
+  LifecycleRecorder* lifecycle_ = nullptr;
 };
 
 }  // namespace stabl::sim

@@ -1,8 +1,12 @@
 // Tests for sim-time tracing: sink recording, the Perfetto trace_event
-// export and its strict validator, and the harness-wide determinism
-// contract — attaching a TraceSink and a MetricsRegistry to a faulted
-// experiment must leave every deterministic report byte-identical, and the
-// trace itself must be a deterministic function of the run.
+// export and its strict validator, the harness-wide determinism contract —
+// attaching a TraceSink and a MetricsRegistry to a faulted experiment must
+// leave every deterministic report byte-identical, and the trace itself
+// must be a deterministic function of the run — and the transaction
+// lifecycle recorder (sim/lifecycle.hpp): span causality, the carry-forward
+// clamp's telescoping invariant, resubmit-hop linkage to the clients'
+// resilience stats, and the same byte-identity contract on a faulted
+// nversion_* meta-chain run.
 #include "core/trace.hpp"
 
 #include <gtest/gtest.h>
@@ -14,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
 #include "core/serialize.hpp"
+#include "sim/lifecycle.hpp"
 #include "sim/trace.hpp"
 
 namespace stabl::core {
@@ -159,6 +164,163 @@ TEST(TraceDeterminism, TraceAndMetricsBytesAreReproducible) {
   EXPECT_EQ(metrics_a, metrics_b);
   // The metrics document round-trips byte-identically, like repro files.
   EXPECT_EQ(metrics_from_json(metrics_a).to_json(), metrics_a);
+}
+
+// --------------------------------------------------- lifecycle recorder
+
+TEST(Lifecycle, RecorderMarksAreFirstReachAndHopsAccumulate) {
+  sim::LifecycleRecorder recorder;
+  recorder.mark(7, sim::TxStage::kSubmitted, sim::seconds(1.0));
+  recorder.mark(7, sim::TxStage::kEntryReceived, sim::seconds(1.5));
+  // A resubmission re-enters the node later; the original time wins.
+  recorder.mark(7, sim::TxStage::kEntryReceived, sim::seconds(9.0));
+  recorder.hop(7, sim::TxHop::kResubmit);
+  recorder.hop(7, sim::TxHop::kResubmit);
+
+  const sim::TxLifecycle* record = recorder.find(7);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->at(sim::TxStage::kEntryReceived), sim::seconds(1.5));
+  EXPECT_EQ(record->hops[static_cast<std::size_t>(sim::TxHop::kResubmit)],
+            2u);
+  EXPECT_EQ(record->deepest(), sim::TxStage::kEntryReceived);
+  EXPECT_EQ(recorder.find(8), nullptr);
+}
+
+TEST(Lifecycle, StageTimesClampCarriesForwardAndTelescopes) {
+  sim::TxLifecycle record;
+  record.stage_at[0] = sim::seconds(1.0);  // submitted
+  record.stage_at[1] = sim::seconds(2.0);  // entry received
+  // queued/proposed never marked (e.g. fast-path commit notification);
+  // committed recorded EARLIER than entry on another replica's clock
+  // ordering is impossible, but a skipped stage must carry forward.
+  record.stage_at[4] = sim::seconds(4.0);  // committed
+  record.stage_at[5] = sim::seconds(5.0);  // confirmed
+
+  const auto times = sim::stage_times(record);
+  EXPECT_EQ(times[1], sim::seconds(2.0));
+  EXPECT_EQ(times[2], sim::seconds(2.0));  // carried from entry
+  EXPECT_EQ(times[3], sim::seconds(2.0));
+  EXPECT_EQ(times[4], sim::seconds(4.0));
+  EXPECT_EQ(times[5], sim::seconds(5.0));
+  // Telescoping is exact in Time arithmetic.
+  sim::Duration total{};
+  for (std::size_t i = 0; i + 1 < sim::kNumTxStages; ++i) {
+    total = total + (times[i + 1] - times[i]);
+  }
+  EXPECT_EQ(total, times[sim::kNumTxStages - 1] - times[0]);
+}
+
+TEST(Lifecycle, FaultedRunRecordsCausalSpansForEveryTransaction) {
+  ExperimentConfig config = faulted_cell();
+  sim::LifecycleRecorder recorder;
+  config.lifecycle = &recorder;
+  const ExperimentResult result = run_experiment(config);
+
+  ASSERT_FALSE(recorder.empty());
+  // Every submitted transaction has a record, and every confirmed one
+  // reached kConfirmed — the recorder's view matches the client's.
+  EXPECT_EQ(recorder.size(), result.submitted);
+  std::uint64_t confirmed = 0;
+  for (const sim::TxLifecycle& record : recorder.records()) {
+    ASSERT_TRUE(record.reached(sim::TxStage::kSubmitted));
+    // Raw marks are causal: no stage is reached before submission.
+    for (std::size_t s = 1; s < sim::kNumTxStages; ++s) {
+      if (record.stage_at[s] == sim::kStageUnset) continue;
+      EXPECT_GE(record.stage_at[s], record.stage_at[0]);
+    }
+    // Entry -> queued -> proposed -> committed are monotone raw: each is
+    // marked by a component that already saw the previous stage.
+    for (std::size_t s = 2; s <= 4; ++s) {
+      if (record.stage_at[s] == sim::kStageUnset ||
+          record.stage_at[s - 1] == sim::kStageUnset) {
+        continue;
+      }
+      EXPECT_GE(record.stage_at[s], record.stage_at[s - 1]);
+    }
+    if (!record.reached(sim::TxStage::kConfirmed)) continue;
+    ++confirmed;
+    // Clamped times are monotone and telescope exactly to the
+    // client-observed commit latency.
+    const auto times = sim::stage_times(record);
+    sim::Duration total{};
+    for (std::size_t i = 0; i + 1 < sim::kNumTxStages; ++i) {
+      EXPECT_GE(times[i + 1], times[i]);
+      total = total + (times[i + 1] - times[i]);
+    }
+    EXPECT_EQ(total, times[sim::kNumTxStages - 1] - times[0]);
+  }
+  EXPECT_EQ(confirmed, result.committed);
+  EXPECT_GT(confirmed, 0u);
+}
+
+TEST(Lifecycle, ResubmitHopsMatchTheClientsResilienceStats) {
+  // Crash the entry nodes so resilient clients must resubmit and fail
+  // over; the recorder's hop counters must agree with the clients' own
+  // bookkeeping.
+  ExperimentConfig config = faulted_cell();
+  config.fault = FaultType::kCrash;
+  config.fault_targets = {0};
+  config.resilience.enabled = true;
+  sim::LifecycleRecorder recorder;
+  config.lifecycle = &recorder;
+  const ExperimentResult result = run_experiment(config);
+
+  std::uint64_t resubmits = 0;
+  std::uint64_t failovers = 0;
+  for (const sim::TxLifecycle& record : recorder.records()) {
+    resubmits +=
+        record.hops[static_cast<std::size_t>(sim::TxHop::kResubmit)];
+    failovers +=
+        record.hops[static_cast<std::size_t>(sim::TxHop::kFailover)];
+  }
+  EXPECT_EQ(resubmits, result.resilience.resubmissions);
+  // Failover semantics differ by design: the recorder counts every
+  // resubmission that targeted a different endpoint than the previous
+  // attempt (a per-transaction detour), while ResilienceStats counts the
+  // endpoint manager's switch EVENTS — one switch reroutes many pending
+  // transactions. A switch event therefore implies at least one recorded
+  // detour, never fewer.
+  EXPECT_GE(failovers, result.resilience.failovers);
+  EXPECT_GT(result.resilience.failovers, 0u);
+  EXPECT_GT(resubmits, 0u);
+}
+
+TEST(Lifecycle, FaultedNversionRunIsByteIdenticalWithRecorderAttached) {
+  // The meta-chain wraps real BlockchainNodes, so lifecycle marks flow
+  // through unchanged — and recording must stay observe-only there too.
+  ExperimentConfig config;
+  config.chain = parse_chain_name("nversion_redbelly");
+  config.fault = FaultType::kCrash;
+  config.seed = 11;
+  config.duration = sim::sec(60);
+  config.inject_at = sim::sec(20);
+  config.recover_at = sim::sec(40);
+
+  const SensitivityRun plain = run_sensitivity(config);
+
+  ExperimentConfig recorded_config = config;
+  sim::LifecycleRecorder recorder;
+  sim::TraceSink sink;
+  recorded_config.lifecycle = &recorder;
+  recorded_config.trace = &sink;
+  const SensitivityRun recorded = run_sensitivity(recorded_config);
+
+  EXPECT_EQ(to_json(config.chain, config.fault, recorded),
+            to_json(config.chain, config.fault, plain));
+  EXPECT_EQ(summary_csv_row(config.chain, config.fault, recorded),
+            summary_csv_row(config.chain, config.fault, plain));
+  EXPECT_FALSE(recorder.empty());
+  // And the recorder itself is a deterministic function of the run.
+  sim::LifecycleRecorder again;
+  ExperimentConfig again_config = config;
+  again_config.lifecycle = &again;
+  run_sensitivity(again_config);
+  ASSERT_EQ(again.size(), recorder.size());
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    EXPECT_EQ(recorder.records()[i].tx, again.records()[i].tx);
+    EXPECT_EQ(recorder.records()[i].stage_at, again.records()[i].stage_at);
+    EXPECT_EQ(recorder.records()[i].hops, again.records()[i].hops);
+  }
 }
 
 // ------------------------------------------------------- chaos repros
