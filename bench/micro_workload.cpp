@@ -1,0 +1,162 @@
+// Workload-pipeline scaling gate: arrival generation at a 1M-client
+// population (plain binary, no google-benchmark loop — it times whole
+// passes itself and enforces a CI floor).
+//
+// Two layers:
+//
+//  1. Population assignment — make_client_plan for every client of a 1M
+//     population (Zipf CDF, account ranges, per-client RNG seeds). This
+//     is the per-run setup cost of the traffic model; it must stay linear
+//     and allocation-light.
+//
+//  2. Arrival generation — 1M clients enrolled into the batched
+//     ArrivalScheduler under a mixed-region, mixed-shape profile set
+//     (the population identity splits of core/arrivals.hpp), driven for a
+//     slice of sim time. The quantity gated is generated arrivals per
+//     wall second: the cohort fan-out loop is the hot path of every
+//     large-scale cell, and a per-client-timer regression (one event per
+//     client per arrival) lands orders of magnitude below the floor.
+//
+// Environment:
+//   STABL_WORKLOAD_CLIENTS     population size (default 1,000,000)
+//   STABL_WORKLOAD_JSON        write results as JSON to this path
+//   STABL_WORKLOAD_MIN_PLANS_PER_S     gate floor, layer 1 (default 1e6)
+//   STABL_WORKLOAD_MIN_ARRIVALS_PER_S  gate floor, layer 2 (default 2e6)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/arrivals.hpp"
+#include "core/metrics.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+#include "core/workload.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace stabl;
+
+struct CountingSink final : core::ArrivalSink {
+  void generate_arrival() override { ++emitted; }
+  [[nodiscard]] bool arrivals_active() const override { return true; }
+  std::uint64_t emitted = 0;
+};
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  std::size_t clients = 1'000'000;
+  if (const char* env = std::getenv("STABL_WORKLOAD_CLIENTS")) {
+    const long v = std::atol(env);
+    if (v >= 1000) clients = static_cast<std::size_t>(v);
+  }
+
+  core::TrafficConfig traffic;
+  traffic.accounts_per_client = 8;
+  traffic.zipf_exponent = 1.1;
+  traffic.hot_fraction = 0.1;
+  traffic.regions = 4;
+
+  // Layer 1: population assignment for every client, best-of-3.
+  core::TrafficModel model(traffic);
+  double plans_per_s = 0.0;
+  std::uint64_t account_checksum = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    core::WallTimer timer;
+    std::uint64_t checksum = 0;
+    for (std::size_t i = 0; i < clients; ++i) {
+      const core::ClientTrafficPlan plan =
+          core::make_client_plan(traffic, model, i, /*tx_seed=*/42);
+      checksum ^= plan.rng_seed + plan.accounts.front();
+    }
+    account_checksum = checksum;
+    plans_per_s = std::max(
+        plans_per_s, static_cast<double>(clients) / (timer.elapsed_ms() / 1e3));
+  }
+
+  // Layer 2: the enrolled population generating arrivals. Mixed shapes
+  // and regions exercise the cohort regrouping: 2 shapes x 4 regions = 8
+  // aggregate processes carrying 125k members each.
+  sim::Simulation simulation(1);
+  core::ArrivalScheduler scheduler(simulation);
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  sinks.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    core::ArrivalProfile profile;
+    profile.workload.tps = 10.0;  // per client; ticks every 100 ms
+    if (i % 2 == 1) {
+      profile.workload.shape = core::WorkloadShape::kBursty;
+      profile.workload.burst_period = sim::sec(5);
+    }
+    profile.stop_at = sim::sec(1);
+    profile.region = static_cast<std::uint32_t>((i / 2) % traffic.regions);
+    profile.population =
+        static_cast<std::uint32_t>(traffic.accounts_per_client);
+    sinks.push_back(std::make_unique<CountingSink>());
+    scheduler.enroll(profile, sinks.back().get());
+  }
+  core::WallTimer timer;
+  simulation.run_until(sim::ms(300));
+  const double wall_s = timer.elapsed_ms() / 1e3;
+  const double arrivals_per_s =
+      static_cast<double>(scheduler.generated()) / wall_s;
+
+  core::Table table({"layer", "clients", "cohorts", "throughput"});
+  table.add_row({"population plans", std::to_string(clients), "-",
+                 core::Table::num(plans_per_s, 0) + " plans/s"});
+  table.add_row({"arrival generation", std::to_string(clients),
+                 std::to_string(scheduler.cohorts()),
+                 core::Table::num(arrivals_per_s, 0) + " arrivals/s"});
+  std::printf("=== workload pipeline at %zu clients ===\n%s", clients,
+              table.to_string().c_str());
+  std::printf("generated %llu arrivals in %.2f s (checksum %llx)\n",
+              static_cast<unsigned long long>(scheduler.generated()), wall_s,
+              static_cast<unsigned long long>(account_checksum));
+
+  if (const char* path = std::getenv("STABL_WORKLOAD_JSON")) {
+    std::ostringstream json;
+    json << "{\"clients\":" << clients
+         << ",\"cohorts\":" << scheduler.cohorts()
+         << ",\"plans_per_s\":" << core::Table::num(plans_per_s, 0)
+         << ",\"arrivals_per_s\":" << core::Table::num(arrivals_per_s, 0)
+         << "}";
+    std::ofstream out(path);
+    out << json.str() << '\n';
+    std::printf("wrote %s\n", path);
+  }
+
+  // CI floors: conservative low-water marks (the measured numbers sit
+  // several-fold above on a developer machine); a regression to
+  // per-client timers or quadratic population setup lands far below.
+  const double min_plans = env_double("STABL_WORKLOAD_MIN_PLANS_PER_S", 1e6);
+  const double min_arrivals =
+      env_double("STABL_WORKLOAD_MIN_ARRIVALS_PER_S", 2e6);
+  bool ok = true;
+  if (plans_per_s < min_plans) {
+    std::fprintf(stderr,
+                 "micro_workload: REGRESSION: %.0f plans/s < floor %.0f\n",
+                 plans_per_s, min_plans);
+    ok = false;
+  }
+  if (arrivals_per_s < min_arrivals) {
+    std::fprintf(
+        stderr,
+        "micro_workload: REGRESSION: %.0f arrivals/s < floor %.0f\n",
+        arrivals_per_s, min_arrivals);
+    ok = false;
+  }
+  if (ok) std::printf("workload gate passed\n");
+  return ok ? 0 : 1;
+}

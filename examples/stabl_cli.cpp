@@ -5,7 +5,8 @@
 // Usage:
 //   stabl_cli [--chain NAME] [--fault NAME] [--duration S] [--seed N]
 //             [--seeds N] [--jobs N]
-//             [--fanout K] [--matching K] [--workload constant|bursty|ramp]
+//             [--fanout K] [--matching K] [--workload SHAPE]
+//             [--traffic-preset NAME]
 //             [--vcpus N] [--format text|csv|json]
 //             [--fault-targets IDS]
 //             [--extra-fault NAME]... [--loss-prob P] [--gray-delay S]
@@ -22,7 +23,7 @@
 //             [--seeds N] [--jobs N] [--format FMT]
 //   stabl_cli --attribution [--chain NAME] [--fault NAME] [--jobs N]
 //             [--heartbeat] [--trace FILE] [--format FMT]
-//   stabl_cli --list-faults | --list-chains
+//   stabl_cli --list-faults | --list-chains | --list-workloads
 //
 // Every flag combination is internally a core::ScenarioSpec — a
 // declarative JSON description of the run. --dump-scenario prints that
@@ -98,6 +99,7 @@
 #include "core/scenario.hpp"
 #include "core/serialize.hpp"
 #include "core/trace.hpp"
+#include "core/traffic.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -113,7 +115,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "                             [--chaos N] [--seeds N] [--jobs N]\n"
       "       %s --attribution [--chain NAME] [--fault NAME] [--jobs N]\n"
       "                        [--heartbeat] [--trace FILE]\n"
-      "       %s --list-faults | --list-chains\n"
+      "       %s --list-faults | --list-chains | --list-workloads\n"
       "\n"
       "Run one STABL experiment pair (baseline vs faulted) and report the\n"
       "sensitivity score; sweep seeds; or run a randomized chaos campaign.\n"
@@ -189,7 +191,13 @@ void print_usage(std::FILE* out, const char* argv0) {
       "workload and client knobs:\n"
       "  --fanout K          endpoints each transaction is sent to\n"
       "  --matching K        client request-matching degree\n"
-      "  --workload SHAPE    constant|bursty|ramp (default constant)\n"
+      "  --workload SHAPE    arrival shape (default constant; see\n"
+      "                      --list-workloads for the full set)\n"
+      "  --traffic-preset N  named production traffic model — population,\n"
+      "                      contention, regions and shape in one knob\n"
+      "                      (exchange_burst|nft_mint|dex_sustained; see\n"
+      "                      --list-workloads); equivalent to a scenario\n"
+      "                      file with {\"traffic\": {\"preset\": N}}\n"
       "  --vcpus N           per-node vCPUs (default 4)\n"
       "  --resilient         timeout + failover + backoff clients\n"
       "  --commit-timeout S  resilient-client commit timeout, seconds\n"
@@ -226,6 +234,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --list-chains       list every registered chain with its tier,\n"
       "                      description and (for meta-chains) the base\n"
       "                      chain it wraps, and exit 0\n"
+      "  --list-workloads    list every arrival shape and traffic preset\n"
+      "                      with a one-line description and exit 0\n"
       "  --help              print this help and exit 0\n",
       argv0, argv0, argv0, argv0, argv0,
       core::chain_registry().names_csv().c_str());
@@ -252,6 +262,22 @@ void print_chain_list() {
         traits.meta_of.empty() ? "" : "  [wraps " + traits.meta_of + "]";
     std::printf("%-18s tier %d  %s%s\n", traits.name.c_str(), traits.tier,
                 traits.description.c_str(), wraps.c_str());
+  }
+}
+
+// --list-workloads: every arrival shape, then every named traffic preset,
+// each with a one-line description. Same registry the scenario parser and
+// --workload/--traffic-preset validation cite in their error listings.
+void print_workload_list() {
+  std::printf("arrival shapes (--workload, traffic.shape):\n");
+  for (const std::string& name : core::workload_shape_names()) {
+    std::printf("  %-14s %s\n", name.c_str(),
+                core::workload_shape_description(name).c_str());
+  }
+  std::printf("traffic presets (--traffic-preset, traffic.preset):\n");
+  for (const std::string& name : core::traffic_preset_names()) {
+    std::printf("  %-14s %s\n", name.c_str(),
+                core::traffic_preset_description(name).c_str());
   }
 }
 
@@ -301,6 +327,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-chains") {
       print_chain_list();
       return 0;
+    } else if (arg == "--list-workloads") {
+      print_workload_list();
+      return 0;
     } else if (arg == "--scenario") {
       scenario_path = value();
       if (scenario_path.empty()) {
@@ -347,9 +376,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--workload") {
       experiment_flag();
       spec.workload = value();
-      if (spec.workload != "constant" && spec.workload != "bursty" &&
-          spec.workload != "ramp") {
-        fail_usage(argv[0], "unknown workload '" + spec.workload + "'");
+      try {
+        (void)core::parse_workload_shape(spec.workload);
+      } catch (const std::invalid_argument& error) {
+        fail_usage(argv[0], error.what());  // lists the valid shapes
+      }
+    } else if (arg == "--traffic-preset") {
+      experiment_flag();
+      spec.has_traffic = true;
+      spec.traffic.preset = value();
+      try {
+        (void)core::traffic_preset(spec.traffic.preset);
+      } catch (const std::invalid_argument& error) {
+        fail_usage(argv[0], error.what());  // lists the valid presets
       }
     } else if (arg == "--format") {
       format = value();

@@ -1,5 +1,7 @@
 #include "chain/mempool.hpp"
 
+#include <iterator>
+
 namespace stabl::chain {
 
 bool Mempool::add(const Transaction& tx) {
@@ -29,16 +31,32 @@ std::optional<Transaction> Mempool::get(TxId id) const {
 
 std::vector<Transaction> Mempool::collect_ready(
     std::size_t max_count, const NonceFn& next_nonce) const {
+  ReadyStats stats;
+  return collect_ready(max_count, next_nonce, stats);
+}
+
+std::vector<Transaction> Mempool::collect_ready(
+    std::size_t max_count, const NonceFn& next_nonce,
+    ReadyStats& stats) const {
   std::vector<Transaction> out;
   out.reserve(std::min(max_count, by_id_.size()));
   for (const auto& [sender, by_nonce] : by_sender_) {
     std::uint64_t expected = next_nonce(sender);
-    for (auto it = by_nonce.lower_bound(expected); it != by_nonce.end();
-         ++it) {
+    auto it = by_nonce.lower_bound(expected);
+    for (; it != by_nonce.end(); ++it) {
       if (it->first != expected) break;  // nonce gap: stop this sender
       if (out.size() >= max_count) return out;
       out.push_back(by_id_.at(it->second));
       ++expected;
+    }
+    if (it != by_nonce.end()) {
+      // Pooled transactions stranded behind the gap — the batch quota is
+      // not the reason (that path returned above), a missing nonce is.
+      ++stats.gap_stalled_senders;
+      const auto stranded = static_cast<std::uint64_t>(
+          std::distance(it, by_nonce.end()));
+      stats.gap_stalled_txs += stranded;
+      if (sender == kHotKey) stats.hot_gap_stalled_txs += stranded;
     }
   }
   return out;

@@ -41,6 +41,20 @@ class Mempool {
   [[nodiscard]] std::vector<Transaction> collect_ready(
       std::size_t max_count, const NonceFn& next_nonce) const;
 
+  /// What collect_ready left behind: senders whose pooled transactions
+  /// could not be proposed because a lower nonce has not arrived here yet
+  /// — the paper's §7 ordering hazard ("all its previous transactions
+  /// (with lower nonces) must first reach the leader"), which the traffic
+  /// model's shared hot wallet (kHotKey) turns into a cluster-wide stall.
+  struct ReadyStats {
+    std::uint64_t gap_stalled_senders = 0;
+    std::uint64_t gap_stalled_txs = 0;
+    std::uint64_t hot_gap_stalled_txs = 0;  ///< Of those, from kHotKey.
+  };
+  [[nodiscard]] std::vector<Transaction> collect_ready(
+      std::size_t max_count, const NonceFn& next_nonce,
+      ReadyStats& stats) const;
+
   /// Remove the given transactions (after they committed).
   void remove(const std::vector<Transaction>& txs);
 

@@ -28,8 +28,21 @@ namespace stabl::chain {
 /// Transaction identifier (content hash in a real chain).
 using TxId = std::uint64_t;
 
-/// Account identifier. The workload uses one account per client.
+/// Account identifier. The paper's workload uses one account per client;
+/// the traffic model (core/traffic.hpp) assigns many per client.
 using AccountId = std::uint32_t;
+
+/// Reserved shared "hot wallet" account the traffic model's contended
+/// transactions are sent FROM (an exchange's omnibus wallet during a
+/// withdrawal rush). Every client draws globally-sequenced nonces for it,
+/// so its inclusion order is a cluster-wide serialization point: chains
+/// that order by nonce (Avalanche) stall on gossip-induced gaps, and
+/// optimistic executors (Aptos Block-STM) pay re-execution for the
+/// unpredicted write-write conflicts. Default workloads never touch it.
+inline constexpr AccountId kHotKey = 999'999'999u;
+
+/// Transfer sink of the hot wallet's transactions.
+inline constexpr AccountId kHotSink = 999'999'998u;
 
 /// A native transfer transaction — the only transaction type the paper's
 /// workload submits (§8: "the workload ... only sends native transfer

@@ -262,7 +262,20 @@ void AptosNode::try_commit() {
   const auto spec = std::min(pending_spec_work_,
                              config_.max_spec_work_per_block);
   pending_spec_work_ = sim::Duration{0};
+  // Hot-key contention: every hot-wallet transaction beyond the first in
+  // this block is an unpredicted write-write conflict Block-STM discovers
+  // at validation time and re-executes. Same-sender nonce chains are
+  // statically known dependencies and add nothing — only the shared key
+  // (chain::kHotKey) pays, so default workloads see a zero here.
+  std::size_t hot_txs = 0;
+  for (const chain::Transaction& tx : proposal_txs_) {
+    if (tx.from == chain::kHotKey) ++hot_txs;
+  }
+  const std::size_t conflicts = hot_txs > 1 ? hot_txs - 1 : 0;
+  stm_conflict_reexecs_ += conflicts;
   const auto serial = spec +
+                      sim::Duration{config_.conflict_exec.count() *
+                                    static_cast<std::int64_t>(conflicts)} +
                       sim::Duration{config_.per_tx_exec.count() *
                                     static_cast<std::int64_t>(
                                         std::max<std::size_t>(

@@ -169,10 +169,17 @@ void AvalancheNode::arm_attempt_timer(sim::Duration delay) {
 }
 
 void AvalancheNode::propose() {
+  chain::Mempool::ReadyStats ready_stats;
   auto txs = mutable_mempool().collect_ready(
-      config_.max_block_txs, [this](chain::AccountId account) {
+      config_.max_block_txs,
+      [this](chain::AccountId account) {
         return accounts().next_nonce(account);
-      });
+      },
+      ready_stats);
+  // Hot-wallet transactions this proposer holds but cannot order yet: a
+  // lower nonce was issued through another client and its gossip has not
+  // reached us. The paper's §7 Avalanche hazard, measured directly.
+  hot_nonce_stalls_ += ready_stats.hot_gap_stalled_txs;
   const std::uint64_t id =
       chain::hash_combine(chain::hash_combine(network_seed(), height_),
                           chain::hash_combine(node_id(), 0x9E3779B9u));

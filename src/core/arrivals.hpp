@@ -59,6 +59,13 @@ struct ArrivalProfile {
   WorkloadConfig workload{};
   sim::Time start_at{0};
   sim::Time stop_at{0};
+  /// Population identity of the traffic model (core/traffic.hpp): clients
+  /// in different regions sit behind different link latencies, and clients
+  /// with different population sizes draw different account mixes, so
+  /// neither may share an aggregate process with the others. Both default
+  /// to 0 — legacy profiles regroup exactly as before this field existed.
+  std::uint32_t region = 0;
+  std::uint32_t population = 0;
 
   friend bool operator==(const ArrivalProfile&,
                          const ArrivalProfile&) = default;

@@ -14,6 +14,10 @@ ClientMachine::ClientMachine(sim::Simulation& simulation,
     : Process(simulation, config.id), config_(std::move(config)),
       net_(network), rng_(simulation.rng().fork()) {
   assert(!config_.endpoints.empty());
+  if (config_.traffic.active()) {
+    account_nonces_.assign(config_.traffic.accounts.size(), 0);
+    traffic_rng_.emplace(config_.traffic.rng_seed);
+  }
   if (config_.resilience.enabled) {
     failover_.emplace(config_.endpoints, config_.resilience.breaker,
                       config_.resilience.score);
@@ -31,6 +35,11 @@ void ClientMachine::on_start() {
     profile.workload.tps = config_.tps;
     profile.start_at = config_.start_at;
     profile.stop_at = config_.stop_at;
+    if (config_.traffic.active()) {
+      profile.region = static_cast<std::uint32_t>(config_.traffic.region);
+      profile.population =
+          static_cast<std::uint32_t>(config_.traffic.accounts.size());
+    }
     config_.arrivals->enroll(profile, this);
     return;
   }
@@ -39,23 +48,48 @@ void ClientMachine::on_start() {
 
 void ClientMachine::submit_next() {
   if (now() >= config_.stop_at) return;
-  generate_arrival();
   WorkloadConfig workload = config_.workload;
   workload.tps = config_.tps;
-  const auto interval = workload_interval(
+  // The same batched step the aggregate scheduler uses: below the interval
+  // floor the configured average survives by emitting several transactions
+  // per tick (the retired single-timer pacing silently capped at 10k TPS).
+  const ArrivalStep step = workload_step(
       workload, now(), config_.stop_at - config_.start_at);
-  set_timer(interval, [this] { submit_next(); });
+  for (int burst = 0; burst < step.count; ++burst) generate_arrival();
+  set_timer(step.interval, [this] { submit_next(); });
 }
 
 void ClientMachine::generate_arrival() {
   chain::Transaction tx;
-  tx.from = config_.account;
-  tx.to = config_.recipient;
+  if (config_.traffic.active()) {
+    // Population path: a hot-wallet coin flip, then a Zipf-weighted pick
+    // among this client's accounts. Hot transactions draw their nonce from
+    // the run-wide sequencer, so the hot account's issuance order spans
+    // every client — the contention the execution models must absorb.
+    const ClientTrafficPlan& plan = config_.traffic;
+    sim::Rng& rng = *traffic_rng_;
+    const double hot_fraction = plan.model->config().hot_fraction;
+    if (hot_fraction > 0.0 && rng.chance(hot_fraction)) {
+      tx.from = chain::kHotKey;
+      tx.to = chain::kHotSink;
+      tx.nonce = plan.model->next_hot_nonce();
+    } else {
+      const std::size_t pick =
+          plan.accounts.size() > 1 ? zipf_pick(plan.zipf_cdf, rng.uniform())
+                                   : 0;
+      tx.from = plan.accounts[pick];
+      tx.to = population_sink(tx.from);
+      tx.nonce = account_nonces_[pick]++;
+    }
+  } else {
+    tx.from = config_.account;
+    tx.to = config_.recipient;
+    tx.nonce = nonce_++;
+  }
   tx.amount = 1;
-  tx.nonce = nonce_++;
   tx.submitted_at = now();
   tx.id = chain::hash_combine(
-      chain::hash_combine(config_.tx_seed, config_.account), tx.nonce);
+      chain::hash_combine(config_.tx_seed, tx.from), tx.nonce);
   ++submitted_;
   submitted_ids_.push_back(tx.id);
   if (auto* lifecycle = simulation().lifecycle()) {

@@ -28,6 +28,7 @@
 #include "chain/types.hpp"
 #include "core/arrivals.hpp"
 #include "core/resilience.hpp"
+#include "core/traffic.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
 #include "sim/process.hpp"
@@ -67,6 +68,12 @@ struct ClientConfig {
   /// shape) cohort instead of one timer chain per client. Null keeps the
   /// legacy per-client chain (some unit tests exercise it directly).
   ArrivalScheduler* arrivals = nullptr;
+
+  /// Population slice of the traffic model (core/traffic.hpp). Inactive
+  /// (default) keeps the paper's one-account-per-client submission path
+  /// byte-for-byte; active switches account selection to the client's
+  /// Zipf-weighted population plus the shared hot wallet.
+  ClientTrafficPlan traffic{};
 };
 
 class ClientMachine final : public sim::Process,
@@ -147,6 +154,11 @@ class ClientMachine final : public sim::Process,
   ClientConfig config_;
   net::Network& net_;
   std::uint64_t nonce_ = 0;
+  /// Population path only: per-account nonce counters (parallel to
+  /// config_.traffic.accounts) and the dedicated traffic RNG (its draws
+  /// never touch the simulation streams — see core/traffic.hpp).
+  std::vector<std::uint64_t> account_nonces_;
+  std::optional<sim::Rng> traffic_rng_;
   std::uint64_t submitted_ = 0;
   std::vector<chain::TxId> submitted_ids_;
   std::uint64_t committed_ = 0;

@@ -245,6 +245,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // instead of one timer chain each.
   const std::size_t entry_nodes = std::min(config.clients, config.n);
   ArrivalScheduler arrivals(simulation, config.metrics);
+  // The traffic model's shared state (the hot wallet's global nonce
+  // sequencer) and the multi-region latency map. Region r's clients sit
+  // r/(regions-1) of the configured spread away from the whole cluster —
+  // permanent delay rules, installed before anything runs, so they stack
+  // deterministically under whatever fault rules arrive later.
+  TrafficModel traffic_model(config.traffic);
+  if (config.traffic.active() && config.traffic.regions > 1 &&
+      config.traffic.region_spread.count() > 0) {
+    std::vector<net::NodeId> cluster;
+    cluster.reserve(config.n);
+    for (std::size_t k = 0; k < config.n; ++k) {
+      cluster.push_back(static_cast<net::NodeId>(k));
+    }
+    for (std::size_t r = 1; r < config.traffic.regions; ++r) {
+      std::vector<net::NodeId> region_clients;
+      for (std::size_t i = r; i < config.clients;
+           i += config.traffic.regions) {
+        region_clients.push_back(static_cast<net::NodeId>(config.n + i));
+      }
+      if (region_clients.empty()) continue;
+      const sim::Duration extra{
+          config.traffic.region_spread.count() *
+          static_cast<std::int64_t>(r) /
+          static_cast<std::int64_t>(config.traffic.regions - 1)};
+      network.add_delay(std::move(region_clients), cluster, extra);
+    }
+  }
   std::vector<std::unique_ptr<ClientMachine>> clients;
   clients.reserve(config.clients);
   for (std::size_t i = 0; i < config.clients; ++i) {
@@ -260,6 +287,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     client_config.tx_seed = chain::mix64(config.seed ^ 0xC11E57ull);
     client_config.resilience = config.resilience;
     client_config.arrivals = &arrivals;
+    if (config.traffic.active()) {
+      client_config.traffic = make_client_plan(
+          config.traffic, traffic_model, i, client_config.tx_seed);
+    }
     // Resilient clients fail over across every entry node (rotated so
     // client i starts on its paper-default endpoint); naive/secure clients
     // submit to `fanout` endpoints in parallel.
@@ -482,7 +513,13 @@ ExperimentConfig baseline_of(const ExperimentConfig& altered_config) {
   baseline_config.fault_targets.clear();
   baseline_config.extra_faults.plans.clear();
   baseline_config.client_fanout = 1;
-  baseline_config.workload.shape = WorkloadShape::kConstant;
+  // With the traffic model active, the pairing question changes from "how
+  // does the fault compare to a pristine lab run" to "what does the fault
+  // cost under the SAME production traffic" — the baseline keeps the
+  // shape and population so the score isolates the fault, not the burst.
+  if (!altered_config.traffic.active()) {
+    baseline_config.workload.shape = WorkloadShape::kConstant;
+  }
   // The timeline of interest is the faulted run; tracing the pristine
   // baseline too would interleave two runs in one sink. The same holds
   // for the lifecycle recorder — the attribution layer, which needs both

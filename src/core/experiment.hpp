@@ -21,6 +21,7 @@
 #include "core/fault.hpp"
 #include "core/resilience.hpp"
 #include "core/sensitivity.hpp"
+#include "core/traffic.hpp"
 #include "core/workload.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
@@ -153,6 +154,10 @@ struct ExperimentConfig {
   /// Submission shape (average rate stays tps_per_client). The paper uses
   /// the constant shape; the others quantify its §8 limitation.
   WorkloadConfig workload{};
+  /// Production traffic population (core/traffic.hpp): accounts per
+  /// client, Zipf skew, hot-key contention, regions. Inactive by default —
+  /// the paper's one-account-per-client workload stays byte-for-byte.
+  TrafficConfig traffic{};
   /// Capture per-replica ledger snapshots and the clients' submitted
   /// transaction ids into the result, so the invariant oracles
   /// (core/oracle.hpp) can audit the run. Off by default: a 400 s run

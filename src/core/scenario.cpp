@@ -1,5 +1,6 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <set>
@@ -110,14 +111,19 @@ std::string validate_scenario(const ScenarioSpec& spec) {
     error << "\"hedge_max_delay_s\" must be >= \"hedge_min_delay_s\" (got "
           << fmt_double(spec.hedge_max_delay_s) << " < "
           << fmt_double(spec.hedge_min_delay_s) << ")";
-  } else if (spec.workload != "constant" && spec.workload != "bursty" &&
-             spec.workload != "ramp") {
-    error << "\"workload\" must be constant, bursty or ramp (got \""
+  } else if (std::find(workload_shape_names().begin(),
+                       workload_shape_names().end(),
+                       spec.workload) == workload_shape_names().end()) {
+    error << "\"workload\" must be constant, bursty, ramp, diurnal or "
+             "flash (got \""
           << spec.workload << "\")";
   } else if (spec.shrink && spec.chaos_trials == 0) {
     error << "\"shrink\" needs \"chaos_trials\" > 0";
   } else if (spec.chaos_adversarial && spec.chaos_trials == 0) {
     error << "\"chaos_adversarial\" needs \"chaos_trials\" > 0";
+  }
+  if (error.str().empty() && spec.has_traffic) {
+    return validate_traffic(spec.traffic);
   }
   return error.str();
 }
@@ -205,6 +211,62 @@ std::string scenario_to_json(const ScenarioSpec& spec) {
   field("workload");
   append_string(out, spec.workload);
   close();
+  if (spec.has_traffic) {
+    // Emitted only when present, so dumps of traffic-free specs keep the
+    // exact bytes they had before the traffic layer existed.
+    field("traffic");
+    out += "{\n";
+    const auto traffic_field = [&out](const char* key) {
+      out += "    \"";
+      out += key;
+      out += "\": ";
+    };
+    const auto traffic_close = [&out](bool last = false) {
+      if (!last) out += ',';
+      out += '\n';
+    };
+    traffic_field("preset");
+    append_string(out, spec.traffic.preset);
+    traffic_close();
+    traffic_field("shape");
+    append_string(out, spec.traffic.shape);
+    traffic_close();
+    traffic_field("accounts_per_client");
+    out += std::to_string(spec.traffic.accounts_per_client);
+    traffic_close();
+    traffic_field("zipf_exponent");
+    out += fmt_double(spec.traffic.zipf_exponent);
+    traffic_close();
+    traffic_field("hot_fraction");
+    out += fmt_double(spec.traffic.hot_fraction);
+    traffic_close();
+    traffic_field("regions");
+    out += std::to_string(spec.traffic.regions);
+    traffic_close();
+    traffic_field("region_spread_ms");
+    out += fmt_double(spec.traffic.region_spread_ms);
+    traffic_close();
+    traffic_field("diurnal_amplitude");
+    out += fmt_double(spec.traffic.diurnal_amplitude);
+    traffic_close();
+    traffic_field("diurnal_period_s");
+    out += fmt_double(spec.traffic.diurnal_period_s);
+    traffic_close();
+    traffic_field("flash_at_s");
+    out += fmt_double(spec.traffic.flash_at_s);
+    traffic_close();
+    traffic_field("flash_duration_s");
+    out += fmt_double(spec.traffic.flash_duration_s);
+    traffic_close();
+    traffic_field("flash_factor");
+    out += fmt_double(spec.traffic.flash_factor);
+    traffic_close();
+    traffic_field("fault_phase");
+    append_string(out, spec.traffic.fault_phase);
+    traffic_close(/*last=*/true);
+    out += "  }";
+    close();
+  }
   field("fanout");
   out += std::to_string(spec.fanout);
   close();
@@ -335,6 +397,54 @@ ScenarioSpec scenario_from_json(const std::string& json) {
       spec.jobs = parse_integer(cursor, key);
     } else if (key == "workload") {
       spec.workload = cursor.parse_string();
+    } else if (key == "traffic") {
+      spec.has_traffic = true;
+      cursor.expect('{');
+      std::set<std::string> traffic_seen;
+      bool first_traffic = true;
+      while (!cursor.consume('}')) {
+        if (!first_traffic) cursor.expect(',');
+        first_traffic = false;
+        const std::string traffic_key = cursor.parse_string();
+        cursor.expect(':');
+        if (!traffic_seen.insert(traffic_key).second) {
+          throw std::invalid_argument(
+              "scenario: duplicate key \"traffic." + traffic_key + "\"");
+        }
+        if (traffic_key == "preset") {
+          spec.traffic.preset = cursor.parse_string();
+        } else if (traffic_key == "shape") {
+          spec.traffic.shape = cursor.parse_string();
+        } else if (traffic_key == "accounts_per_client") {
+          spec.traffic.accounts_per_client =
+              parse_integer(cursor, traffic_key);
+        } else if (traffic_key == "zipf_exponent") {
+          spec.traffic.zipf_exponent = cursor.parse_number();
+        } else if (traffic_key == "hot_fraction") {
+          spec.traffic.hot_fraction = cursor.parse_number();
+        } else if (traffic_key == "regions") {
+          spec.traffic.regions = parse_integer(cursor, traffic_key);
+        } else if (traffic_key == "region_spread_ms") {
+          spec.traffic.region_spread_ms = cursor.parse_number();
+        } else if (traffic_key == "diurnal_amplitude") {
+          spec.traffic.diurnal_amplitude = cursor.parse_number();
+        } else if (traffic_key == "diurnal_period_s") {
+          spec.traffic.diurnal_period_s = cursor.parse_number();
+        } else if (traffic_key == "flash_at_s") {
+          spec.traffic.flash_at_s = cursor.parse_number();
+        } else if (traffic_key == "flash_duration_s") {
+          spec.traffic.flash_duration_s = cursor.parse_number();
+        } else if (traffic_key == "flash_factor") {
+          spec.traffic.flash_factor = cursor.parse_number();
+        } else if (traffic_key == "fault_phase") {
+          spec.traffic.fault_phase = cursor.parse_string();
+        } else {
+          throw std::invalid_argument(
+              "scenario: unknown key \"traffic." + traffic_key +
+              "\" (scenarios are strict; see core/traffic.hpp for the "
+              "schema)");
+        }
+      }
     } else if (key == "fanout") {
       spec.fanout = parse_integer(cursor, key);
     } else if (key == "matching") {
@@ -421,10 +531,39 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   config.client_fanout = static_cast<int>(spec.fanout);
   config.client_matching = static_cast<std::size_t>(spec.matching);
   config.vcpus = spec.vcpus;
-  if (spec.workload == "bursty") {
-    config.workload.shape = WorkloadShape::kBursty;
-  } else if (spec.workload == "ramp") {
-    config.workload.shape = WorkloadShape::kRamp;
+  config.workload.shape = parse_workload_shape(spec.workload);
+  if (spec.has_traffic) {
+    // The preset fills default knobs first, so the resolved run and the
+    // re-dumped spec agree on what actually executed.
+    TrafficSpec traffic = spec.traffic;
+    apply_traffic_preset(traffic);
+    config.traffic = resolve_traffic(traffic);
+    if (!traffic.shape.empty()) {
+      config.workload.shape = parse_workload_shape(traffic.shape);
+    }
+    config.workload.diurnal_amplitude = traffic.diurnal_amplitude;
+    config.workload.diurnal_period = sim::seconds(traffic.diurnal_period_s);
+    config.workload.flash_at = sim::seconds(traffic.flash_at_s);
+    config.workload.flash_duration =
+        sim::seconds(traffic.flash_duration_s);
+    config.workload.flash_factor = traffic.flash_factor;
+    if (traffic.fault_phase == "burst") {
+      // Land the fault DURING the busy window instead of the historical
+      // thirds: centred in the middle half of the flash crowd, or across
+      // the diurnal peak (the cosine peaks at half a period).
+      if (config.workload.shape == WorkloadShape::kFlash) {
+        const sim::Duration width = config.workload.flash_duration;
+        config.inject_at = config.workload.flash_at + width / 4;
+        config.recover_at = config.workload.flash_at + (3 * width) / 4;
+      } else if (config.workload.shape == WorkloadShape::kDiurnal) {
+        const sim::Duration period =
+            config.workload.diurnal_period.count() > 0
+                ? config.workload.diurnal_period
+                : config.duration;
+        config.inject_at = (3 * period) / 8;
+        config.recover_at = (5 * period) / 8;
+      }
+    }
   }
   config.resilience.enabled = spec.resilient;
   config.resilience.retry.commit_timeout =

@@ -19,6 +19,7 @@
 
 #include "chain/registry.hpp"
 #include "core/experiment.hpp"
+#include "core/traffic.hpp"
 #include "net/message.hpp"
 
 namespace stabl::core {
@@ -51,7 +52,14 @@ struct ScenarioSpec {
   std::uint64_t seed = 42;
   std::int64_t num_seeds = 1;
   std::int64_t jobs = 1;
+  /// Arrival shape (core/traffic.hpp workload_shape_names()); the traffic
+  /// object's "shape", when present, takes precedence.
   std::string workload = "constant";
+  /// Production traffic model (the "traffic" JSON object). Omitted from
+  /// serialization while has_traffic is false, so specs and dumps that
+  /// predate the traffic layer stay byte-identical.
+  bool has_traffic = false;
+  TrafficSpec traffic{};
   std::int64_t fanout = 1;
   std::int64_t matching = 0;
   double vcpus = 4.0;

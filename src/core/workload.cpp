@@ -30,15 +30,37 @@ double workload_rate(const WorkloadConfig& config, sim::Time at,
       const double end = 2.0 - start;  // keeps the average at tps
       return config.tps * (start + (end - start) * progress);
     }
+    case WorkloadShape::kDiurnal: {
+      // Raised cosine with the trough at t = 0: integrating the cosine
+      // over any whole number of periods cancels, so the average is tps.
+      const double period = config.diurnal_period.count() > 0
+                                ? sim::to_seconds(config.diurnal_period)
+                                : sim::to_seconds(duration);
+      if (period <= 0.0) return config.tps;
+      const double amplitude =
+          std::clamp(config.diurnal_amplitude, 0.0, 0.999);
+      constexpr double kTau = 6.283185307179586;
+      const double phase = kTau * sim::to_seconds(at) / period;
+      return config.tps * (1.0 - amplitude * std::cos(phase));
+    }
+    case WorkloadShape::kFlash: {
+      const double total = sim::to_seconds(duration);
+      if (total <= 0.0) return config.tps;
+      const double factor = std::max(1.0, config.flash_factor);
+      const double start =
+          std::clamp(sim::to_seconds(config.flash_at), 0.0, total);
+      const double width = std::clamp(sim::to_seconds(config.flash_duration),
+                                      0.0, total - start);
+      // base * (total + (factor - 1) * width) / total == tps: the crowd
+      // window borrows rate from the rest of the run, not from thin air.
+      const double base =
+          config.tps * total / (total + (factor - 1.0) * width);
+      const double t = sim::to_seconds(at);
+      const bool in_crowd = t >= start && t < start + width;
+      return in_crowd ? factor * base : base;
+    }
   }
   return config.tps;
-}
-
-sim::Duration workload_interval(const WorkloadConfig& config, sim::Time at,
-                                sim::Duration duration) {
-  const double rate = std::max(0.1, workload_rate(config, at, duration));
-  const auto gap = static_cast<std::int64_t>(1e6 / rate);
-  return std::max(sim::Duration{gap}, kMinArrivalGap);
 }
 
 ArrivalStep workload_step(const WorkloadConfig& config, sim::Time at,

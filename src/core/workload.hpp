@@ -18,6 +18,8 @@ enum class WorkloadShape {
   kConstant,  // the paper's workload: fixed inter-arrival gap
   kBursty,    // square wave: alternating high/low phases, same average
   kRamp,      // linear ramp from low to high over the run, same average
+  kDiurnal,   // raised-cosine day/night cycle, same average
+  kFlash,     // flash crowd: one multiplied window, same average
 };
 
 struct WorkloadConfig {
@@ -30,6 +32,18 @@ struct WorkloadConfig {
   double burst_factor = 3.0;
   /// kRamp: start fraction of the average rate (ends at 2 - start).
   double ramp_start_fraction = 0.2;
+  /// kDiurnal: rate = tps * (1 - amplitude * cos(2*pi*t / period)); the
+  /// trough sits at t = 0, the peak at half a period. Amplitude is clamped
+  /// to [0, 1); a period of 0 means one full cycle over the run, which is
+  /// also the only period that keeps the average exact for any duration.
+  double diurnal_amplitude = 0.6;
+  sim::Duration diurnal_period{0};
+  /// kFlash: inside [flash_at, flash_at + flash_duration) the rate is
+  /// flash_factor x the off-window base rate; the base rate is depressed
+  /// so the whole run still averages tps.
+  sim::Time flash_at = sim::sec(150);
+  sim::Duration flash_duration = sim::sec(50);
+  double flash_factor = 6.0;
 
   /// Identical profiles share one aggregate arrival process
   /// (core/arrivals.hpp groups enrolment cohorts by equality).
@@ -47,13 +61,6 @@ inline constexpr sim::Duration kMinArrivalGap = sim::us(100);
 /// `duration`. Always averages to `config.tps` over the run.
 double workload_rate(const WorkloadConfig& config, sim::Time at,
                      sim::Duration duration);
-
-/// Inter-arrival gap at time `at`, clamped to kMinArrivalGap. Legacy
-/// single-timer-per-client pacing: above 10k TPS the clamp silently binds
-/// and the documented "averages to config.tps" contract breaks — which is
-/// why the aggregate arrival path uses workload_step() instead.
-sim::Duration workload_interval(const WorkloadConfig& config, sim::Time at,
-                                sim::Duration duration);
 
 /// One step of an aggregate arrival process: emit `count` transactions
 /// per enrolled generator now, schedule the next tick `interval` later.

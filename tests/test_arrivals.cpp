@@ -18,6 +18,7 @@
 #include "core/scenario.hpp"
 #include "core/sensitivity.hpp"
 #include "core/serialize.hpp"
+#include "core/traffic.hpp"
 #include "core/workload.hpp"
 #include "sim/simulation.hpp"
 
@@ -181,6 +182,114 @@ TEST(Arrivals, BatchedClientMatchesPerClientTimerChain) {
   EXPECT_EQ(legacy.clients[0]->committed(), batched.clients[0]->committed());
   EXPECT_EQ(legacy.simulation.events_processed(),
             batched.simulation.events_processed());
+}
+
+// ------------------------------------------- population-profile cohorts
+
+// The traffic model's population identity is part of the cohort key:
+// clients in different regions sit behind different link latencies and
+// clients with different population sizes draw different account mixes,
+// so neither may regroup with the others — while identical identities
+// still collapse into one aggregate process.
+TEST(Arrivals, PopulationIdentitySplitsCohorts) {
+  sim::Simulation simulation(1);
+  ArrivalScheduler scheduler(simulation);
+  std::vector<int> log;
+  RecordingSink a(0, &log), b(1, &log), c(2, &log), d(3, &log);
+  ArrivalProfile base = profile_with(100.0);
+  base.region = 0;
+  base.population = 8;
+  scheduler.enroll(base, &a);
+  scheduler.enroll(base, &b);  // same identity: shared process
+  EXPECT_EQ(scheduler.cohorts(), 1u);
+  ArrivalProfile far_region = base;
+  far_region.region = 1;
+  scheduler.enroll(far_region, &c);  // different region: own process
+  EXPECT_EQ(scheduler.cohorts(), 2u);
+  ArrivalProfile deep_population = base;
+  deep_population.population = 32;
+  scheduler.enroll(deep_population, &d);  // different population: own
+  EXPECT_EQ(scheduler.cohorts(), 3u);
+}
+
+// A killed member of a shared population cohort emits nothing while the
+// survivors keep the aggregate process running — the same guarantee its
+// cancelled per-client timer used to provide.
+TEST(Arrivals, KilledMemberOfPopulationCohortEmitsNothing) {
+  sim::Simulation simulation(1);
+  ArrivalScheduler scheduler(simulation);
+  std::vector<int> log;
+  RecordingSink a(0, &log), b(1, &log), c(2, &log);
+  ArrivalProfile profile = profile_with(100.0);
+  profile.region = 2;
+  profile.population = 16;
+  for (RecordingSink* sink : {&a, &b, &c}) scheduler.enroll(profile, sink);
+  EXPECT_EQ(scheduler.cohorts(), 1u);
+  b.active = false;
+  simulation.run_until(sim::ms(25));  // ticks at 0, 10, 20 ms
+  EXPECT_EQ(a.emitted, 3u);
+  EXPECT_EQ(b.emitted, 0u);
+  EXPECT_EQ(c.emitted, 3u);
+  EXPECT_EQ(scheduler.generated(), 6u);
+}
+
+// Satellite: a mixed-region, mixed-shape population — four clients, two
+// entry nodes, two workload shapes, two regions, Zipf accounts and a
+// shared hot wallet — must produce byte-identical submissions through the
+// batched scheduler and through per-client timer chains. This pins the
+// regrouping logic: every (node, shape, region) combination lands in its
+// own cohort, and the global hot-nonce issue order survives the swap.
+TEST(Arrivals, MixedRegionMixedShapePopulationMatchesPerClientTimers) {
+  TrafficConfig traffic;
+  traffic.accounts_per_client = 4;
+  traffic.zipf_exponent = 1.0;
+  traffic.hot_fraction = 0.25;
+  traffic.regions = 2;
+
+  auto run = [&traffic](bool batched) {
+    TrafficModel model(traffic);
+    testing::Harness harness;
+    chain::NodeConfig node_config;
+    node_config.n = 10;
+    node_config.network_seed = 77;
+    harness.nodes = redbelly::make_cluster(harness.simulation,
+                                           harness.network, node_config);
+    std::optional<ArrivalScheduler> arrivals;
+    if (batched) arrivals.emplace(harness.simulation);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ClientConfig config;
+      config.id = static_cast<net::NodeId>(10 + i);
+      config.account = static_cast<chain::AccountId>(i);
+      config.recipient = static_cast<chain::AccountId>(999 + i);
+      config.endpoints = {static_cast<net::NodeId>(i < 2 ? 0 : 1)};
+      config.tps = 100.0;
+      config.stop_at = sim::sec(10);
+      if (i < 2) {
+        config.workload.shape = WorkloadShape::kBursty;
+        config.workload.burst_period = sim::sec(2);
+      }
+      if (batched) config.arrivals = &*arrivals;
+      config.traffic = make_client_plan(traffic, model, i, config.tx_seed);
+      harness.clients.push_back(std::make_unique<ClientMachine>(
+          harness.simulation, harness.network, config));
+    }
+    harness.start_all();
+    harness.simulation.run_until(sim::sec(12));
+    if (batched) {
+      // (node 0, bursty) x regions {0, 1} and (node 1, constant) x
+      // regions {0, 1}: four distinct identities, four processes.
+      EXPECT_EQ(arrivals->cohorts(), 4u);
+    }
+    std::vector<std::vector<chain::TxId>> ids;
+    ids.reserve(harness.clients.size());
+    for (const auto& client : harness.clients) {
+      EXPECT_GT(client->submitted(), 500u);
+      ids.push_back(client->submitted_ids());
+    }
+    return ids;
+  };
+
+  EXPECT_EQ(run(/*batched=*/false), run(/*batched=*/true));
 }
 
 // Golden-file gate for the whole stack: a faulted campaign (redbelly under

@@ -105,7 +105,7 @@ TEST(Scenario, OutOfRangeValuesAreRejected) {
   EXPECT_NE(error_of(R"({"seed": -3})").find("\"seed\" must be >= 0"),
             std::string::npos);
   EXPECT_NE(error_of(R"({"workload": "spiky"})")
-                .find("constant, bursty or ramp"),
+                .find("constant, bursty, ramp, diurnal or flash"),
             std::string::npos);
   EXPECT_NE(error_of(R"({"shrink": true})")
                 .find("\"shrink\" needs \"chaos_trials\" > 0"),

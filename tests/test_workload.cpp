@@ -64,11 +64,42 @@ TEST(Workload, RampGrowsAndPreservesAverage) {
   EXPECT_NEAR(average_rate(config, sim::sec(400)), 40.0, 0.5);
 }
 
-TEST(Workload, IntervalInvertsRate) {
+TEST(Workload, DiurnalCyclesAroundAndPreservesAverage) {
+  WorkloadConfig config;
+  config.shape = WorkloadShape::kDiurnal;
+  config.tps = 40.0;
+  config.diurnal_amplitude = 0.6;
+  // Default period: one full cycle over the run. Trough at t=0, peak at
+  // half a period.
+  const double trough = workload_rate(config, sim::sec(0), sim::sec(400));
+  const double peak = workload_rate(config, sim::sec(200), sim::sec(400));
+  EXPECT_NEAR(trough, 16.0, 1e-9);
+  EXPECT_NEAR(peak, 64.0, 1e-9);
+  EXPECT_NEAR(average_rate(config, sim::sec(400)), 40.0, 0.5);
+}
+
+TEST(Workload, FlashCrowdMultipliesTheWindowAndPreservesAverage) {
+  WorkloadConfig config;
+  config.shape = WorkloadShape::kFlash;
+  config.tps = 40.0;
+  config.flash_at = sim::sec(150);
+  config.flash_duration = sim::sec(50);
+  config.flash_factor = 6.0;
+  const double before = workload_rate(config, sim::sec(100), sim::sec(400));
+  const double inside = workload_rate(config, sim::sec(170), sim::sec(400));
+  const double after = workload_rate(config, sim::sec(300), sim::sec(400));
+  EXPECT_NEAR(inside / before, 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(before, after);
+  EXPECT_LT(before, 40.0);  // the crowd borrows rate from the rest
+  EXPECT_NEAR(average_rate(config, sim::sec(400)), 40.0, 0.5);
+}
+
+TEST(Workload, StepInvertsRateBelowTheFloor) {
   WorkloadConfig config;
   config.tps = 50.0;
-  EXPECT_EQ(workload_interval(config, sim::sec(1), sim::sec(100)),
-            sim::us(20000));
+  const ArrivalStep step = workload_step(config, sim::sec(1), sim::sec(100));
+  EXPECT_EQ(step.interval, sim::us(20000));
+  EXPECT_EQ(step.count, 1);
 }
 
 TEST(Workload, StepMatchesIntervalBelowTheFloor) {
@@ -93,9 +124,28 @@ TEST(Workload, StepBatchesInsteadOfClampingAboveTenKTps) {
       static_cast<double>(step.count) /
       sim::to_seconds(step.interval);
   EXPECT_NEAR(achieved, 25000.0, 1.0);
-  // The legacy interval really was wrong here — document the contrast.
-  const auto legacy = workload_interval(config, sim::sec(1), sim::sec(100));
-  EXPECT_EQ(legacy, kMinArrivalGap);  // i.e. 10k TPS, not 25k
+  // The retired workload_interval() clamped to the floor here — i.e.
+  // 10k TPS, not 25k. Every pacing path now routes through this step.
+}
+
+// Satellite regression for retiring the single-timer pacing: a client
+// driven through workload_step holds the configured average at 50k TPS,
+// a rate the deleted workload_interval() silently capped at 10k.
+TEST(Workload, FiftyKTpsAverageHoldsThroughTheSteppedPath) {
+  WorkloadConfig config;
+  config.tps = 50000.0;
+  sim::Time at{0};
+  const sim::Time horizon = sim::sec(2);
+  std::uint64_t emitted = 0;
+  while (at < horizon) {
+    const ArrivalStep step = workload_step(config, at, horizon);
+    EXPECT_TRUE(step.clamped);
+    emitted += static_cast<std::uint64_t>(step.count);
+    at += step.interval;
+  }
+  const double achieved =
+      static_cast<double>(emitted) / sim::to_seconds(horizon);
+  EXPECT_NEAR(achieved, 50000.0, 500.0);  // within 1%
 }
 
 TEST(Workload, StepSurvivesRatesAboveTheClockResolution) {
